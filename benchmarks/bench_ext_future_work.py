@@ -1,0 +1,75 @@
+"""Section VII future-work extensions, exercised end to end.
+
+Not a paper table — the paper *plans* these: FLOPS for INT/FP datatypes,
+tensor-engine characterisation, low-level-cache bandwidth, and the
+configurable L2 fetch granularity of Section IV-D.  The bench runs each
+extension on the flagship presets and prints the extended report
+sections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.core.benchmarks.base import BenchmarkContext
+from repro.core.benchmarks.fetch_granularity import measure_fetch_granularity
+from repro.gpusim.isa import LoadKind
+from repro.units import format_bandwidth
+
+
+def run_extended_discovery(preset: str):
+    device = SimulatedGPU.from_preset(preset, seed=42)
+    tool = MT4G(
+        device,
+        targets=(
+            {"L1", "L2", "SharedMem", "DeviceMemory"}
+            if device.vendor.value == "NVIDIA"
+            else {"vL1", "L2", "LDS", "DeviceMemory"}
+        ),
+        extensions={"flops", "lowlevel_bandwidth"},
+    )
+    return tool.discover()
+
+
+@pytest.mark.parametrize("preset", ["H100-80", "MI210"])
+def test_flops_and_tensor_engines(benchmark, preset):
+    report = benchmark.pedantic(
+        run_extended_discovery, args=(preset,), rounds=1, iterations=1
+    )
+    print(f"\n=== {preset} compute throughput (Section VII extension) ===")
+    for dtype, av in sorted(report.throughput.items()):
+        print(f"  {dtype:12s}: {av.value / 1e12:8.1f} T{'FLOP' if 'fp' in dtype else 'OP'}/s"
+              f"  (confidence {av.confidence:.2f})")
+
+    assert report.throughput, "extension produced no throughput data"
+    # Tensor engines out-run the vector pipelines of the same precision.
+    tensor = [d for d in report.throughput if d.startswith("tensor_fp16")]
+    if tensor and "fp16" in report.throughput:
+        assert report.throughput[tensor[0]].value > report.throughput["fp16"].value
+    # fp64 never beats fp32.
+    if {"fp64", "fp32"} <= set(report.throughput):
+        assert report.throughput["fp64"].value <= report.throughput["fp32"].value * 1.01
+
+    # Low-level bandwidth filled the L1/vL1 row.
+    l1 = "L1" if report.general.vendor == "NVIDIA" else "vL1"
+    av = report.attribute(l1, "read_bandwidth")
+    print(f"  {l1} bandwidth: {format_bandwidth(av.value)} (extension)")
+    assert av.value and av.value > report.attribute("L2", "read_bandwidth").value
+
+
+def test_l2_fetch_granularity_reconfiguration(benchmark):
+    """Section IV-D: cudaDeviceSetLimit changes the L2 transaction size,
+    and a re-run of the FG benchmark must observe the new value."""
+
+    def run():
+        device = SimulatedGPU.from_preset("H100-80", seed=42)
+        ctx = BenchmarkContext(device)
+        before = measure_fetch_granularity(ctx, LoadKind.LD_GLOBAL_CG, "L2")
+        device.set_limit("l2_fetch_granularity", 64)
+        after = measure_fetch_granularity(ctx, LoadKind.LD_GLOBAL_CG, "L2")
+        return before.value, after.value
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nL2 fetch granularity: default {before} B -> reconfigured {after} B")
+    assert before == 32 and after == 64

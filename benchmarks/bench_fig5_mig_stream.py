@@ -1,0 +1,92 @@
+"""Paper Fig. 5 — streaming read throughput vs array size under MIG.
+
+The figure plots ns/B of a one-core streaming read over growing arrays on
+an A100, for the full GPU and several MIG instances, with vertical lines
+at the L2 size that sys-sage reports (static MT4G topology + dynamic nvml
+MIG state).  Two observations must reproduce:
+
+1. a steep performance drop beyond the *reported* L2 size validates the
+   sys-sage value (the measured cliff coincides with the line);
+2. the full GPU and the ``4g.20gb`` instance behave identically, because
+   one SM can only ever reach one of the two 20 MB L2 segments — this is
+   exactly the MT4G "Amount" information at work; without it the full-GPU
+   line would sit at 40 MB and miss the cliff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.integrations.syssage import SysSageTopology
+from repro.units import MiB, format_size
+
+PROFILES = ["full", "4g.20gb", "2g.10gb", "1g.5gb"]
+WORKING_SETS = np.geomspace(1 * MiB, 128 * MiB, 48)
+
+
+def run_sweeps(report, device):
+    ss = SysSageTopology(report, device)
+    curves = {}
+    lines = {}
+    for profile in PROFILES:
+        ss.set_mig_profile(None if profile == "full" else profile)
+        ss.refresh()
+        curves[profile] = ss.stream_experiment(WORKING_SETS, noisy=False)
+        lines[profile] = ss.effective_l2_per_sm()
+    ss.set_mig_profile(None)
+    return curves, lines
+
+
+def detect_cliff(ws: np.ndarray, ns_per_byte: np.ndarray) -> float:
+    """Array size where throughput first degrades by >20% over the floor."""
+    floor = ns_per_byte[0]
+    idx = np.argmax(ns_per_byte > floor * 1.2)
+    return float(ws[idx])
+
+
+def test_fig5_stream_sweep(benchmark, a100):
+    report, device = a100
+    curves, lines = benchmark(run_sweeps, report, device)
+
+    print("\n=== Fig. 5 — A100 streaming read (ns/B) under MIG ===")
+    header = f"{'array':>10s}" + "".join(f"{p:>11s}" for p in PROFILES)
+    print(header)
+    for i in range(0, WORKING_SETS.size, 6):
+        row = f"{format_size(WORKING_SETS[i]):>10s}"
+        row += "".join(f"{curves[p][i]:11.4f}" for p in PROFILES)
+        print(row)
+    for p in PROFILES:
+        print(f"sys-sage reported L2 for {p:9s}: {format_size(lines[p])} "
+              f"(cliff at {format_size(detect_cliff(WORKING_SETS, curves[p]))})")
+
+    # Observation 1: the cliff coincides with the sys-sage-reported size.
+    for profile in PROFILES:
+        cliff = detect_cliff(WORKING_SETS, curves[profile])
+        assert cliff == pytest.approx(lines[profile], rel=0.35), profile
+
+    # Observation 2: full == 4g.20gb, both at 20 MB (one segment).
+    assert lines["full"] == lines["4g.20gb"] == 20 * MiB
+    assert np.allclose(curves["full"], curves["4g.20gb"], rtol=1e-9)
+
+    # Smaller instances cliff earlier.
+    assert lines["2g.10gb"] == 10 * MiB and lines["1g.5gb"] == 5 * MiB
+    assert detect_cliff(WORKING_SETS, curves["1g.5gb"]) < detect_cliff(
+        WORKING_SETS, curves["2g.10gb"]
+    )
+
+
+def test_fig5_amount_information_is_load_bearing(a100):
+    """Without MT4G's L2 Amount the full-GPU line would be at 40 MB —
+    and the measured cliff would NOT match it (the paper's warning)."""
+    report, device = a100
+    ss = SysSageTopology(report, device)
+    ss.set_mig_profile(None)
+
+    naive_line = ss.l2_total_size()  # 40 MB: API size without Amount
+    correct_line = ss.effective_l2_per_sm()  # 20 MB: with Amount
+    cliff = detect_cliff(WORKING_SETS, ss.stream_experiment(WORKING_SETS, noisy=False))
+
+    assert correct_line == 20 * MiB and naive_line == 40 * MiB
+    assert cliff == pytest.approx(correct_line, rel=0.35)
+    assert abs(cliff - naive_line) > abs(cliff - correct_line)

@@ -1,0 +1,82 @@
+"""Paper Table I — coverage of provided information per memory element.
+
+Regenerates the availability matrix (benchmarked / via API / not
+available / not applicable) for one NVIDIA and one AMD device and checks
+it cell-by-cell against the paper's table.
+
+Legend mapping:  "!" -> benchmark, "!(API)" -> api, "#" -> unavailable,
+"n/a" -> n/a, "+" (dagger) -> bandwidth only on higher levels (n/a here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import ATTRIBUTES, TopologyReport
+
+# (element, attribute) -> expected source class, per paper Table I.
+_B, _API, _NO, _NA = "benchmark", "api", "unavailable", "n/a"
+
+NVIDIA_EXPECTED = {
+    "L1":          {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _B, "fetch_granularity": _B, "amount": _B, "shared_with": _B},
+    "L2":          {"size": _API, "load_latency": _B, "read_bandwidth": _B, "cache_line_size": _B, "fetch_granularity": _B, "amount": _B, "shared_with": _NA},
+    "Texture":     {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _B, "fetch_granularity": _B, "amount": _B, "shared_with": _B},
+    "Readonly":    {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _B, "fetch_granularity": _B, "amount": _B, "shared_with": _B},
+    "ConstL1":     {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _B, "fetch_granularity": _B, "amount": _B, "shared_with": _B},
+    "ConstL1.5":   {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _NO, "fetch_granularity": _B, "amount": _NO, "shared_with": _NA},
+    "SharedMem":   {"size": _API, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _NA, "fetch_granularity": _NA, "amount": _NA, "shared_with": _NA},
+    "DeviceMemory": {"size": _API, "load_latency": _B, "read_bandwidth": _B, "cache_line_size": _NA, "fetch_granularity": _NA, "amount": _NA, "shared_with": _NA},
+}
+
+AMD_EXPECTED = {
+    "vL1":         {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _B, "fetch_granularity": _B, "amount": _B, "shared_with": _NA},
+    "sL1d":        {"size": _B, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _B, "fetch_granularity": _B, "amount": _NA, "shared_with": _B},
+    "L2":          {"size": _API, "load_latency": _B, "read_bandwidth": _B, "cache_line_size": _API, "fetch_granularity": _B, "amount": _API, "shared_with": _NA},
+    "LDS":         {"size": _API, "load_latency": _B, "read_bandwidth": _NA, "cache_line_size": _NA, "fetch_granularity": _NA, "amount": _NA, "shared_with": _NA},
+    "DeviceMemory": {"size": _API, "load_latency": _B, "read_bandwidth": _B, "cache_line_size": _NA, "fetch_granularity": _NA, "amount": _NA, "shared_with": _NA},
+}
+
+
+def coverage_matrix(report: TopologyReport) -> dict[str, dict[str, str]]:
+    """Classify every (element, attribute) cell like Table I's legend."""
+    matrix: dict[str, dict[str, str]] = {}
+    for name, element in report.memory.items():
+        row = {}
+        for attr in ATTRIBUTES:
+            av = element.get(attr)
+            if av.source.value == "n/a":
+                row[attr] = _NA
+            elif av.source.value == "api":
+                row[attr] = _API
+            elif av.source.value == "unavailable":
+                row[attr] = _NO
+            else:
+                row[attr] = _B
+        matrix[name] = row
+    return matrix
+
+
+def _print_matrix(title: str, matrix: dict[str, dict[str, str]]) -> None:
+    cols = ["size", "load_latency", "read_bandwidth", "cache_line_size",
+            "fetch_granularity", "amount", "shared_with"]
+    print(f"\n=== Table I coverage — {title} ===")
+    print(f"{'element':14s} " + " ".join(f"{c[:10]:>11s}" for c in cols))
+    for element, row in matrix.items():
+        print(f"{element:14s} " + " ".join(f"{row[c]:>11s}" for c in cols))
+
+
+@pytest.mark.parametrize("side", ["nvidia", "amd"])
+def test_table1_coverage(benchmark, side, h100, mi210):
+    report, _ = h100 if side == "nvidia" else mi210
+    expected = NVIDIA_EXPECTED if side == "nvidia" else AMD_EXPECTED
+
+    matrix = benchmark(coverage_matrix, report)
+    _print_matrix(report.general.model, matrix)
+
+    mismatches = []
+    for element, row in expected.items():
+        for attr, want in row.items():
+            got = matrix[element][attr]
+            if got != want:
+                mismatches.append(f"{element}.{attr}: want {want}, got {got}")
+    assert not mismatches, "\n".join(mismatches)

@@ -1,0 +1,73 @@
+"""Paper Table II + Section V-A — the ten validation machines and their
+discovery run times.
+
+Runs the complete discovery on every preset of Table II (this *is* the
+paper's validation campaign, so the bench times each machine's full
+pipeline), then reproduces the Section V-A observations:
+
+* NVIDIA runs execute roughly 35 benchmarks, AMD roughly 15;
+* NVIDIA discoveries are substantially more expensive than AMD ones
+  (paper: 6-14 min vs ~1-2 min on real hardware; the simulated/modeled
+  times only need to preserve the ratio's direction);
+* the L2 benchmarks dominate the NVIDIA run time (paper: 4.5 of
+  12.25 min on the A100).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.gpuspec.presets import PAPER_PRESETS
+from repro.gpuspec.spec import Vendor
+
+_RESULTS: dict[str, object] = {}
+
+
+def _discover(name: str):
+    device = SimulatedGPU.from_preset(name, seed=42)
+    report = MT4G(device).discover()
+    _RESULTS[name] = report
+    return report
+
+
+@pytest.mark.parametrize("name", list(PAPER_PRESETS))
+def test_table2_machine(benchmark, name):
+    report = benchmark.pedantic(_discover, args=(name,), rounds=1, iterations=1)
+    r = report.runtime
+    print(
+        f"\n{name:10s} vendor={report.general.vendor:6s} "
+        f"uarch={report.general.microarchitecture:8s} "
+        f"benchmarks={r.benchmarks_executed:3d} "
+        f"modeled={r.modeled_total_seconds:7.1f}s "
+        f"(gpu {r.simulated_gpu_seconds:6.1f}s)"
+    )
+    assert set(report.memory)  # every machine produces a report
+    expected = 30 if report.general.vendor == "NVIDIA" else 12
+    assert r.benchmarks_executed >= expected
+
+
+def test_section5a_runtime_observations():
+    """NVIDIA >> AMD run time; ~35 vs ~15 benchmarks; L2 dominates."""
+    assert len(_RESULTS) == len(PAPER_PRESETS), "machine benches must run first"
+    nvidia = {n: r for n, r in _RESULTS.items()
+              if r.general.vendor == "NVIDIA"}
+    amd = {n: r for n, r in _RESULTS.items() if r.general.vendor == "AMD"}
+
+    nv_counts = [r.runtime.benchmarks_executed for r in nvidia.values()]
+    amd_counts = [r.runtime.benchmarks_executed for r in amd.values()]
+    print(f"\nbenchmark counts: NVIDIA {nv_counts} vs AMD {amd_counts}")
+    assert min(nv_counts) > max(amd_counts)
+
+    nv_time = sum(r.runtime.modeled_total_seconds for r in nvidia.values()) / len(nvidia)
+    amd_time = sum(r.runtime.modeled_total_seconds for r in amd.values()) / len(amd)
+    print(f"mean modeled time: NVIDIA {nv_time:.1f}s vs AMD {amd_time:.1f}s")
+    assert nv_time > amd_time
+
+    # L2 dominance on a big-L2 NVIDIA machine (paper: A100).
+    a100 = _RESULTS["A100"]
+    per = a100.runtime.per_benchmark_seconds
+    l2_share = sum(v for k, v in per.items() if k.endswith(":L2"))
+    total = a100.runtime.simulated_gpu_seconds
+    print(f"A100 L2 share of simulated GPU time: {l2_share / total:.0%}")
+    assert l2_share / total > 0.30

@@ -1,0 +1,34 @@
+"""Session-scoped discovery fixtures shared by the benchmark modules.
+
+Full discoveries on the paper presets take ~10-20 s each; the benches
+time the experiment-specific work and share these reports for the
+comparison/validation parts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+
+SEED = 42
+
+
+def _discover(preset: str):
+    device = SimulatedGPU.from_preset(preset, seed=SEED)
+    return MT4G(device).discover(), device
+
+
+@pytest.fixture(scope="session")
+def h100():
+    return _discover("H100-80")
+
+
+@pytest.fixture(scope="session")
+def mi210():
+    return _discover("MI210")
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return _discover("A100")

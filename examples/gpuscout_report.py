@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""GPUscout-style bottleneck analysis with MT4G context (paper Section VI-B).
+
+GPUscout detects memory bottlenecks from profiler counters; its GUI joins
+them with MT4G's topology so the recommendations become quantitative.
+This example analyses two synthetic kernel profiles on the H100 and
+prints the Fig. 4-style memory graph plus the recommendations.
+"""
+
+from repro import MT4G, SimulatedGPU
+from repro.integrations.gpuscout import GPUscoutContext, NCUCounters
+from repro.units import KiB, MiB, format_size
+
+PROFILES = [
+    NCUCounters(
+        kernel_name="stencil_27pt",
+        l1_hit_rate=0.55,
+        l2_hit_rate=0.45,
+        l1_bytes=2_800 * MiB,
+        l2_bytes=1_300 * MiB,
+        dram_bytes=720 * MiB,
+        registers_per_thread=128,
+        threads_per_block=256,
+        blocks_per_sm=3,
+        shared_bytes_per_block=32 * KiB,
+        local_spill_bytes=4096,
+        working_set_per_block=128 * KiB,
+    ),
+    NCUCounters(
+        kernel_name="reduction_tree",
+        l1_hit_rate=0.95,
+        l2_hit_rate=0.90,
+        l1_bytes=400 * MiB,
+        l2_bytes=20 * MiB,
+        dram_bytes=2 * MiB,
+        registers_per_thread=24,
+        threads_per_block=256,
+        blocks_per_sm=4,
+        shared_bytes_per_block=8 * KiB,
+        working_set_per_block=24 * KiB,
+    ),
+]
+
+
+def main() -> None:
+    print("discovering H100-80 ...")
+    report = MT4G(SimulatedGPU.from_preset("H100-80", seed=42)).discover()
+
+    for counters in PROFILES:
+        ctx = GPUscoutContext(report, counters)
+        graph = ctx.memory_graph()
+        print(f"\n=== kernel: {counters.kernel_name} ===")
+        print("memory graph (sizes from MT4G, dynamics from NCU):")
+        for node, data in graph.nodes(data=True):
+            annot = []
+            if data.get("size"):
+                annot.append(f"size {format_size(data['size'])}")
+            if data.get("hit_rate") is not None:
+                annot.append(f"hit {data['hit_rate']:.0%}")
+            if data.get("amount"):
+                annot.append(f"x{data['amount']}")
+            print(f"  {node:14s} {', '.join(annot)}")
+        for u, v, data in graph.edges(data=True):
+            print(f"    {u} -> {v}: {format_size(data['bytes'])}")
+        print("recommendations:")
+        for rec in ctx.recommendations():
+            print(f"  [{rec.severity:8s}] {rec.code}")
+            print(f"             {rec.message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Dynamic resource partitioning with sys-sage + MT4G (paper Section VI-C).
+
+Reproduces the paper's Fig. 5 experiment: a one-core streaming read over
+growing arrays on an A100, under the full GPU and three MIG instances.
+sys-sage combines MT4G's static topology (L2 size *and* segment count)
+with dynamic nvml MIG queries to predict where the throughput cliff sits
+for each configuration — including the non-obvious fact that the full
+GPU and the 4g.20gb instance behave identically.
+"""
+
+import numpy as np
+
+from repro import MT4G, SimulatedGPU
+from repro.integrations.syssage import SysSageTopology
+from repro.units import MiB, format_size
+
+PROFILES = ["full", "4g.20gb", "2g.10gb", "1g.5gb"]
+
+
+def main() -> None:
+    print("discovering A100 (the slow part: ~35 microbenchmarks) ...")
+    device = SimulatedGPU.from_preset("A100", seed=42)
+    report = MT4G(device).discover()
+    ss = SysSageTopology(report, device)
+
+    working_sets = np.geomspace(1 * MiB, 128 * MiB, 32)
+    print(f"\n{'array size':>12s}" + "".join(f"{p:>12s}" for p in PROFILES)
+          + "   (ns/B, lower is better)")
+    curves = {}
+    for profile in PROFILES:
+        ss.set_mig_profile(None if profile == "full" else profile)
+        curves[profile] = ss.stream_experiment(working_sets, noisy=False)
+    for i in range(0, working_sets.size, 3):
+        row = f"{format_size(working_sets[i]):>12s}"
+        row += "".join(f"{curves[p][i]:12.4f}" for p in PROFILES)
+        print(row)
+
+    print("\nsys-sage-reported effective L2 per SM (static MT4G x dynamic MIG):")
+    for profile in PROFILES:
+        ss.set_mig_profile(None if profile == "full" else profile)
+        state = ss.refresh()
+        print(f"  {profile:9s}: {format_size(ss.effective_l2_per_sm()):>8s} "
+              f"(instance sees {ss.visible_sms} SMs, "
+              f"{format_size(ss.visible_dram_bytes)} DRAM)")
+
+    print(
+        "\nObservations (paper Fig. 5):\n"
+        " 1. each curve's cliff sits at its reported L2 size — pick problem\n"
+        "    sizes below it;\n"
+        " 2. 'full' and '4g.20gb' coincide: one SM reaches only one of the\n"
+        "    two 20 MB L2 segments, which only MT4G's Amount information\n"
+        "    reveals (the API reports 40 MB)."
+    )
+
+    ss.set_mig_profile(None)
+    print("\ncomponent tree (truncated):")
+    tree = ss.tree(max_sms=2)
+    for node, data in tree.nodes(data=True):
+        print(f"  {data['kind']:13s} {node}")
+
+
+if __name__ == "__main__":
+    main()

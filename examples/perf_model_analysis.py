@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""GPU performance modeling with MT4G parameters (paper Section VI-A).
+
+Feeds MT4G-discovered hardware parameters (memory latency, bandwidth,
+clock, SM counts) into the Hong & Kim CWP/MWP analytical model and
+classifies three representative kernels as compute- or memory-bound —
+against DRAM *and* against the L2, which is only possible because MT4G
+provides the parameters across the whole hierarchy.
+"""
+
+from repro import MT4G, SimulatedGPU
+from repro.integrations.perfmodel import ApplicationParams, GPUParams, HongKimModel
+
+#: (name, profiler-style application parameters)
+KERNELS = [
+    (
+        "saxpy (streaming)",
+        ApplicationParams(
+            comp_insts_per_warp=10,
+            mem_insts_per_warp=12,
+            active_warps_per_sm=48,
+            load_bytes_per_warp=128,
+        ),
+    ),
+    (
+        "gemm tile (compute-heavy)",
+        ApplicationParams(
+            comp_insts_per_warp=2400,
+            mem_insts_per_warp=24,
+            active_warps_per_sm=32,
+            load_bytes_per_warp=128,
+        ),
+    ),
+    (
+        "sparse gather (latency-bound)",
+        ApplicationParams(
+            comp_insts_per_warp=60,
+            mem_insts_per_warp=40,
+            active_warps_per_sm=8,
+            load_bytes_per_warp=32,  # uncoalesced
+        ),
+    ),
+]
+
+
+def main() -> None:
+    print("discovering H100-80 ...")
+    report = MT4G(SimulatedGPU.from_preset("H100-80", seed=42)).discover()
+
+    for level in ("DeviceMemory", "L2"):
+        gpu = GPUParams.from_report(report, level)
+        print(f"\n=== Hong-Kim model against {level} "
+              f"(latency {gpu.mem_latency:.0f} cyc, "
+              f"bandwidth {gpu.mem_bandwidth / 1024**4:.2f} TiB/s) ===")
+        print(f"{'kernel':28s} {'CWP':>7s} {'MWP':>7s} {'MWP_lat':>8s} "
+              f"{'MWP_bw':>8s} {'bound':>9s} {'cycles/SM':>12s}")
+        for name, app in KERNELS:
+            result = HongKimModel(app, gpu).evaluate()
+            print(
+                f"{name:28s} {result.cwp:7.1f} {result.mwp:7.1f} "
+                f"{result.mwp_latency_bound:8.1f} {result.mwp_bandwidth_bound:8.1f} "
+                f"{result.bottleneck:>9s} {result.execution_cycles:12.0f}"
+            )
+
+    print(
+        "\nReading: CWP > MWP means warps pile up behind memory (memory-"
+        "bound);\nagainst the L2 the same kernels show more headroom — if "
+        "the working set\ncan be tiled into the 25 MiB segment MT4G "
+        "measured, the bottleneck moves."
+    )
+
+
+if __name__ == "__main__":
+    main()

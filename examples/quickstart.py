@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: discover a GPU's topology in three lines.
+
+Runs the full MT4G pipeline against the simulated AMD MI210 (one of the
+paper's Table II machines — and the fast one: AMD needs ~15 benchmarks
+against NVIDIA's ~35) and prints the human-readable report.
+
+Usage::
+
+    python examples/quickstart.py [preset-name]
+"""
+
+import sys
+
+from repro import MT4G, SimulatedGPU, available_presets
+from repro.core.output.markdown import to_markdown
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "MI210"
+    if preset not in available_presets(include_testing=True):
+        raise SystemExit(
+            f"unknown preset {preset!r}; try one of: "
+            + ", ".join(available_presets(include_testing=True))
+        )
+
+    device = SimulatedGPU.from_preset(preset, seed=42)
+    report = MT4G(device).discover()
+    print(to_markdown(report))
+
+    # Programmatic access: every attribute carries value + provenance.
+    l1 = "L1" if report.general.vendor == "NVIDIA" else "vL1"
+    size = report.attribute(l1, "size")
+    latency = report.attribute(l1, "load_latency")
+    print(f"{l1} size     : {size.rendered()}  (source: {size.source.value}, "
+          f"confidence {size.confidence:.2f})")
+    print(f"{l1} latency  : {latency.rendered()}")
+    print(f"benchmarks run: {report.runtime.benchmarks_executed}")
+
+
+if __name__ == "__main__":
+    main()

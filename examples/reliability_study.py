@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Reliability study: how stable are MT4G's answers under noise?
+
+The paper's core engineering claim is *reliable* auto-evaluation: the
+K-S test and the outlier-widening loop separate real topology cliffs
+from measurement disturbance.  This example stresses that claim:
+
+1. repeats the vL1/sL1d size discovery across several noise seeds and
+   reports the spread (discrete attributes must not flicker at all);
+2. re-runs one discovery on a *non-exclusive* GPU (violating the paper's
+   Section IV exclusivity assumption) via the contention noise mode and
+   shows how the confidence degrades — the failure is visible, not
+   silent.
+"""
+
+import numpy as np
+
+from repro.core.benchmarks.base import BenchmarkContext
+from repro.core.benchmarks.cacheline import measure_cache_line_size
+from repro.core.benchmarks.size import measure_cache_size
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.isa import LoadKind
+from repro.units import KiB, format_size
+
+SEEDS = [1, 7, 23, 42, 77, 1001]
+
+
+def main() -> None:
+    print("=== seed stability (MI210 vL1 + sL1d) ===")
+    for name, kind in (("vL1", LoadKind.FLAT_LOAD), ("sL1d", LoadKind.S_LOAD)):
+        sizes, lines = [], []
+        for seed in SEEDS:
+            ctx = BenchmarkContext(SimulatedGPU.from_preset("MI210", seed=seed))
+            m = measure_cache_size(ctx, kind, name, 64, lo=1 * KiB, hi_cap=1024 * KiB)
+            sizes.append(m.value)
+            line = measure_cache_line_size(ctx, kind, name, m.value, 64)
+            lines.append(line.value)
+        spread = (max(sizes) - min(sizes)) / np.mean(sizes)
+        print(f"{name:5s} size: {[format_size(s) for s in sizes]}")
+        print(f"      spread {spread:.1%} of the mean "
+              f"(truth 16 KiB); line sizes {sorted(set(lines))} (truth 64)")
+        assert len(set(lines)) == 1, "discrete attribute flickered!"
+
+    print("\n=== non-exclusive GPU (contention injection) ===")
+    for contention in (0.0, 1.0, 4.0):
+        ctx = BenchmarkContext(
+            SimulatedGPU.from_preset("MI210", seed=42, contention=contention)
+        )
+        m = measure_cache_size(ctx, LoadKind.FLAT_LOAD, "vL1", 64,
+                               lo=1 * KiB, hi_cap=1024 * KiB)
+        verdict = format_size(m.value) if m.value else "no result"
+        print(f"contention {contention:3.1f}: vL1 size -> {verdict:>10s} "
+              f"(confidence {m.confidence:.3f})")
+    print(
+        "\nThe exclusivity assumption of Section IV matters: heavy "
+        "co-tenant noise\nwidens the latency distributions until the "
+        "K-S confidence drops — but the\ntool never silently reports a "
+        "wrong size with high confidence."
+    )
+
+
+if __name__ == "__main__":
+    main()

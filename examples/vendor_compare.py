@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Vendor-agnostic topology comparison: NVIDIA H100 vs AMD MI210.
+
+The paper's headline claim is a *unified* report across vendors.  This
+example discovers both flagship devices and prints their memory
+hierarchies side by side in one table — the kind of comparison no single
+vendor API can produce (paper Sections I and III).
+
+Roughly reproduces the information content of the paper's Table III.
+"""
+
+from repro import MT4G, SimulatedGPU
+from repro.core.report import ATTRIBUTES
+
+#: vendor-agnostic roles -> (NVIDIA element, AMD element)
+ROLES = [
+    ("first-level data cache", "L1", "vL1"),
+    ("scalar/constant cache", "ConstL1", "sL1d"),
+    ("last-level cache", "L2", "L2"),
+    ("scratchpad", "SharedMem", "LDS"),
+    ("device memory", "DeviceMemory", "DeviceMemory"),
+]
+
+SHOW = ["size", "load_latency", "read_bandwidth", "cache_line_size",
+        "fetch_granularity", "amount"]
+
+
+def main() -> None:
+    print("discovering H100-80 (this runs ~35 microbenchmarks) ...")
+    nv = MT4G(SimulatedGPU.from_preset("H100-80", seed=42)).discover()
+    print("discovering MI210 (~15 microbenchmarks) ...")
+    amd = MT4G(SimulatedGPU.from_preset("MI210", seed=42)).discover()
+
+    print()
+    print(f"{'role':26s} {'attribute':18s} {'H100-80 (NVIDIA)':>22s} {'MI210 (AMD)':>22s}")
+    print("-" * 92)
+    for role, nv_el, amd_el in ROLES:
+        for attr in SHOW:
+            left = nv.attribute(nv_el, attr).rendered()
+            right = amd.attribute(amd_el, attr).rendered()
+            if left == "n/a" and right == "n/a":
+                continue
+            label = role if attr == SHOW[0] else ""
+            print(f"{label:26s} {attr:18s} {left:>22s} {right:>22s}")
+        print("-" * 92)
+
+    # Cross-vendor observations a user can only make with unified output:
+    nv_l1 = nv.attribute("L1", "size").value
+    amd_l1 = amd.attribute("vL1", "size").value
+    print(f"\nNVIDIA's per-SM L1 is {nv_l1 / amd_l1:.0f}x the AMD per-CU vL1 "
+          f"— but the MI210 has {amd.compute.num_sms} CUs vs {nv.compute.num_sms} SMs.")
+    nv_lat = nv.attribute("L1", "load_latency").value
+    amd_lat = amd.attribute("vL1", "load_latency").value
+    print(f"vL1 load latency is {amd_lat / nv_lat:.1f}x the NVIDIA L1 latency "
+          "(scalar sL1d narrows the gap for uniform loads).")
+
+
+if __name__ == "__main__":
+    main()

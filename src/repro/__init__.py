@@ -1,0 +1,34 @@
+"""MT4G reproduction: auto-discovery of GPU compute and memory topologies.
+
+Reproduces *MT4G: A Tool for Reliable Auto-Discovery of NVIDIA and AMD
+GPU Compute and Memory Topologies* (Vanecek et al., SC Workshops 2025)
+as a pure-Python library.  The physical GPUs are replaced by a simulated
+substrate (:mod:`repro.gpusim`) that exhibits the timing behaviour the
+tool's microbenchmarks probe; everything above the timing layer — the
+benchmark suite, the Kolmogorov-Smirnov auto-evaluation, the report
+model and the three integration use-cases — follows the paper.
+
+Quickstart::
+
+    from repro import MT4G, SimulatedGPU
+
+    device = SimulatedGPU.from_preset("H100-80", seed=42)
+    report = MT4G(device).discover()
+    print(report.attribute("L1", "size").rendered())
+"""
+
+from repro.core.report import TopologyReport
+from repro.core.tool import MT4G
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.presets import available_presets, get_preset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MT4G",
+    "SimulatedGPU",
+    "TopologyReport",
+    "available_presets",
+    "get_preset",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Emulated vendor interfaces.
+
+MT4G "gathers information from vendor-specific APIs, where available"
+(paper Section I) and benchmarks only what the APIs cannot tell.  This
+package reproduces the *exposure matrix* of those interfaces (Table I):
+
+* :mod:`repro.api.hip` — ``hipDeviceProp_t`` (both vendors): device
+  memory, shared-memory/LDS size, L2 total size, compute resources;
+* :mod:`repro.api.cuda` — ``cudaDeviceProp`` (NVIDIA), mirrored by HIP;
+* :mod:`repro.api.hsa` — HSA runtime cache properties (AMD): L2/L3 sizes
+  and segment counts;
+* :mod:`repro.api.kfd` — KFD driver files (AMD): L2/L3 cache line sizes;
+* :mod:`repro.api.nvml` — NVML (NVIDIA): MIG mode and instance geometry.
+
+Nothing here exposes simulator ground truth beyond what the real
+interfaces expose — the gaps are the whole point.
+"""
+
+from repro.api.cuda import CudaDeviceProp, cuda_get_device_properties
+from repro.api.hip import HipDeviceProp, hip_get_device_properties
+from repro.api.hsa import hsa_cache_info
+from repro.api.kfd import kfd_cache_line_sizes
+from repro.api.nvml import nvml_mig_state
+
+__all__ = [
+    "HipDeviceProp",
+    "hip_get_device_properties",
+    "CudaDeviceProp",
+    "cuda_get_device_properties",
+    "hsa_cache_info",
+    "kfd_cache_line_sizes",
+    "nvml_mig_state",
+]

@@ -1,0 +1,67 @@
+"""Emulated ``cudaDeviceProp`` (NVIDIA only).
+
+HIP's property structure mimics this one (paper Section III-A); MT4G can
+use either on NVIDIA.  Kept separate so the exposure matrix stays honest:
+querying it on an AMD device raises, exactly like linking CUDA on ROCm
+would fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.hip import HipDeviceProp, hip_get_device_properties
+from repro.errors import APIUnavailableError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.spec import Vendor
+
+__all__ = ["CudaDeviceProp", "cuda_get_device_properties"]
+
+
+@dataclass(frozen=True)
+class CudaDeviceProp:
+    """The subset of ``cudaDeviceProp`` MT4G consumes."""
+
+    name: str
+    totalGlobalMem: int
+    sharedMemPerBlock: int
+    regsPerBlock: int
+    warpSize: int
+    maxThreadsPerBlock: int
+    maxThreadsPerMultiProcessor: int
+    maxBlocksPerMultiProcessor: int
+    regsPerMultiprocessor: int
+    multiProcessorCount: int
+    clockRate: int  # kHz
+    memoryClockRate: int  # kHz
+    memoryBusWidth: int  # bits
+    l2CacheSize: int
+    major: int
+    minor: int
+
+
+def cuda_get_device_properties(device: SimulatedGPU) -> CudaDeviceProp:
+    """``cudaGetDeviceProperties``; NVIDIA devices only."""
+    if device.vendor is not Vendor.NVIDIA:
+        raise APIUnavailableError(
+            f"cudaDeviceProp is unavailable on {device.vendor.value} devices"
+        )
+    hip: HipDeviceProp = hip_get_device_properties(device)
+    return CudaDeviceProp(
+        name=hip.name,
+        totalGlobalMem=hip.totalGlobalMem,
+        sharedMemPerBlock=hip.sharedMemPerBlock,
+        regsPerBlock=hip.regsPerBlock,
+        warpSize=hip.warpSize,
+        maxThreadsPerBlock=hip.maxThreadsPerBlock,
+        maxThreadsPerMultiProcessor=hip.maxThreadsPerMultiProcessor,
+        maxBlocksPerMultiProcessor=hip.maxBlocksPerMultiProcessor,
+        regsPerMultiprocessor=hip.regsPerMultiprocessor,
+        multiProcessorCount=hip.multiProcessorCount,
+        clockRate=hip.clockRate,
+        memoryClockRate=hip.memoryClockRate,
+        memoryBusWidth=hip.memoryBusWidth,
+        l2CacheSize=hip.l2CacheSize,
+        major=hip.major,
+        minor=hip.minor,
+    )

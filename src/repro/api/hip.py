@@ -1,0 +1,74 @@
+"""Emulated ``hipDeviceProp_t`` (paper Section III-A).
+
+HIP exposes the same structure on both vendors (it mimics
+``cudaDeviceProp``), which is why MT4G reads general and compute
+information through it.  Fields and units follow the ROCm documentation
+the paper cites: clock rates in kHz, sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.spec import Vendor
+
+__all__ = ["HipDeviceProp", "hip_get_device_properties"]
+
+
+@dataclass(frozen=True)
+class HipDeviceProp:
+    """The subset of ``hipDeviceProp_t`` MT4G consumes."""
+
+    name: str
+    gcnArchName: str
+    totalGlobalMem: int  # bytes
+    sharedMemPerBlock: int  # bytes (Shared Memory / LDS)
+    regsPerBlock: int
+    warpSize: int
+    maxThreadsPerBlock: int
+    maxThreadsPerMultiProcessor: int
+    maxBlocksPerMultiProcessor: int
+    regsPerMultiprocessor: int
+    multiProcessorCount: int
+    clockRate: int  # kHz
+    memoryClockRate: int  # kHz
+    memoryBusWidth: int  # bits
+    l2CacheSize: int  # bytes, TOTAL across segments (paper fn. 13)
+    major: int
+    minor: int
+
+    @property
+    def compute_capability(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+
+def hip_get_device_properties(device: SimulatedGPU) -> HipDeviceProp:
+    """``hipGetDeviceProperties`` against the simulated device."""
+    spec = device.spec
+    l2 = spec.cache("L2")
+    if spec.vendor is Vendor.NVIDIA:
+        major, minor = (int(p) for p in spec.compute_capability.split("."))
+        arch = f"sm_{major}{minor}"
+    else:
+        major, minor = 9, 0  # HIP reports gfx arch via gcnArchName on AMD
+        arch = spec.compute_capability
+    return HipDeviceProp(
+        name=f"{spec.vendor.value} {spec.name}",
+        gcnArchName=arch,
+        totalGlobalMem=spec.memory.size,
+        sharedMemPerBlock=spec.scratchpad.size,
+        regsPerBlock=spec.compute.registers_per_block,
+        warpSize=spec.compute.warp_size,
+        maxThreadsPerBlock=spec.compute.max_threads_per_block,
+        maxThreadsPerMultiProcessor=spec.compute.max_threads_per_sm,
+        maxBlocksPerMultiProcessor=spec.compute.max_blocks_per_sm,
+        regsPerMultiprocessor=spec.compute.registers_per_sm,
+        multiProcessorCount=device.visible_sms,
+        clockRate=int(spec.core_clock_hz / 1000),
+        memoryClockRate=int(spec.memory.memory_clock_hz / 1000),
+        memoryBusWidth=spec.memory.bus_width_bits,
+        l2CacheSize=l2.size * l2.segments,
+        major=major,
+        minor=minor,
+    )

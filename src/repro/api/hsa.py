@@ -1,0 +1,35 @@
+"""Emulated HSA runtime cache information (AMD only).
+
+The paper uses "HSA runtime library to get all cache sizes on AMD GPUs"
+(Section III-C); per the source-of-truth matrix of Table I, MT4G takes
+the L2 and L3 sizes (and their per-GPU counts, via the XCD topology)
+from this interface while the vL1/sL1d sizes remain benchmark-derived.
+"""
+
+from __future__ import annotations
+
+from repro.errors import APIUnavailableError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.spec import CacheScope, Vendor
+
+__all__ = ["hsa_cache_info"]
+
+
+def hsa_cache_info(device: SimulatedGPU) -> dict[str, dict[str, int]]:
+    """Cache properties as the HSA agent iterator reports them.
+
+    Returns ``{cache_name: {"size": bytes_per_instance, "instances": n}}``
+    for the GPU-level caches (L2, and L3 where present).  ``instances``
+    reflects the XCD count — the paper's Section IV-F.1 notes MT4G
+    "assumes one L2 cache per XCD; using the API-provided XCD count".
+    """
+    if device.vendor is not Vendor.AMD:
+        raise APIUnavailableError("HSA cache info is only available on AMD devices")
+    info: dict[str, dict[str, int]] = {}
+    for cache in device.spec.caches:
+        if cache.scope is CacheScope.GPU and cache.size_via_api:
+            info[cache.name] = {
+                "size": cache.size,
+                "instances": cache.segments,
+            }
+    return info

@@ -1,0 +1,27 @@
+"""Emulated KFD driver topology files (AMD only).
+
+The amdgpu KFD driver exposes per-cache properties under
+``/sys/class/kfd/kfd/topology/nodes/*/caches/*/properties``; MT4G reads
+the ``cache_line_size`` fields from there (paper Section III-C).  Per
+Table I this serves the L2/L3 line sizes; the vL1/sL1d line sizes remain
+benchmark-derived.
+"""
+
+from __future__ import annotations
+
+from repro.errors import APIUnavailableError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.spec import CacheScope, Vendor
+
+__all__ = ["kfd_cache_line_sizes"]
+
+
+def kfd_cache_line_sizes(device: SimulatedGPU) -> dict[str, int]:
+    """``{cache_name: line_size_bytes}`` for the KFD-visible caches."""
+    if device.vendor is not Vendor.AMD:
+        raise APIUnavailableError("KFD topology files exist only on AMD systems")
+    out: dict[str, int] = {}
+    for cache in device.spec.caches:
+        if cache.scope is CacheScope.GPU and cache.line_size_via_api:
+            out[cache.name] = cache.line_size
+    return out

@@ -1,0 +1,35 @@
+"""Emulated NVML MIG queries (NVIDIA only).
+
+The sys-sage integration (paper Section VI-C) combines static MT4G output
+with *dynamic* resource-isolation settings queried through nvml.  This
+module answers those queries from the device's current MIG state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import APIUnavailableError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.spec import Vendor
+
+__all__ = ["nvml_mig_state"]
+
+
+def nvml_mig_state(device: SimulatedGPU) -> dict[str, object]:
+    """Current MIG mode and instance geometry, nvml-style.
+
+    Returns mode (enabled flag), profile name, visible SM count, DRAM
+    bytes and the memory-slice fraction — the inputs sys-sage needs to
+    scale the static topology (Fig. 5).
+    """
+    if device.vendor is not Vendor.NVIDIA:
+        raise APIUnavailableError("NVML is only available on NVIDIA devices")
+    mig = device.mig
+    return {
+        "mig_enabled": mig.profile != "full",
+        "profile": mig.profile,
+        "visible_sms": mig.visible_sms(device.spec),
+        "visible_dram_bytes": mig.visible_dram_bytes(device.spec),
+        "memory_fraction": mig.memory_fraction,
+        "compute_fraction": mig.compute_fraction,
+        "supported_profiles": sorted(device.spec.mig_profiles),
+    }

@@ -1,0 +1,11 @@
+"""MT4G core: the paper's primary contribution.
+
+:class:`~repro.core.tool.MT4G` orchestrates the Section-IV benchmark
+suite and the vendor-API reads into a unified
+:class:`~repro.core.report.TopologyReport`.
+"""
+
+from repro.core.report import AttributeValue, MemoryElementReport, TopologyReport
+from repro.core.tool import MT4G
+
+__all__ = ["MT4G", "TopologyReport", "MemoryElementReport", "AttributeValue"]

@@ -1,0 +1,12 @@
+"""The Section-IV microbenchmark suite.
+
+One module per benchmark family; all operate on a shared
+:class:`~repro.core.benchmarks.base.BenchmarkContext` and return
+:class:`~repro.core.benchmarks.base.MeasurementResult` objects whose
+``confidence``/``source`` fields implement the paper's error-honesty
+policy (no result beats a wrong result).
+"""
+
+from repro.core.benchmarks.base import BenchmarkContext, MeasurementResult, Source
+
+__all__ = ["BenchmarkContext", "MeasurementResult", "Source"]

@@ -1,0 +1,68 @@
+"""Bandwidth benchmarks (paper Section IV-I).
+
+Unlike the p-chase family these run massively parallel: 128-bit vector
+loads (``ld.global.v4.u32`` / ``flat_load_dwordx4``) from
+``num_SMs * max_blocks_per_SM`` blocks of ``max_threads_per_block``
+threads (the paper's heuristic optimum), coalesced so transactions are
+minimal, timed with device-synchronised event records.  Read and write
+are measured separately; the paper only measures higher-level caches and
+device memory (Table I dagger).
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmarks.base import BenchmarkContext, MeasurementResult
+from repro.gpusim.isa import LoadKind, VECTOR_LOAD_BYTES
+from repro.gpusim.kernel import KernelLaunch, run_stream_kernel
+from repro.gpuspec.spec import Vendor
+
+__all__ = ["measure_bandwidth", "vector_load_kind"]
+
+
+def vector_load_kind(vendor: Vendor) -> LoadKind:
+    """The 128-bit stream instruction per vendor."""
+    return (
+        LoadKind.LD_GLOBAL_V4 if vendor is Vendor.NVIDIA else LoadKind.FLAT_LOAD_X4
+    )
+
+
+def measure_bandwidth(
+    ctx: BenchmarkContext,
+    target: str,
+    op: str,
+    launch: KernelLaunch | None = None,
+    repeats: int = 3,
+) -> MeasurementResult:
+    """Measure achieved read or write bandwidth of one level, in bytes/s.
+
+    ``target`` is a cache name (with a bandwidth figure) or
+    ``"DeviceMemory"``.  The best of ``repeats`` runs is reported, as
+    stream-style benchmarks conventionally do.
+    """
+    device = ctx.device
+    best = 0.0
+    samples = []
+    for _ in range(max(1, repeats)):
+        bw = run_stream_kernel(
+            device,
+            level=target,
+            op=op,
+            launch=launch,
+            vector_bytes=VECTOR_LOAD_BYTES,
+        )
+        samples.append(bw)
+        best = max(best, bw)
+    ctx.count(f"bandwidth_{op}", target)
+    spread = (max(samples) - min(samples)) / max(best, 1e-9)
+    return MeasurementResult(
+        benchmark=f"bandwidth_{op}",
+        target=target,
+        value=best,
+        unit="B/s",
+        confidence=float(max(0.0, min(1.0, 1.0 - spread))),
+        detail={
+            "samples": samples,
+            "instruction": vector_load_kind(device.vendor).value,
+            "blocks": (launch.blocks if launch else device.bandwidth.optimal_blocks),
+        },
+    )

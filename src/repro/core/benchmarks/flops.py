@@ -1,0 +1,66 @@
+"""FLOPS and tensor-engine benchmarks (paper Section VII extension).
+
+An opt-in extension of the suite: for every datatype the device exposes,
+launch an arithmetic-saturation kernel (a long chain of FMAs for vector
+pipelines, MMA fragments for tensor engines) at the bandwidth
+benchmark's heuristic occupancy and time it with event records.  Like
+the bandwidth benchmarks, the best of a few repetitions is reported.
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmarks.base import BenchmarkContext, MeasurementResult
+from repro.gpusim.compute import ComputeThroughputModel, TENSOR_PREFIX
+
+__all__ = ["measure_flops", "measure_all_flops"]
+
+#: operations issued per measurement kernel (scaled by achieved rate).
+_KERNEL_SECONDS_TARGET = 0.02
+
+
+def measure_flops(
+    ctx: BenchmarkContext,
+    dtype: str,
+    repeats: int = 3,
+) -> MeasurementResult:
+    """Measure achieved arithmetic throughput for one datatype."""
+    device = ctx.device
+    model = ComputeThroughputModel(device.spec, device.rng)
+    if dtype not in model.datatypes:
+        ctx.count("flops", dtype)
+        return MeasurementResult.no_result(
+            "flops",
+            dtype,
+            "OP/s",
+            f"{device.name} exposes no {dtype} pipeline "
+            "(or the spec provides no figure)",
+        )
+    # Size the kernel so the launch overhead is negligible.
+    total_ops = int(model.peak(dtype) * _KERNEL_SECONDS_TARGET)
+    samples = []
+    for _ in range(max(1, repeats)):
+        event = device.clock.event()
+        seconds = model.kernel_seconds(total_ops, dtype)
+        device.clock.advance_seconds(seconds)
+        elapsed = device.clock.stop(event)
+        samples.append(total_ops / elapsed)
+    best = max(samples)
+    ctx.count("flops", dtype)
+    spread = (max(samples) - min(samples)) / max(best, 1e-9)
+    return MeasurementResult(
+        benchmark="flops",
+        target=dtype,
+        value=best,
+        unit="OP/s",
+        confidence=float(max(0.0, min(1.0, 1.0 - spread))),
+        detail={
+            "samples": samples,
+            "engine": "tensor" if dtype.startswith(TENSOR_PREFIX) else "vector",
+        },
+    )
+
+
+def measure_all_flops(ctx: BenchmarkContext) -> dict[str, MeasurementResult]:
+    """Measure every datatype the device exposes, tensor engines included."""
+    model = ComputeThroughputModel(ctx.device.spec, ctx.device.rng)
+    return {dtype: measure_flops(ctx, dtype) for dtype in model.datatypes}

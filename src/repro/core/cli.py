@@ -1,0 +1,180 @@
+"""Command-line interface mirroring the real ``mt4g`` binary.
+
+Artifact appendix flags reproduced: ``-j`` (JSON file), ``-p`` (Markdown
+report), ``-o`` (store raw timing data), ``-q`` (quiet: JSON to stdout
+only, the mode the paper used for its timing runs), ``--mem`` (restrict
+to one memory element, footnote 18), plus the cache-carveout option of
+footnote 17.  The simulator-specific additions are ``--gpu`` (which
+preset to analyse — the stand-in for "which machine am I running on")
+and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.output.csv_out import write_csv
+from repro.core.output.json_out import to_json, write_json
+from repro.core.output.markdown import write_markdown
+from repro.core.tool import AMD_ELEMENTS, MT4G, NVIDIA_ELEMENTS
+from repro.errors import ReproError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.presets import available_presets, get_preset
+from repro.gpuspec.spec import Vendor
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mt4g",
+        description="Auto-discover GPU compute and memory topologies (simulated).",
+    )
+    parser.add_argument(
+        "--gpu",
+        default="H100-80",
+        help="GPU preset to analyse (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available GPU presets and exit"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    parser.add_argument(
+        "--cache-config",
+        default="PreferL1",
+        choices=("PreferL1", "PreferShared", "PreferEqual"),
+        help="NVIDIA L1/shared carveout (cudaDeviceSetCacheConfig)",
+    )
+    parser.add_argument(
+        "--mem",
+        action="append",
+        metavar="ELEMENT",
+        help="restrict discovery to one or more memory elements (repeatable)",
+    )
+    parser.add_argument(
+        "-j",
+        "--json",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write the JSON report to FILE (default <GPU>.json)",
+    )
+    parser.add_argument(
+        "-p",
+        "--markdown",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write a Markdown report to FILE (default <GPU>.md)",
+    )
+    parser.add_argument(
+        "--csv",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write the legacy CSV report to FILE (default <GPU>.csv)",
+    )
+    parser.add_argument(
+        "-o",
+        "--raw",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="store raw sweep data (sizes/reductions) to FILE (default <GPU>_raw.json)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print only the JSON report"
+    )
+    parser.add_argument(
+        "--flops",
+        action="store_true",
+        help="extension: benchmark FLOPS per datatype incl. tensor engines",
+    )
+    parser.add_argument(
+        "--lowlevel-bandwidth",
+        action="store_true",
+        help="extension: benchmark first-level cache bandwidth",
+    )
+    return parser
+
+
+def _default_path(arg: str | None, gpu: str, suffix: str) -> Path | None:
+    if arg is None:
+        return None
+    return Path(arg) if arg else Path(f"{gpu}{suffix}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in available_presets(include_testing=True):
+            print(name)
+        return 0
+
+    try:
+        spec = get_preset(args.gpu)
+        device = SimulatedGPU(spec, seed=args.seed, cache_config=args.cache_config)
+        valid = NVIDIA_ELEMENTS if spec.vendor is Vendor.NVIDIA else AMD_ELEMENTS
+        targets = None
+        if args.mem:
+            targets = set(args.mem)
+            unknown = targets - set(valid)
+            if unknown:
+                parser.error(
+                    f"unknown --mem element(s) {sorted(unknown)}; "
+                    f"valid: {', '.join(valid)}"
+                )
+        extensions = set()
+        if args.flops:
+            extensions.add("flops")
+        if args.lowlevel_bandwidth:
+            extensions.add("lowlevel_bandwidth")
+        tool = MT4G(device, targets=targets, extensions=extensions)
+        if not args.quiet:
+            print(f"# analysing {spec.name} ({spec.vendor.value}), seed {args.seed}", file=sys.stderr)
+        report = tool.discover()
+    except ReproError as exc:
+        print(f"mt4g: error: {exc}", file=sys.stderr)
+        return 1
+
+    print(to_json(report))
+
+    json_path = _default_path(args.json, spec.name, ".json")
+    if json_path:
+        write_json(report, json_path)
+        if not args.quiet:
+            print(f"# JSON report -> {json_path}", file=sys.stderr)
+    md_path = _default_path(args.markdown, spec.name, ".md")
+    if md_path:
+        write_markdown(report, md_path)
+        if not args.quiet:
+            print(f"# Markdown report -> {md_path}", file=sys.stderr)
+    csv_path = _default_path(args.csv, spec.name, ".csv")
+    if csv_path:
+        write_csv(report, csv_path)
+        if not args.quiet:
+            print(f"# CSV report -> {csv_path}", file=sys.stderr)
+    raw_path = _default_path(args.raw, spec.name, "_raw.json")
+    if raw_path:
+        raw = {
+            "benchmarks_executed": report.runtime.benchmarks_executed,
+            "per_benchmark_seconds": report.runtime.per_benchmark_seconds,
+        }
+        raw_path.parent.mkdir(parents=True, exist_ok=True)
+        raw_path.write_text(json.dumps(raw, indent=2), encoding="utf-8")
+        if not args.quiet:
+            print(f"# raw data -> {raw_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

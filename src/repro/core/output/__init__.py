@@ -1,0 +1,12 @@
+"""Report writers: JSON (machine), Markdown (human), CSV (legacy).
+
+The real tool prints JSON to stdout by default and offers ``-j`` (JSON
+file), ``-p`` (Markdown report) and a CSV output that GPUscout-GUI still
+parses (paper Section VI-B footnote 19).
+"""
+
+from repro.core.output.csv_out import to_csv
+from repro.core.output.json_out import to_json
+from repro.core.output.markdown import to_markdown
+
+__all__ = ["to_json", "to_markdown", "to_csv"]

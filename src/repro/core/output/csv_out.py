@@ -1,0 +1,56 @@
+"""CSV report writer.
+
+GPUscout-GUI "currently parses the original MT4G CSV output" (paper
+Section VI-B, footnote 19), so the legacy flat format is kept: one row
+per (element, attribute) with value, unit, confidence and source.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.core.report import ATTRIBUTES, TopologyReport
+
+__all__ = ["to_csv", "write_csv"]
+
+
+def _flatten_value(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, tuple):
+        return ";".join(str(v) for v in value)
+    if isinstance(value, dict):
+        return ";".join(f"{k}:{'|'.join(map(str, v))}" for k, v in value.items())
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def to_csv(report: TopologyReport) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["element", "attribute", "value", "unit", "confidence", "source", "note"])
+    for name, element in report.memory.items():
+        for attr in ATTRIBUTES:
+            v = element.get(attr)
+            writer.writerow(
+                [
+                    name,
+                    attr,
+                    _flatten_value(v.value),
+                    v.unit,
+                    f"{v.confidence:.4f}",
+                    v.source.value,
+                    v.note,
+                ]
+            )
+    return buf.getvalue()
+
+
+def write_csv(report: TopologyReport, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(report), encoding="utf-8")
+    return path

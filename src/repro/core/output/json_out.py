@@ -1,0 +1,27 @@
+"""JSON report writer (the tool's primary machine-readable output)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.report import TopologyReport
+from repro.errors import OutputError
+
+__all__ = ["to_json", "write_json"]
+
+
+def to_json(report: TopologyReport, indent: int = 2) -> str:
+    """Serialize a report to a JSON string."""
+    try:
+        return json.dumps(report.as_dict(), indent=indent, sort_keys=False)
+    except (TypeError, ValueError) as exc:
+        raise OutputError(f"report not JSON-serialisable: {exc}") from exc
+
+
+def write_json(report: TopologyReport, path: str | Path, indent: int = 2) -> Path:
+    """Write the JSON report to ``path`` (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_json(report, indent=indent) + "\n", encoding="utf-8")
+    return path

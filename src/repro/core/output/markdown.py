@@ -1,0 +1,94 @@
+"""Markdown report writer (the tool's ``-p`` human-readable output).
+
+Renders the three information areas of paper Section III and a memory
+table shaped like the paper's Table I/III rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.report import ATTRIBUTES, TopologyReport
+
+__all__ = ["to_markdown", "write_markdown"]
+
+_HEADERS = {
+    "size": "Size",
+    "load_latency": "Load Latency",
+    "read_bandwidth": "Read BW",
+    "write_bandwidth": "Write BW",
+    "cache_line_size": "Cache Line",
+    "fetch_granularity": "Fetch Gran.",
+    "amount": "# per SM/GPU",
+    "shared_with": "Physically Shared With",
+}
+
+
+def to_markdown(report: TopologyReport) -> str:
+    g = report.general
+    c = report.compute
+    lines: list[str] = []
+    lines.append(f"# MT4G Topology Report — {g.model}")
+    lines.append("")
+    lines.append("## General Information")
+    lines.append("")
+    lines.append(f"- Vendor: {g.vendor}")
+    lines.append(f"- Microarchitecture: {g.microarchitecture}")
+    lines.append(f"- Compute capability: {g.compute_capability}")
+    lines.append(f"- Core clock: {g.clock_rate_hz / 1e9:.2f} GHz")
+    lines.append(f"- Memory clock: {g.memory_clock_rate_hz / 1e9:.2f} GHz")
+    lines.append(f"- Memory bus width: {g.memory_bus_width_bits} bit")
+    lines.append("")
+    lines.append("## Compute Resources")
+    lines.append("")
+    lines.append(f"- SMs/CUs: {c.num_sms}")
+    lines.append(f"- Cores per SM/CU: {c.cores_per_sm} (source: {c.cores_per_sm_source.value})")
+    lines.append(f"- Warp/wavefront size: {c.warp_size}")
+    lines.append(f"- Max blocks per SM/CU: {c.max_blocks_per_sm}")
+    lines.append(f"- Max threads per block: {c.max_threads_per_block}")
+    lines.append(f"- Max threads per SM/CU: {c.max_threads_per_sm}")
+    lines.append(f"- Registers per block / SM: {c.registers_per_block} / {c.registers_per_sm}")
+    if c.simds_per_sm:
+        lines.append(f"- SIMDs per CU: {c.simds_per_sm}")
+    else:
+        lines.append(f"- Warps per SM: {c.warps_per_sm}")
+    if c.physical_cu_ids:
+        ids = c.physical_cu_ids
+        lines.append(
+            f"- Logical->physical CU ids: {len(ids)} active "
+            f"(physical ids {min(ids)}..{max(ids)})"
+        )
+    lines.append("")
+    lines.append("## Memory Resources")
+    lines.append("")
+    header = "| Element | " + " | ".join(_HEADERS[a] for a in ATTRIBUTES) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(ATTRIBUTES) + 1))
+    for name, element in report.memory.items():
+        cells = [element.get(a).rendered() for a in ATTRIBUTES]
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    lines.append("")
+    if report.throughput:
+        lines.append("## Compute Throughput (extension)")
+        lines.append("")
+        lines.append("| Datatype | Achieved | Confidence |")
+        lines.append("|---|---|---|")
+        for dtype, av in sorted(report.throughput.items()):
+            rate = f"{av.value / 1e12:.1f} TOP/s" if av.value else "—"
+            lines.append(f"| {dtype} | {rate} | {av.confidence:.2f} |")
+        lines.append("")
+    lines.append("## Run Time")
+    lines.append("")
+    r = report.runtime
+    lines.append(f"- Benchmarks executed: {r.benchmarks_executed}")
+    lines.append(f"- Simulated GPU time: {r.simulated_gpu_seconds:.2f} s")
+    lines.append(f"- Modeled total time: {r.modeled_total_seconds:.2f} s")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown(report: TopologyReport, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_markdown(report), encoding="utf-8")
+    return path

@@ -1,0 +1,258 @@
+"""Topology report model (paper Section III).
+
+MT4G's output unifies vendor-specific sources into one report with three
+areas: general information, compute resources and memory resources.
+Every memory attribute carries its provenance (benchmarked / API /
+lookup / unavailable / not-applicable — the legend of Table I) and a
+confidence value, so downstream consumers (performance models, GPUscout,
+sys-sage) can reason about trustworthiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.benchmarks.base import MeasurementResult, Source
+from repro.units import format_bandwidth, format_size
+
+__all__ = [
+    "ATTRIBUTES",
+    "AttributeValue",
+    "MemoryElementReport",
+    "ComputeReport",
+    "GeneralReport",
+    "RuntimeReport",
+    "TopologyReport",
+]
+
+#: Attribute columns, in the order of the paper's Table I.
+ATTRIBUTES = (
+    "size",
+    "load_latency",
+    "read_bandwidth",
+    "write_bandwidth",
+    "cache_line_size",
+    "fetch_granularity",
+    "amount",
+    "shared_with",
+)
+
+
+@dataclass
+class AttributeValue:
+    """One attribute of one memory element, with provenance."""
+
+    value: Any
+    unit: str
+    confidence: float
+    source: Source
+    note: str = ""
+
+    @classmethod
+    def from_measurement(cls, m: MeasurementResult) -> "AttributeValue":
+        return cls(
+            value=m.value,
+            unit=m.unit,
+            confidence=m.confidence,
+            source=m.source,
+            note=m.note,
+        )
+
+    @classmethod
+    def not_applicable(cls, unit: str = "") -> "AttributeValue":
+        return cls(None, unit, 0.0, Source.NOT_APPLICABLE)
+
+    @classmethod
+    def unavailable(cls, unit: str = "", note: str = "") -> "AttributeValue":
+        return cls(None, unit, 0.0, Source.UNAVAILABLE, note)
+
+    def rendered(self) -> str:
+        """Human-readable cell value (used by the Markdown report)."""
+        if self.source is Source.NOT_APPLICABLE:
+            return "n/a"
+        if self.value is None:
+            return "—"
+        if self.unit == "B":
+            text = format_size(self.value)
+        elif self.unit == "B/s":
+            text = format_bandwidth(self.value)
+        elif self.unit == "cycles":
+            text = f"{float(self.value):.0f} cyc"
+        elif self.unit == "elements":
+            text = ",".join(self.value) if self.value else "no"
+        elif self.unit == "cu-map":
+            shared = sum(1 for v in self.value.values() if v)
+            return f"CU map ({shared}/{len(self.value)} CUs share)"
+        else:
+            text = str(self.value)
+        if self.source is Source.API:
+            text += " (API)"
+        if self.confidence == 0.0 and self.source is Source.BENCHMARK:
+            text += " (conf 0)"
+        return text
+
+    def as_dict(self) -> dict[str, Any]:
+        value = self.value
+        if isinstance(value, tuple):
+            value = list(value)
+        elif isinstance(value, dict):
+            value = {str(k): list(v) if isinstance(v, tuple) else v for k, v in value.items()}
+        return {
+            "value": value,
+            "unit": self.unit,
+            "confidence": round(self.confidence, 4),
+            "source": self.source.value,
+            "note": self.note,
+        }
+
+
+@dataclass
+class MemoryElementReport:
+    """All attributes of one memory element (one Table I row)."""
+
+    name: str
+    attributes: dict[str, AttributeValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.attributes) - set(ATTRIBUTES)
+        if unknown:
+            raise ValueError(f"{self.name}: unknown attributes {sorted(unknown)}")
+
+    def get(self, attribute: str) -> AttributeValue:
+        if attribute not in ATTRIBUTES:
+            raise KeyError(f"unknown attribute {attribute!r}")
+        return self.attributes.get(attribute, AttributeValue.not_applicable())
+
+    def set(self, attribute: str, value: AttributeValue) -> None:
+        if attribute not in ATTRIBUTES:
+            raise KeyError(f"unknown attribute {attribute!r}")
+        self.attributes[attribute] = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "attributes": {a: self.get(a).as_dict() for a in ATTRIBUTES},
+        }
+
+
+@dataclass
+class ComputeReport:
+    """Compute-resource information (paper Section III-B)."""
+
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    max_blocks_per_sm: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    registers_per_block: int
+    registers_per_sm: int
+    warps_per_sm: int
+    simds_per_sm: int  # 0 on NVIDIA
+    cores_per_sm_source: Source = Source.LOOKUP
+    physical_cu_ids: tuple[int, ...] = ()  # AMD only
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "num_sms": self.num_sms,
+            "cores_per_sm": self.cores_per_sm,
+            "cores_per_sm_source": self.cores_per_sm_source.value,
+            "warp_size": self.warp_size,
+            "max_blocks_per_sm": self.max_blocks_per_sm,
+            "max_threads_per_block": self.max_threads_per_block,
+            "max_threads_per_sm": self.max_threads_per_sm,
+            "registers_per_block": self.registers_per_block,
+            "registers_per_sm": self.registers_per_sm,
+            "warps_per_sm": self.warps_per_sm,
+            "simds_per_sm": self.simds_per_sm,
+            "physical_cu_ids": list(self.physical_cu_ids),
+        }
+
+
+@dataclass
+class GeneralReport:
+    """General information (paper Section III-A)."""
+
+    vendor: str
+    model: str
+    microarchitecture: str
+    compute_capability: str
+    clock_rate_hz: float
+    memory_clock_rate_hz: float
+    memory_bus_width_bits: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "vendor": self.vendor,
+            "model": self.model,
+            "microarchitecture": self.microarchitecture,
+            "compute_capability": self.compute_capability,
+            "clock_rate_hz": self.clock_rate_hz,
+            "memory_clock_rate_hz": self.memory_clock_rate_hz,
+            "memory_bus_width_bits": self.memory_bus_width_bits,
+        }
+
+
+@dataclass
+class RuntimeReport:
+    """Section V-A accounting: how much work the discovery took."""
+
+    benchmarks_executed: int
+    simulated_gpu_seconds: float
+    modeled_cpu_seconds: float
+    per_benchmark_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def modeled_total_seconds(self) -> float:
+        return self.simulated_gpu_seconds + self.modeled_cpu_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "benchmarks_executed": self.benchmarks_executed,
+            "simulated_gpu_seconds": round(self.simulated_gpu_seconds, 3),
+            "modeled_cpu_seconds": round(self.modeled_cpu_seconds, 3),
+            "modeled_total_seconds": round(self.modeled_total_seconds, 3),
+            "per_benchmark_seconds": {
+                k: round(v, 4) for k, v in self.per_benchmark_seconds.items()
+            },
+        }
+
+
+@dataclass
+class TopologyReport:
+    """The complete MT4G output for one device."""
+
+    general: GeneralReport
+    compute: ComputeReport
+    memory: dict[str, MemoryElementReport]
+    runtime: RuntimeReport
+    seed: int = 0
+    #: Section VII extension: datatype -> achieved arithmetic throughput
+    #: (vector pipelines and tensor engines); empty unless the "flops"
+    #: extension ran.
+    throughput: dict[str, AttributeValue] = field(default_factory=dict)
+
+    def element(self, name: str) -> MemoryElementReport:
+        try:
+            return self.memory[name]
+        except KeyError:
+            raise KeyError(
+                f"no memory element {name!r}; available: {sorted(self.memory)}"
+            ) from None
+
+    def attribute(self, element: str, attribute: str) -> AttributeValue:
+        return self.element(element).get(attribute)
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "schema": "mt4g-repro/1",
+            "general": self.general.as_dict(),
+            "compute": self.compute.as_dict(),
+            "memory": {name: el.as_dict() for name, el in self.memory.items()},
+            "runtime": self.runtime.as_dict(),
+            "seed": self.seed,
+        }
+        if self.throughput:
+            out["throughput"] = {k: v.as_dict() for k, v in self.throughput.items()}
+        return out

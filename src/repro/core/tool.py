@@ -1,0 +1,673 @@
+"""The MT4G orchestrator (paper contribution C1).
+
+Drives the Section-IV benchmark suite and the vendor-API reads into a
+unified :class:`~repro.core.report.TopologyReport`, following Table I's
+source-of-truth matrix exactly: attributes available through an interface
+are never benchmarked, attributes no interface exposes are measured, and
+attributes that cannot be obtained are reported as such.
+
+Per-element pipelines (dependencies dictate the order):
+
+1. *fetch granularity* first — it is the access stride and the natural
+   sweep step of everything that follows;
+2. *size* — K-S change-point detection over a p-chase size sweep;
+3. *load latency* — fixed-size p-chase (capped at the measured size so
+   small caches like the 2 KiB Constant L1 are probed in-cache);
+4. *cache line size* — stride profiles around the measured capacity;
+5. *amount* / *L2 segments* — cooperative-eviction protocols;
+6. *physical sharing* — pairwise eviction across logical spaces
+   (NVIDIA) or CU pairs (AMD);
+7. *bandwidth* — streaming kernels on higher-level caches and DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.api.hip import hip_get_device_properties
+from repro.api.hsa import hsa_cache_info
+from repro.api.kfd import kfd_cache_line_sizes
+from repro.core.benchmarks.amount import measure_amount, resolve_l2_segments
+from repro.core.benchmarks.bandwidth import measure_bandwidth
+from repro.core.benchmarks.base import BenchmarkContext, MeasurementResult, Source
+from repro.core.benchmarks.cacheline import measure_cache_line_size
+from repro.core.benchmarks.fetch_granularity import measure_fetch_granularity
+from repro.core.benchmarks.flops import measure_all_flops
+from repro.core.benchmarks.latency import measure_load_latency
+from repro.core.benchmarks.sharing import measure_sharing_nvidia, measure_sl1d_sharing
+from repro.core.benchmarks.size import measure_cache_size
+from repro.core.report import (
+    AttributeValue,
+    ComputeReport,
+    GeneralReport,
+    MemoryElementReport,
+    RuntimeReport,
+    TopologyReport,
+)
+from repro.errors import SimulationError, SpecError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.isa import LoadKind
+from repro.gpuspec.presets.amd import CORES_PER_CU
+from repro.gpuspec.presets.nvidia import CORES_PER_SM
+from repro.gpuspec.spec import Vendor
+from repro.pchase.config import PChaseConfig
+from repro.units import KiB, MiB
+
+__all__ = ["MT4G", "NVIDIA_ELEMENTS", "AMD_ELEMENTS"]
+
+#: Modeled CPU-side cost (setup, transfers, K-S evaluation) per benchmark;
+#: feeds the Section V-A run-time report.
+CPU_SECONDS_PER_BENCHMARK = 0.35
+
+#: NVIDIA compute capability -> microarchitecture (the tool's own table;
+#: the simulator spec is not consulted).
+CC_TO_MICROARCH = {
+    "6.0": "Pascal",
+    "6.1": "Pascal",
+    "7.0": "Volta",
+    "7.2": "Volta",
+    "7.5": "Turing",
+    "8.0": "Ampere",
+    "8.6": "Ampere",
+    "8.9": "Ada Lovelace",
+    "9.0": "Hopper",
+}
+
+#: AMD gfx arch -> microarchitecture.
+GFX_TO_MICROARCH = {
+    "gfx908": "CDNA",
+    "gfx90a": "CDNA2",
+    "gfx942": "CDNA3",
+    "gfxtest": "CDNA2",
+}
+
+NVIDIA_ELEMENTS = (
+    "L1",
+    "L2",
+    "Texture",
+    "Readonly",
+    "ConstL1",
+    "ConstL1.5",
+    "SharedMem",
+    "DeviceMemory",
+)
+AMD_ELEMENTS = ("vL1", "sL1d", "L2", "L3", "LDS", "DeviceMemory")
+
+_NV_KINDS = {
+    "L1": LoadKind.LD_GLOBAL_CA,
+    "L2": LoadKind.LD_GLOBAL_CG,
+    "Texture": LoadKind.TEX1DFETCH,
+    "Readonly": LoadKind.LDG,
+    "ConstL1": LoadKind.LD_CONST,
+    "ConstL1.5": LoadKind.LD_CONST,
+    "SharedMem": LoadKind.LD_SHARED,
+}
+
+_CONST_BANK = 64 * KiB  # paper Section III-C / footnote 10
+
+
+class MT4G:
+    """Vendor-agnostic GPU topology discovery against a (simulated) device.
+
+    >>> tool = MT4G(SimulatedGPU.from_preset("H100-80"))
+    >>> report = tool.discover()
+    >>> report.attribute("L2", "amount").value
+    2
+    """
+
+    #: opt-in Section VII extensions.
+    EXTENSIONS = frozenset({"flops", "lowlevel_bandwidth"})
+
+    def __init__(
+        self,
+        device: SimulatedGPU,
+        config: PChaseConfig | None = None,
+        targets: Iterable[str] | None = None,
+        extensions: Iterable[str] = (),
+    ) -> None:
+        self.device = device
+        self.ctx = BenchmarkContext(device, config)
+        self.extensions = frozenset(extensions)
+        unknown_ext = self.extensions - self.EXTENSIONS
+        if unknown_ext:
+            raise SpecError(
+                f"unknown extensions {sorted(unknown_ext)}; "
+                f"available: {sorted(self.EXTENSIONS)}"
+            )
+        all_elements = (
+            NVIDIA_ELEMENTS if device.vendor is Vendor.NVIDIA else AMD_ELEMENTS
+        )
+        if targets is None:
+            self.targets = set(all_elements)
+        else:
+            unknown = set(targets) - set(all_elements)
+            if unknown:
+                raise SpecError(
+                    f"unknown targets {sorted(unknown)}; "
+                    f"valid for {device.vendor.value}: {all_elements}"
+                )
+            self.targets = set(targets)
+        self._measured_sizes: dict[str, int] = {}
+        self._measured_fg: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API                                                          #
+    # ------------------------------------------------------------------ #
+
+    def discover(self) -> TopologyReport:
+        """Run the full pipeline and return the unified report."""
+        general, compute = self._general_and_compute()
+        if self.device.vendor is Vendor.NVIDIA:
+            memory = self._discover_nvidia()
+        else:
+            memory = self._discover_amd()
+        throughput: dict[str, AttributeValue] = {}
+        if "flops" in self.extensions:
+            throughput = {
+                dtype: AttributeValue.from_measurement(m)
+                for dtype, m in measure_all_flops(self.ctx).items()
+            }
+        if "lowlevel_bandwidth" in self.extensions:
+            self._extension_lowlevel_bandwidth(memory)
+        runtime = RuntimeReport(
+            benchmarks_executed=self.ctx.benchmarks_run,
+            simulated_gpu_seconds=self.device.elapsed_seconds(),
+            modeled_cpu_seconds=self.ctx.benchmarks_run * CPU_SECONDS_PER_BENCHMARK,
+            per_benchmark_seconds=self.ctx.seconds_per_benchmark(),
+        )
+        return TopologyReport(
+            general=general,
+            compute=compute,
+            memory=memory,
+            runtime=runtime,
+            seed=self.device.seed,
+            throughput=throughput,
+        )
+
+    def _extension_lowlevel_bandwidth(
+        self, memory: dict[str, MemoryElementReport]
+    ) -> None:
+        """Section VII: "extend the bandwidth benchmarking to low-level
+        caches" — measure the first-level data cache when the device's
+        stream path can target it; otherwise record an honest no-result."""
+        target = "L1" if self.device.vendor is Vendor.NVIDIA else "vL1"
+        element = memory.get(target)
+        if element is None:
+            return
+        for op in ("read", "write"):
+            try:
+                m = measure_bandwidth(self.ctx, target, op)
+                m.note = "extension: low-level bandwidth"
+            except SimulationError as exc:
+                m = MeasurementResult.no_result(
+                    f"bandwidth_{op}", target, "B/s", str(exc)
+                )
+            self._bench(element, f"{op}_bandwidth", m)
+
+    # ------------------------------------------------------------------ #
+    # general / compute (Sections III-A/B: APIs + lookup table)           #
+    # ------------------------------------------------------------------ #
+
+    def _general_and_compute(self) -> tuple[GeneralReport, ComputeReport]:
+        props = hip_get_device_properties(self.device)
+        if self.device.vendor is Vendor.NVIDIA:
+            microarch = CC_TO_MICROARCH.get(props.compute_capability, "unknown")
+            cores = CORES_PER_SM.get(microarch, 64)
+            cc = props.compute_capability
+            simds = 0
+        else:
+            microarch = GFX_TO_MICROARCH.get(props.gcnArchName, "unknown")
+            cores = CORES_PER_CU.get(microarch, 64)
+            cc = props.gcnArchName
+            simds = 4
+        general = GeneralReport(
+            vendor=self.device.vendor.value,
+            model=props.name,
+            microarchitecture=microarch,
+            compute_capability=cc,
+            clock_rate_hz=props.clockRate * 1000.0,
+            memory_clock_rate_hz=props.memoryClockRate * 1000.0,
+            memory_bus_width_bits=props.memoryBusWidth,
+        )
+        compute = ComputeReport(
+            num_sms=props.multiProcessorCount,
+            cores_per_sm=cores,
+            warp_size=props.warpSize,
+            max_blocks_per_sm=props.maxBlocksPerMultiProcessor,
+            max_threads_per_block=props.maxThreadsPerBlock,
+            max_threads_per_sm=props.maxThreadsPerMultiProcessor,
+            registers_per_block=props.regsPerBlock,
+            registers_per_sm=props.regsPerMultiprocessor,
+            warps_per_sm=cores // props.warpSize,
+            simds_per_sm=simds,
+            physical_cu_ids=tuple(self.device.spec.compute.physical_cu_ids),
+        )
+        return general, compute
+
+    # ------------------------------------------------------------------ #
+    # shared helpers                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _bench(self, element: MemoryElementReport, attribute: str, m: MeasurementResult) -> None:
+        element.set(attribute, AttributeValue.from_measurement(m))
+
+    def _fg(self, name: str, default: int = 32) -> int:
+        return self._measured_fg.get(name, default)
+
+    def _latency_element(
+        self,
+        element: MemoryElementReport,
+        kind: LoadKind,
+        name: str,
+        array_bytes: int | None = None,
+        cold: bool = False,
+    ) -> None:
+        m = measure_load_latency(
+            self.ctx,
+            kind,
+            name,
+            self._fg(name),
+            array_bytes=array_bytes,
+            cold=cold,
+        )
+        self._bench(element, "load_latency", m)
+
+    def _new_element(self, name: str) -> MemoryElementReport:
+        el = MemoryElementReport(name)
+        for attr in (
+            "size",
+            "load_latency",
+            "read_bandwidth",
+            "write_bandwidth",
+            "cache_line_size",
+            "fetch_granularity",
+            "amount",
+            "shared_with",
+        ):
+            el.set(attr, AttributeValue.not_applicable())
+        return el
+
+    def _lowlevel_bandwidth_note(self, element: MemoryElementReport) -> None:
+        """Table I dagger: bandwidth only measured on higher levels."""
+        note = "bandwidth measured only on higher-level caches / device memory"
+        element.set("read_bandwidth", AttributeValue.not_applicable("B/s"))
+        element.set("write_bandwidth", AttributeValue.not_applicable("B/s"))
+        element.get("read_bandwidth").note = note
+
+    # ------------------------------------------------------------------ #
+    # NVIDIA pipeline                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _discover_nvidia(self) -> dict[str, MemoryElementReport]:
+        props = hip_get_device_properties(self.device)
+        memory: dict[str, MemoryElementReport] = {}
+
+        # --- cache family: FG -> size -> latency -> line -> amount -----
+        cacheable = [
+            n for n in ("L1", "Texture", "Readonly") if n in self.targets
+        ]
+        for name in cacheable:
+            memory[name] = self._nv_generic_cache(name)
+        if "ConstL1" in self.targets or "ConstL1.5" in self.targets:
+            memory.update(self._nv_constant_pair())
+        if "L2" in self.targets:
+            memory["L2"] = self._nv_l2(props.l2CacheSize)
+        if "SharedMem" in self.targets:
+            memory["SharedMem"] = self._nv_shared(props.sharedMemPerBlock)
+        if "DeviceMemory" in self.targets:
+            memory["DeviceMemory"] = self._device_memory(props.totalGlobalMem)
+
+        # --- physical sharing across logical spaces (Section IV-G) -----
+        sharing_targets = {
+            name: (
+                _NV_KINDS[name],
+                self._measured_sizes.get(name, 16 * KiB),
+                self._fg(name),
+            )
+            for name in ("L1", "Texture", "Readonly", "ConstL1")
+            if name in memory and self._measured_sizes.get(name)
+        }
+        if len(sharing_targets) >= 2:
+            results = measure_sharing_nvidia(self.ctx, sharing_targets)
+            for name, res in results.items():
+                self._bench(memory[name], "shared_with", res)
+        return memory
+
+    def _nv_generic_cache(self, name: str) -> MemoryElementReport:
+        el = self._new_element(name)
+        kind = _NV_KINDS[name]
+        fg = measure_fetch_granularity(self.ctx, kind, name)
+        self._bench(el, "fetch_granularity", fg)
+        if fg.conclusive:
+            self._measured_fg[name] = int(fg.value)
+        size = measure_cache_size(
+            self.ctx, kind, name, self._fg(name), lo=1 * KiB, hi_cap=1 * MiB
+        )
+        self._bench(el, "size", size)
+        if size.conclusive:
+            self._measured_sizes[name] = int(size.value)
+        self._latency_element(
+            el, kind, name, array_bytes=self._latency_array(name)
+        )
+        if size.conclusive:
+            line = measure_cache_line_size(
+                self.ctx, kind, name, int(size.value), self._fg(name)
+            )
+            self._bench(el, "cache_line_size", line)
+            amount = measure_amount(
+                self.ctx,
+                kind,
+                name,
+                int(size.value),
+                self._fg(name),
+                spans_all_warps=(name == "L1"),
+            )
+            self._bench(el, "amount", amount)
+        self._lowlevel_bandwidth_note(el)
+        return el
+
+    def _latency_array(self, name: str) -> int | None:
+        """Latency-benchmark array size: 256 x FG, capped inside the cache.
+
+        The cap keeps a 10 % margin below the *measured* size so a slight
+        size-benchmark overestimate cannot push the p-chase into the next
+        level (Section IV-C requires in-cache probing).
+        """
+        measured = self._measured_sizes.get(name)
+        default = self.ctx.config.latency_array_elems * self._fg(name)
+        if measured is not None and measured < default:
+            stride = self._fg(name)
+            return max(stride, int(measured * 0.9) // stride * stride)
+        return None
+
+    def _nv_constant_pair(self) -> dict[str, MemoryElementReport]:
+        """The constant hierarchy needs latency-band thresholds (IV-B fn. 10)."""
+        ctx = self.ctx
+        kind = LoadKind.LD_CONST
+        cl1 = self._new_element("ConstL1")
+        cl15 = self._new_element("ConstL1.5")
+
+        # Latency bands: a tiny warmed array is surely inside CL1; the
+        # CL1.5 band is the *smallest* clearly-elevated mean over a few
+        # probe sizes (an array that overruns CL1.5 would report the next
+        # level instead); a cold un-warmed run gives the DRAM band.
+        band_cl1 = float(
+            ctx.runner.latencies(kind, 512, 64, fresh=True, warmup=True).mean()
+        )
+        mid_candidates = [
+            float(ctx.runner.latencies(kind, nb, 64, fresh=True, warmup=True).mean())
+            for nb in (4 * KiB, 8 * KiB, 16 * KiB, 32 * KiB)
+        ]
+        elevated = [m for m in mid_candidates if m > band_cl1 + 10.0]
+        band_cl15 = min(elevated) if elevated else max(mid_candidates)
+        band_dram = float(
+            ctx.runner.latencies(
+                LoadKind.LD_GLOBAL_CG, 64 * KiB, 256, fresh=True, warmup=False
+            ).mean()
+        )
+
+        # Fetch granularities: CL1 hits are below the CL1/CL1.5 midpoint;
+        # CL1.5 hits below the CL1.5/DRAM midpoint.
+        fg1 = measure_fetch_granularity(
+            ctx, kind, "ConstL1", hit_threshold=(band_cl1 + band_cl15) / 2.0
+        )
+        self._bench(cl1, "fetch_granularity", fg1)
+        if fg1.conclusive:
+            self._measured_fg["ConstL1"] = int(fg1.value)
+        fg15 = measure_fetch_granularity(
+            ctx, kind, "ConstL1.5", hit_threshold=(band_cl15 + band_dram) / 2.0
+        )
+        self._bench(cl15, "fetch_granularity", fg15)
+        if fg15.conclusive:
+            self._measured_fg["ConstL1.5"] = int(fg15.value)
+
+        size1 = measure_cache_size(
+            ctx, kind, "ConstL1", self._fg("ConstL1", 64), lo=256, hi_cap=_CONST_BANK
+        )
+        self._bench(cl1, "size", size1)
+        if size1.conclusive:
+            self._measured_sizes["ConstL1"] = int(size1.value)
+        cl1_size = self._measured_sizes.get("ConstL1", 2 * KiB)
+
+        # CL1.5: probe window starts above the CL1 boundary; the constant
+        # bank caps it at 64 KiB (the paper's ">64KiB, confidence 0" case).
+        size15 = measure_cache_size(
+            ctx,
+            kind,
+            "ConstL1.5",
+            self._fg("ConstL1.5", 256),
+            lo=min(4 * cl1_size, _CONST_BANK // 2),
+            hi_cap=_CONST_BANK,
+        )
+        self._bench(cl15, "size", size15)
+        if size15.conclusive:
+            self._measured_sizes["ConstL1.5"] = int(size15.value)
+
+        self._latency_element(cl1, kind, "ConstL1", array_bytes=cl1_size)
+        self._latency_element(
+            cl15, kind, "ConstL1.5", array_bytes=min(8 * cl1_size, _CONST_BANK)
+        )
+
+        if size1.conclusive:
+            line1 = measure_cache_line_size(
+                ctx,
+                kind,
+                "ConstL1",
+                int(size1.value),
+                self._fg("ConstL1", 64),
+                max_size_cap=_CONST_BANK,
+            )
+            self._bench(cl1, "cache_line_size", line1)
+            amount1 = measure_amount(
+                ctx, kind, "ConstL1", int(size1.value), self._fg("ConstL1", 64)
+            )
+            self._bench(cl1, "amount", amount1)
+        # The CL1.5 line size is never computed (paper Section V): the
+        # size input is capped by the constant bank, and line-skipping
+        # strides shrink the probe footprint back into the Constant L1,
+        # which then captures every load before it reaches CL1.5.
+        cl15.set(
+            "cache_line_size",
+            AttributeValue.unavailable(
+                "B", "takes the cache size as input, which the 64 KiB bank caps"
+            ),
+        )
+        # Amount cannot evict beyond the constant bank (paper Section III-C).
+        cl15.set(
+            "amount",
+            AttributeValue.unavailable(
+                "count", "64 KiB constant-array limit prevents eviction probing"
+            ),
+        )
+        self._lowlevel_bandwidth_note(cl1)
+        self._lowlevel_bandwidth_note(cl15)
+        return {"ConstL1": cl1, "ConstL1.5": cl15}
+
+    def _nv_l2(self, api_total: int) -> MemoryElementReport:
+        el = self._new_element("L2")
+        kind = LoadKind.LD_GLOBAL_CG
+        el.set(
+            "size",
+            AttributeValue(api_total, "B", 1.0, Source.API, "hipDeviceProp l2CacheSize"),
+        )
+        fg = measure_fetch_granularity(self.ctx, kind, "L2")
+        self._bench(el, "fetch_granularity", fg)
+        if fg.conclusive:
+            self._measured_fg["L2"] = int(fg.value)
+        stride = self._fg("L2")
+        l1_size = self._measured_sizes.get("L1", 256 * KiB)
+        segment = measure_cache_size(
+            self.ctx,
+            kind,
+            "L2",
+            stride,
+            lo=max(4 * l1_size, 16 * KiB),
+            hi_cap=2 * api_total,
+        )
+        if segment.conclusive:
+            self._measured_sizes["L2"] = int(segment.value)
+            segments = resolve_l2_segments(self.ctx, int(segment.value), api_total)
+            self._bench(el, "amount", segments)
+            line = measure_cache_line_size(
+                self.ctx, kind, "L2", int(segment.value), stride
+            )
+            self._bench(el, "cache_line_size", line)
+        else:
+            el.set("amount", AttributeValue.unavailable("count", segment.note))
+        self._latency_element(el, kind, "L2")
+        self._bench(el, "read_bandwidth", measure_bandwidth(self.ctx, "L2", "read"))
+        self._bench(el, "write_bandwidth", measure_bandwidth(self.ctx, "L2", "write"))
+        el.set("shared_with", AttributeValue.not_applicable("elements"))
+        return el
+
+    def _nv_shared(self, api_size: int) -> MemoryElementReport:
+        el = self._new_element("SharedMem")
+        el.set(
+            "size",
+            AttributeValue(api_size, "B", 1.0, Source.API, "hipDeviceProp sharedMemPerBlock"),
+        )
+        self._latency_element(el, LoadKind.LD_SHARED, "SharedMem", array_bytes=4 * KiB)
+        self._lowlevel_bandwidth_note(el)
+        return el
+
+    def _device_memory(self, api_size: int) -> MemoryElementReport:
+        el = self._new_element("DeviceMemory")
+        el.set(
+            "size",
+            AttributeValue(api_size, "B", 1.0, Source.API, "hipDeviceProp totalGlobalMem"),
+        )
+        cold_kind = (
+            LoadKind.LD_GLOBAL_CG
+            if self.device.vendor is Vendor.NVIDIA
+            else LoadKind.FLAT_LOAD_GLC
+        )
+        # The cold probe's stride must exceed every cache's sector size so
+        # no access lands in a sector an earlier miss already fetched.
+        m = measure_load_latency(
+            self.ctx, cold_kind, "DeviceMemory", fetch_granularity=256, cold=True
+        )
+        self._bench(el, "load_latency", m)
+        self._bench(
+            el, "read_bandwidth", measure_bandwidth(self.ctx, "DeviceMemory", "read")
+        )
+        self._bench(
+            el, "write_bandwidth", measure_bandwidth(self.ctx, "DeviceMemory", "write")
+        )
+        return el
+
+    # ------------------------------------------------------------------ #
+    # AMD pipeline                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _discover_amd(self) -> dict[str, MemoryElementReport]:
+        props = hip_get_device_properties(self.device)
+        hsa = hsa_cache_info(self.device)
+        kfd_lines = kfd_cache_line_sizes(self.device)
+        memory: dict[str, MemoryElementReport] = {}
+
+        if "vL1" in self.targets:
+            memory["vL1"] = self._amd_l1("vL1", LoadKind.FLAT_LOAD, amount=True)
+        if "sL1d" in self.targets:
+            memory["sL1d"] = self._amd_l1("sL1d", LoadKind.S_LOAD, amount=False)
+            sl1d_size = self._measured_sizes.get("sL1d", 16 * KiB)
+            sharing = measure_sl1d_sharing(
+                self.ctx, sl1d_size, self._fg("sL1d", 64)
+            )
+            self._bench(memory["sL1d"], "shared_with", sharing)
+        if "L2" in self.targets:
+            memory["L2"] = self._amd_llc("L2", hsa, kfd_lines, latency=True)
+        if "L3" in self.targets and self.device.spec.has_cache("L3"):
+            memory["L3"] = self._amd_llc("L3", hsa, kfd_lines, latency=False)
+        if "LDS" in self.targets:
+            memory["LDS"] = self._amd_lds(props.sharedMemPerBlock)
+        if "DeviceMemory" in self.targets:
+            memory["DeviceMemory"] = self._device_memory(props.totalGlobalMem)
+        return memory
+
+    def _amd_l1(self, name: str, kind: LoadKind, amount: bool) -> MemoryElementReport:
+        el = self._new_element(name)
+        fg = measure_fetch_granularity(self.ctx, kind, name)
+        self._bench(el, "fetch_granularity", fg)
+        if fg.conclusive:
+            self._measured_fg[name] = int(fg.value)
+        size = measure_cache_size(
+            self.ctx, kind, name, self._fg(name, 64), lo=1 * KiB, hi_cap=1 * MiB
+        )
+        self._bench(el, "size", size)
+        if size.conclusive:
+            self._measured_sizes[name] = int(size.value)
+            line = measure_cache_line_size(
+                self.ctx, kind, name, int(size.value), self._fg(name, 64)
+            )
+            self._bench(el, "cache_line_size", line)
+            if amount:
+                amt = measure_amount(
+                    self.ctx, kind, name, int(size.value), self._fg(name, 64)
+                )
+                self._bench(el, "amount", amt)
+        self._latency_element(el, kind, name, array_bytes=self._latency_array(name))
+        self._lowlevel_bandwidth_note(el)
+        return el
+
+    def _amd_llc(
+        self,
+        name: str,
+        hsa: dict[str, dict[str, int]],
+        kfd_lines: dict[str, int],
+        latency: bool,
+    ) -> MemoryElementReport:
+        el = self._new_element(name)
+        info = hsa.get(name)
+        if info:
+            el.set(
+                "size",
+                AttributeValue(
+                    info["size"] * info["instances"], "B", 1.0, Source.API, "HSA runtime"
+                ),
+            )
+            el.set(
+                "amount",
+                AttributeValue(
+                    info["instances"], "count", 1.0, Source.API, "one L2 per XCD"
+                ),
+            )
+        if name in kfd_lines:
+            el.set(
+                "cache_line_size",
+                AttributeValue(kfd_lines[name], "B", 1.0, Source.API, "KFD driver files"),
+            )
+        if latency:
+            kind = LoadKind.FLAT_LOAD_GLC
+            fg = measure_fetch_granularity(self.ctx, kind, name)
+            self._bench(el, "fetch_granularity", fg)
+            if fg.conclusive:
+                self._measured_fg[name] = int(fg.value)
+            self._latency_element(el, kind, name)
+        else:
+            # Paper Section III-C: no load-latency / fetch-granularity
+            # benchmark exists yet for the CDNA3 L3.
+            el.set(
+                "load_latency",
+                AttributeValue.unavailable(
+                    "cycles", "no benchmark can isolate the CDNA3 L3 yet"
+                ),
+            )
+            el.set(
+                "fetch_granularity",
+                AttributeValue.unavailable(
+                    "B", "no benchmark can isolate the CDNA3 L3 yet"
+                ),
+            )
+        self._bench(el, "read_bandwidth", measure_bandwidth(self.ctx, name, "read"))
+        self._bench(el, "write_bandwidth", measure_bandwidth(self.ctx, name, "write"))
+        return el
+
+    def _amd_lds(self, api_size: int) -> MemoryElementReport:
+        el = self._new_element("LDS")
+        el.set(
+            "size",
+            AttributeValue(api_size, "B", 1.0, Source.API, "hipDeviceProp sharedMemPerBlock"),
+        )
+        self._latency_element(el, LoadKind.DS_READ, "LDS", array_bytes=4 * KiB)
+        self._lowlevel_bandwidth_note(el)
+        return el

@@ -1,0 +1,17 @@
+"""Simulated GPU substrate.
+
+This package plays the role of the physical GPUs in the paper's Table II:
+it produces the *observable* behaviour MT4G depends on — per-load latencies
+with realistic cache cliffs, cooperative-eviction effects, scheduling
+constraints and bandwidth saturation — from a declarative
+:class:`~repro.gpuspec.spec.GPUSpec`.
+
+Public entry point: :class:`~repro.gpusim.device.SimulatedGPU`.
+"""
+
+from repro.gpusim.cache import SimCache
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.isa import LoadKind, MemorySpace
+from repro.gpusim.kernel import KernelLaunch
+
+__all__ = ["SimCache", "SimulatedGPU", "LoadKind", "MemorySpace", "KernelLaunch"]

@@ -1,0 +1,339 @@
+"""Sectored, set-associative, LRU cache model.
+
+This single class produces every memory-hierarchy effect the paper's
+microbenchmarks (Section IV) probe for:
+
+* **capacity cliffs** — a cyclic pointer-chase over an array larger than
+  the cache thrashes the over-subscribed sets under LRU, so misses appear
+  exactly past the capacity boundary (Fig. 1);
+* **fetch granularity** — a cache line is divided into *sectors*; a miss
+  fetches only the accessed sector (per-sector valid bits), so strides
+  below the sector size produce intra-sector hits (Section IV-D);
+* **cache line size** — strides above the line size skip whole lines,
+  making the cache appear larger (Section IV-E);
+* **cooperative eviction** — two actors filling the same physical cache
+  evict each other; actors on distinct segments do not (Sections IV-F/G/H).
+
+Performance design (the discovery pipeline runs tens of thousands of
+p-chase passes, some over 50 MB L2 footprints):
+
+* state is a pair of ``(num_sets, ways)`` NumPy matrices (tags and
+  per-line sector masks), each row ordered LRU -> MRU with empty slots
+  (``-1``) packed at the LRU side;
+* :meth:`flush` is O(1): rows carry a generation stamp and are lazily
+  reset on first touch after a flush;
+* :meth:`warm_cyclic` installs the *end state* of a full cyclic pass
+  analytically — fully vectorised on a flushed cache, per-touched-set
+  merge otherwise — which is provably identical to step-by-step
+  simulation for monotone address sequences (asserted by property tests);
+* the timed portion of a p-chase only needs the first N loads (the paper
+  stores only the first N results), which the exact :meth:`access` loop
+  handles cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SimCache"]
+
+
+class SimCache:
+    """One physical cache instance.
+
+    Parameters mirror :class:`~repro.gpuspec.spec.CacheSpec`: total
+    ``size`` bytes organised as ``ways``-associative sets of ``line_size``
+    lines, each line split into ``line_size // fetch_granularity`` sectors.
+    """
+
+    __slots__ = (
+        "name",
+        "size",
+        "line_size",
+        "fetch_granularity",
+        "ways",
+        "num_sets",
+        "sectors_per_line",
+        "_tags",
+        "_masks",
+        "_gen",
+        "_set_gen",
+        "_valid_sets",
+        "hits",
+        "sector_misses",
+        "line_misses",
+        "evictions",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        line_size: int,
+        fetch_granularity: int,
+        ways: int,
+        name: str = "cache",
+    ) -> None:
+        if size <= 0 or line_size <= 0 or ways <= 0:
+            raise ValueError("size, line_size and ways must be positive")
+        if line_size % fetch_granularity:
+            raise ValueError("fetch_granularity must divide line_size")
+        if size % (line_size * ways):
+            raise ValueError("size must be a multiple of line_size * ways")
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self.fetch_granularity = fetch_granularity
+        self.ways = ways
+        self.num_sets = size // (line_size * ways)
+        self.sectors_per_line = line_size // fetch_granularity
+        self._tags = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._masks = np.zeros((self.num_sets, ways), dtype=np.int64)
+        # Generation stamps make flush O(1): a row is only meaningful when
+        # its stamp matches the current generation.
+        self._gen = 1
+        self._set_gen = np.zeros(self.num_sets, dtype=np.int64)
+        self._valid_sets = 0
+        self.hits = 0
+        self.sector_misses = 0
+        self.line_misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # internal helpers                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _ensure_row(self, set_id: int) -> None:
+        """Lazily reset a row whose generation stamp is stale."""
+        if self._set_gen[set_id] != self._gen:
+            self._tags[set_id] = -1
+            self._masks[set_id] = 0
+            self._set_gen[set_id] = self._gen
+            self._valid_sets += 1
+
+    # ------------------------------------------------------------------ #
+    # exact per-access simulation                                         #
+    # ------------------------------------------------------------------ #
+
+    def access(self, addr: int) -> bool:
+        """Perform one load; returns True on a (sector) hit.
+
+        A tag match with an invalid sector is a *sector miss*: the sector
+        is fetched (granularity = ``fetch_granularity``) and the access
+        reports a miss, but no line is evicted.
+        """
+        line = addr // self.line_size
+        sector_bit = 1 << ((addr % self.line_size) // self.fetch_granularity)
+        set_id = line % self.num_sets
+        self._ensure_row(set_id)
+        tags = self._tags[set_id]
+        masks = self._masks[set_id]
+        ways = self.ways
+        hit_way = -1
+        for w in range(ways - 1, -1, -1):
+            if tags[w] == line:
+                hit_way = w
+                break
+        if hit_way >= 0:
+            mask = int(masks[hit_way])
+            hit = bool(mask & sector_bit)
+            new_mask = mask | sector_bit
+            # Promote to MRU (shift the tail left by one).
+            if hit_way != ways - 1:
+                tags[hit_way:-1] = tags[hit_way + 1 :]
+                masks[hit_way:-1] = masks[hit_way + 1 :]
+                tags[ways - 1] = line
+            masks[ways - 1] = new_mask
+            if hit:
+                self.hits += 1
+                return True
+            self.sector_misses += 1
+            return False
+        # Line miss: evict the LRU slot (slot 0; empties pack there).
+        if tags[0] != -1:
+            self.evictions += 1
+        tags[:-1] = tags[1:]
+        masks[:-1] = masks[1:]
+        tags[ways - 1] = line
+        masks[ways - 1] = sector_bit
+        self.line_misses += 1
+        return False
+
+    def access_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Exact simulation of an address sequence; returns hit booleans."""
+        access = self.access
+        return np.fromiter(
+            (access(int(a)) for a in addrs), dtype=bool, count=len(addrs)
+        )
+
+    def probe(self, addr: int) -> bool:
+        """Non-mutating hit test (no LRU update, no fill)."""
+        line = addr // self.line_size
+        set_id = line % self.num_sets
+        if self._set_gen[set_id] != self._gen:
+            return False
+        sector_bit = 1 << ((addr % self.line_size) // self.fetch_granularity)
+        tags = self._tags[set_id]
+        for w in range(self.ways - 1, -1, -1):
+            if tags[w] == line:
+                return bool(int(self._masks[set_id, w]) & sector_bit)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # analytic cyclic warm-up                                             #
+    # ------------------------------------------------------------------ #
+
+    def warm_cyclic(self, addrs: np.ndarray) -> None:
+        """Install the end state of one full pass over ``addrs``.
+
+        ``addrs`` must be monotonically non-decreasing (the p-chase arrays
+        of Section IV-A are sequential strided rings); arbitrary sequences
+        fall back to exact simulation.  Repeating the pass (multiple
+        warm-up rounds) is a fixed point, matching LRU behaviour.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return
+        if addrs.size > 1 and not (np.diff(addrs) >= 0).all():
+            self.access_many(addrs)
+            return
+
+        lines = addrs // self.line_size
+        sectors = (addrs % self.line_size) // self.fetch_granularity
+        sector_bits = np.left_shift(np.int64(1), sectors.astype(np.int64))
+        # Monotone addresses: equal lines form contiguous runs, so the
+        # first-touch (== sorted) order and per-line sector masks come
+        # from an O(n) run-length pass instead of a sort.
+        run_starts = np.concatenate(([0], np.flatnonzero(np.diff(lines)) + 1))
+        uniq_lines = lines[run_starts]
+        masks = np.bitwise_or.reduceat(sector_bits, run_starts)
+        set_ids = uniq_lines % self.num_sets
+
+        order = np.argsort(set_ids, kind="stable")
+        sorted_sets = set_ids[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_sets)) + 1))
+        group_sizes = np.diff(np.append(starts, sorted_sets.size))
+
+        if self._valid_sets == 0:
+            self._warm_fresh(uniq_lines, masks, set_ids, order, starts, group_sizes)
+        else:
+            self._warm_merge(uniq_lines, masks, set_ids, order, starts, group_sizes)
+        self.line_misses += int(uniq_lines.size)  # at least one fetch per line
+
+    def _warm_fresh(self, uniq_lines, masks, set_ids, order, starts, group_sizes) -> None:
+        """Vectorised end-state install onto a flushed cache.
+
+        Within each set group the last ``min(ways, k)`` lines survive, at
+        way positions packed toward the MRU end.
+        """
+        ways = self.ways
+        n = order.size
+        # Position of each (ordered) entry counted from its group's end:
+        # 1 == most recently accessed.
+        idx_in_group = np.arange(n, dtype=np.int64) - np.repeat(starts, group_sizes)
+        from_end = np.repeat(group_sizes, group_sizes) - idx_in_group
+        keep = from_end <= ways
+        kept = order[keep]
+        kept_sets = set_ids[kept]
+        kept_ways = ways - from_end[keep]  # MRU lands at ways-1
+
+        touched = set_ids[order[starts]]  # unique touched sets
+        self._tags[touched] = -1
+        self._masks[touched] = 0
+        self._set_gen[touched] = self._gen
+        self._valid_sets += int(touched.size)
+        self._tags[kept_sets, kept_ways] = uniq_lines[kept]
+        self._masks[kept_sets, kept_ways] = masks[kept]
+        # Pack survivors toward the MRU side for groups smaller than the
+        # associativity: rows are built with empties at the low side
+        # already, because kept_ways = ways - from_end >= ways - k.
+
+    def _warm_merge(self, uniq_lines, masks, set_ids, order, starts, group_sizes) -> None:
+        """Per-touched-set merge honouring pre-existing content.
+
+        A pass with ``k > ways`` new lines in a set evicts everything that
+        was there (thrash); with ``k <= ways`` the new lines land at the
+        MRU side and the most recent old entries survive at the LRU side.
+        A line present both before and during the pass unions its sector
+        masks (it is re-accessed, never evicted, when ``k <= ways``).
+        """
+        ways = self.ways
+        tags = self._tags
+        all_masks = self._masks
+        for g, start in enumerate(starts):
+            size = int(group_sizes[g])
+            group = order[start : start + size]
+            set_id = int(set_ids[group[0]])
+            self._ensure_row(set_id)
+            new_lines = uniq_lines[group[-ways:]]
+            new_masks = masks[group[-ways:]]
+            row_tags = tags[set_id]
+            row_masks = all_masks[set_id]
+            if size >= ways:
+                row_tags[:] = new_lines[-ways:]
+                row_masks[:] = new_masks[-ways:]
+                continue
+            old = [
+                (int(row_tags[w]), int(row_masks[w]))
+                for w in range(ways)
+                if row_tags[w] != -1
+            ]
+            old_mask_by_line = dict(old)
+            new_set = set(int(x) for x in new_lines)
+            survivors = [(t, m) for t, m in old if t not in new_set]
+            merged = survivors + [
+                (int(line), int(mask) | old_mask_by_line.get(int(line), 0))
+                for line, mask in zip(new_lines, new_masks)
+            ]
+            merged = merged[-ways:]
+            row_tags[:] = -1
+            row_masks[:] = 0
+            for w, (t, m) in enumerate(merged):
+                row_tags[ways - len(merged) + w] = t
+                row_masks[ways - len(merged) + w] = m
+
+    # ------------------------------------------------------------------ #
+    # maintenance & introspection                                         #
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Invalidate all lines — O(1) via the generation stamp."""
+        self._gen += 1
+        self._valid_sets = 0
+
+    def reset_stats(self) -> None:
+        self.hits = self.sector_misses = self.line_misses = self.evictions = 0
+
+    @property
+    def misses(self) -> int:
+        return self.sector_misses + self.line_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached — test helper."""
+        valid_rows = self._set_gen == self._gen
+        return int((self._tags[valid_rows] != -1).sum())
+
+    def snapshot(self) -> list[list[tuple[int, int]]]:
+        """Per-set (tag, mask) pairs, LRU-first — test helper."""
+        out: list[list[tuple[int, int]]] = []
+        for s in range(self.num_sets):
+            if self._set_gen[s] != self._gen:
+                out.append([])
+                continue
+            out.append(
+                [
+                    (int(self._tags[s, w]), int(self._masks[s, w]))
+                    for w in range(self.ways)
+                    if self._tags[s, w] != -1
+                ]
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimCache({self.name!r}, size={self.size}, line={self.line_size}, "
+            f"fg={self.fetch_granularity}, ways={self.ways}, sets={self.num_sets})"
+        )

@@ -1,0 +1,70 @@
+"""Cycle clock and event timing.
+
+Models the two timing facilities MT4G uses on real hardware:
+
+* the per-thread cycle counter read inline around each load
+  (``%%clock`` on NVIDIA, ``s_memtime`` on AMD — paper Listings 1 and 2);
+  its constant read overhead is part of :class:`~repro.gpusim.noise.NoiseModel`;
+* coarse kernel-level event timing (``hipEventRecord`` start/end,
+  paper Section IV-I) used by the bandwidth benchmarks.
+
+The clock also underpins the Section V-A run-time cost model: every
+simulated memory operation advances the cycle count, and
+:meth:`CycleClock.elapsed_seconds` converts cycles to wall time at the
+device clock rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CycleClock", "TimedEvent"]
+
+
+@dataclass
+class TimedEvent:
+    """A start/stop event pair, mirroring hipEventRecord semantics."""
+
+    start_cycle: float = 0.0
+    end_cycle: float = 0.0
+
+    def elapsed_cycles(self) -> float:
+        if self.end_cycle < self.start_cycle:
+            raise ValueError("event stopped before it started")
+        return self.end_cycle - self.start_cycle
+
+
+class CycleClock:
+    """Monotonic cycle counter for one simulated device."""
+
+    def __init__(self, frequency_hz: float) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self.frequency_hz = frequency_hz
+        self._cycles: float = 0.0
+
+    @property
+    def cycles(self) -> float:
+        return self._cycles
+
+    def advance(self, cycles: float) -> None:
+        """Advance simulated time; used by kernels and the cost model."""
+        if cycles < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._cycles += cycles
+
+    def advance_seconds(self, seconds: float) -> None:
+        self.advance(seconds * self.frequency_hz)
+
+    def elapsed_seconds(self) -> float:
+        """Total simulated time since device creation."""
+        return self._cycles / self.frequency_hz
+
+    def event(self) -> TimedEvent:
+        """Record an event starting now; caller stops it via :meth:`stop`."""
+        return TimedEvent(start_cycle=self._cycles, end_cycle=self._cycles)
+
+    def stop(self, event: TimedEvent) -> float:
+        """Close an event at the current cycle; returns elapsed seconds."""
+        event.end_cycle = self._cycles
+        return event.elapsed_cycles() / self.frequency_hz

@@ -1,0 +1,93 @@
+"""Compute-throughput model (paper Section VII future-work extension).
+
+The paper's conclusions plan to "incorporate compute capability metrics,
+such as FLOPS for INT and FP datatypes of different precisions" and to
+"characterize specialized engines, like tensor cores".  This module
+provides the substrate for that extension: per-datatype peak throughputs
+live in :attr:`~repro.gpuspec.spec.GPUSpec.compute_throughput`
+(tensor-engine entries use the ``tensor_`` prefix), and the model applies
+the same occupancy-saturation dynamics as the bandwidth model — a FLOPS
+microbenchmark is a stream benchmark whose payload is arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpuspec.spec import GPUSpec
+
+__all__ = ["ComputeThroughputModel", "TENSOR_PREFIX"]
+
+TENSOR_PREFIX = "tensor_"
+
+
+class ComputeThroughputModel:
+    """Achieved arithmetic throughput per datatype."""
+
+    def __init__(self, spec: GPUSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+
+    @property
+    def datatypes(self) -> tuple[str, ...]:
+        """Datatypes the device exposes (empty = extension unsupported)."""
+        return tuple(self.spec.compute_throughput)
+
+    def is_tensor(self, dtype: str) -> bool:
+        return dtype.startswith(TENSOR_PREFIX)
+
+    def peak(self, dtype: str) -> float:
+        try:
+            return self.spec.compute_throughput[dtype]
+        except KeyError:
+            raise SimulationError(
+                f"{self.spec.name}: no {dtype!r} throughput figure; "
+                f"available: {sorted(self.spec.compute_throughput)}"
+            ) from None
+
+    def efficiency(self, blocks: int, threads_per_block: int, dtype: str) -> float:
+        """Occupancy efficiency of an arithmetic-saturation kernel.
+
+        Tensor engines need whole warps feeding matrix fragments, so they
+        are more sensitive to partial blocks than the vector pipelines.
+        """
+        if blocks <= 0 or threads_per_block <= 0:
+            raise SimulationError("launch configuration values must be positive")
+        c = self.spec.compute
+        optimal_blocks = c.num_sms * c.max_blocks_per_sm
+        exponent = 0.55 if self.is_tensor(dtype) else 0.35
+        f_blocks = min(1.0, blocks / optimal_blocks) ** exponent
+        f_threads = min(1.0, threads_per_block / c.max_threads_per_block) ** 0.5
+        return f_blocks * f_threads
+
+    def achieved(
+        self,
+        dtype: str,
+        blocks: int | None = None,
+        threads_per_block: int | None = None,
+        noisy: bool = True,
+    ) -> float:
+        """Observed FLOP/s (OP/s for integer types) of a saturation kernel."""
+        c = self.spec.compute
+        blocks = c.num_sms * c.max_blocks_per_sm if blocks is None else blocks
+        threads = (
+            c.max_threads_per_block if threads_per_block is None else threads_per_block
+        )
+        rate = self.peak(dtype) * self.efficiency(blocks, threads, dtype)
+        if noisy:
+            rate *= 1.0 + self.rng.normal(0.0, 0.01)
+        return max(rate, 1.0)
+
+    def kernel_seconds(
+        self,
+        total_ops: int,
+        dtype: str,
+        blocks: int | None = None,
+        threads_per_block: int | None = None,
+    ) -> float:
+        """Wall time of a kernel issuing ``total_ops`` operations."""
+        if total_ops <= 0:
+            raise SimulationError("total_ops must be positive")
+        rate = self.achieved(dtype, blocks, threads_per_block)
+        return total_ops / rate + 3e-6  # launch overhead

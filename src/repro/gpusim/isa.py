@@ -1,0 +1,84 @@
+"""Load-instruction kinds and memory spaces.
+
+The real MT4G steers every benchmark load into a specific memory path via
+inline PTX / AMDGCN assembly or intrinsics (paper Sections IV-B/IV-C):
+
+=====================  ============================================  ======
+LoadKind               real-world instruction / intrinsic            vendor
+=====================  ============================================  ======
+``LD_GLOBAL_CA``       ``ld.global.ca.u32`` (cache at all levels)    NVIDIA
+``LD_GLOBAL_CG``       ``ld.global.cg.u32`` (bypass L1, cache @ L2)  NVIDIA
+``LDG``                ``__ldg(const uint32_t*)`` (read-only path)   NVIDIA
+``TEX1DFETCH``         ``tex1Dfetch<uint32_t>(tex, i)``              NVIDIA
+``LD_CONST``           ``ld.const.u32``                              NVIDIA
+``LD_SHARED``          ``__shared__`` load                           NVIDIA
+``LD_GLOBAL_V4``       ``ld.global.v4.u32`` (128-bit stream load)    NVIDIA
+``FLAT_LOAD``          ``flat_load_dword``                           AMD
+``FLAT_LOAD_GLC``      ``flat_load_dword`` with GLC/sc0=1 (skip L1)  AMD
+``S_LOAD``             ``s_load_dword`` (scalar path via sL1d)       AMD
+``DS_READ``            LDS load (``__shared__``)                     AMD
+``FLAT_LOAD_X4``       ``flat_load_dwordx4`` (128-bit stream load)   AMD
+=====================  ============================================  ======
+
+The simulator's dispatch (:meth:`repro.gpusim.device.SimulatedGPU.resolve_path`)
+maps each kind onto the ordered cache path it traverses — that mapping *is*
+the semantic content of the assembly listings.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LoadKind", "MemorySpace", "space_for_kind", "VECTOR_LOAD_BYTES"]
+
+
+class LoadKind(enum.Enum):
+    # NVIDIA
+    LD_GLOBAL_CA = "ld.global.ca.u32"
+    LD_GLOBAL_CG = "ld.global.cg.u32"
+    LDG = "__ldg"
+    TEX1DFETCH = "tex1Dfetch"
+    LD_CONST = "ld.const.u32"
+    LD_SHARED = "ld.shared.u32"
+    LD_GLOBAL_V4 = "ld.global.v4.u32"
+    # AMD
+    FLAT_LOAD = "flat_load_dword"
+    FLAT_LOAD_GLC = "flat_load_dword glc"
+    S_LOAD = "s_load_dword"
+    DS_READ = "ds_read_b32"
+    FLAT_LOAD_X4 = "flat_load_dwordx4"
+
+
+class MemorySpace(enum.Enum):
+    """Logical address space a buffer lives in."""
+
+    GLOBAL = "global"
+    TEXTURE = "texture"
+    READONLY = "readonly"
+    CONSTANT = "constant"
+    SHARED = "shared"  # NVIDIA Shared Memory / AMD LDS
+
+
+#: Bytes moved per vector load in the bandwidth kernels (128 bit, IV-I).
+VECTOR_LOAD_BYTES = 16
+
+
+_KIND_TO_SPACE = {
+    LoadKind.LD_GLOBAL_CA: MemorySpace.GLOBAL,
+    LoadKind.LD_GLOBAL_CG: MemorySpace.GLOBAL,
+    LoadKind.LD_GLOBAL_V4: MemorySpace.GLOBAL,
+    LoadKind.LDG: MemorySpace.READONLY,
+    LoadKind.TEX1DFETCH: MemorySpace.TEXTURE,
+    LoadKind.LD_CONST: MemorySpace.CONSTANT,
+    LoadKind.LD_SHARED: MemorySpace.SHARED,
+    LoadKind.FLAT_LOAD: MemorySpace.GLOBAL,
+    LoadKind.FLAT_LOAD_GLC: MemorySpace.GLOBAL,
+    LoadKind.FLAT_LOAD_X4: MemorySpace.GLOBAL,
+    LoadKind.S_LOAD: MemorySpace.GLOBAL,
+    LoadKind.DS_READ: MemorySpace.SHARED,
+}
+
+
+def space_for_kind(kind: LoadKind) -> MemorySpace:
+    """The address space a load kind reads from (buffer-allocation arena)."""
+    return _KIND_TO_SPACE[kind]

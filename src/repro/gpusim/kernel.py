@@ -1,0 +1,219 @@
+"""Kernel-execution engine: p-chase, probe and streaming kernels.
+
+These functions are the simulator-side counterparts of the GPU kernels
+MT4G launches (paper Section IV):
+
+* :func:`run_pchase` — the fine-grained pointer-chase of Section IV-A:
+  a warm-up pass populates the target memory element, then the timed pass
+  records the latency of each of the first N dependent loads (the paper
+  stores only the first N results because the pattern repeats);
+* :func:`warm` / :func:`probe_hits` — the building blocks of the
+  cooperative protocols (Amount, Physical-Sharing; Sections IV-F..H),
+  which interleave warm-ups and probe passes from different cores/CUs;
+* :func:`run_stream_kernel` — the Section IV-I bandwidth kernel: vector
+  loads from maximal occupancy, timed with event records.
+
+All functions account simulated GPU time on the device so the Section V-A
+run-time model can report per-benchmark durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.device import LoadPath, SimulatedGPU
+from repro.gpusim.isa import LoadKind, VECTOR_LOAD_BYTES
+
+__all__ = [
+    "KernelLaunch",
+    "pchase_addresses",
+    "run_pchase",
+    "warm",
+    "probe_hits",
+    "run_stream_kernel",
+]
+
+#: Default number of stored samples per timed pass (first-N capture).
+DEFAULT_SAMPLES = 384
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Grid/block shape of a kernel launch."""
+
+    blocks: int
+    threads_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0 or self.threads_per_block <= 0:
+            raise SimulationError("launch dimensions must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.blocks * self.threads_per_block
+
+
+def pchase_addresses(base: int, nbytes: int, stride: int) -> np.ndarray:
+    """Addresses of one pass through a strided p-chase ring."""
+    if stride <= 0:
+        raise SimulationError("stride must be positive")
+    if nbytes < stride:
+        raise SimulationError(
+            f"array of {nbytes} B cannot hold a single {stride} B element"
+        )
+    count = nbytes // stride
+    return base + np.arange(count, dtype=np.int64) * stride
+
+
+def _walk(path: LoadPath, addr: int) -> float:
+    """Send one load down the path; returns the true (noise-free) latency."""
+    for cache, latency in path.levels:
+        if cache.access(addr):
+            lat = latency
+            break
+    else:
+        lat = path.terminal_latency
+    for cache in path.side_effects:
+        cache.access(addr)
+    return lat
+
+
+def warm(device: SimulatedGPU, kind: LoadKind, addrs: np.ndarray, sm: int = 0, core: int = 0) -> None:
+    """One untimed pass: populate every cache on the path (Section IV-A)."""
+    path = device.resolve_path(kind, sm, core)
+    for cache, _ in path.levels:
+        cache.warm_cyclic(addrs)
+    for cache in path.side_effects:
+        cache.warm_cyclic(addrs)
+    first_latency = path.levels[0][1] if path.levels else path.terminal_latency
+    device.account_loads(len(addrs), len(addrs) * first_latency)
+
+
+def probe_hits(
+    device: SimulatedGPU,
+    kind: LoadKind,
+    addrs: np.ndarray,
+    sm: int = 0,
+    core: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Timed probe pass: per-load (first-level hit?, observed latency).
+
+    The hit booleans refer to the *first* cache level of the path — the
+    cooperative protocols ask "did my data survive in the target cache?".
+    The observed latencies include measurement noise, exactly what a real
+    evaluation would have to threshold.
+    """
+    path = device.resolve_path(kind, sm, core)
+    n = len(addrs)
+    hits = np.empty(n, dtype=bool)
+    base = np.empty(n, dtype=np.float64)
+    if not path.levels:
+        hits[:] = True
+        base[:] = path.terminal_latency
+    else:
+        first_cache = path.levels[0][0]
+        for i, addr in enumerate(addrs):
+            addr = int(addr)
+            hits[i] = first_cache.probe(addr)
+            base[i] = _walk(path, addr)
+    device.account_loads(n, float(base.sum()))
+    return hits, device.noise.perturb(base)
+
+
+def run_pchase(
+    device: SimulatedGPU,
+    kind: LoadKind,
+    base: int,
+    nbytes: int,
+    stride: int,
+    n_samples: int = DEFAULT_SAMPLES,
+    sm: int = 0,
+    core: int = 0,
+    warmup_passes: int = 1,
+    flush: bool = False,
+) -> np.ndarray:
+    """Fine-grained p-chase: returns the first ``n_samples`` load latencies.
+
+    Follows the paper's recipe: optional cache flush, ``warmup_passes``
+    untimed passes over the whole ring (ensuring the array is resident in
+    the benchmarked element), then a timed pass whose first N per-load
+    latencies are recorded (wrapping around the ring if N exceeds the
+    element count).
+    """
+    if n_samples <= 0:
+        raise SimulationError("n_samples must be positive")
+    device.sm(sm).pin_core(core)
+    if flush:
+        device.flush_caches()
+    path = device.resolve_path(kind, sm, core)
+    if not path.levels:
+        # Scratchpad: constant latency, no cache dynamics.
+        base_lat = np.full(n_samples, path.terminal_latency)
+        device.account_loads(n_samples, float(base_lat.sum()))
+        return device.noise.perturb(base_lat)
+
+    addrs = pchase_addresses(base, nbytes, stride)
+    for _ in range(warmup_passes):
+        for cache, _lat in path.levels:
+            cache.warm_cyclic(addrs)
+        for cache in path.side_effects:
+            cache.warm_cyclic(addrs)
+    n_ring = len(addrs)
+    base_lat = np.empty(n_samples, dtype=np.float64)
+    for i in range(n_samples):
+        base_lat[i] = _walk(path, int(addrs[i % n_ring]))
+    warm_cost = warmup_passes * n_ring * path.levels[0][1]
+    device.account_loads(
+        n_samples + warmup_passes * n_ring, float(base_lat.sum()) + warm_cost
+    )
+    return device.noise.perturb(base_lat)
+
+
+def run_stream_kernel(
+    device: SimulatedGPU,
+    level: str,
+    op: str = "read",
+    nbytes: int | None = None,
+    launch: KernelLaunch | None = None,
+    vector_bytes: int = VECTOR_LOAD_BYTES,
+) -> float:
+    """Streaming bandwidth kernel (Section IV-I); returns bytes/second.
+
+    Defaults follow the paper's heuristics: ``num_SMs *
+    max_blocks_per_SM`` blocks of ``max_threads_per_block`` threads using
+    128-bit vector loads, a working set 4x the target level, timed with
+    event records around a device-synchronised launch.
+    """
+    c = device.spec.compute
+    if launch is None:
+        launch = KernelLaunch(
+            blocks=device.bandwidth.optimal_blocks,
+            threads_per_block=c.max_threads_per_block,
+        )
+    if nbytes is None:
+        cap = (
+            device.spec.memory.size // 64
+            if level == "DeviceMemory"
+            else device.spec.cache(level).size * device.spec.cache(level).segments
+        )
+        # Loop over the level-resident buffer until the launch overhead is
+        # negligible against the transfer time (real stream benchmarks
+        # re-walk an L2-resident array many times for exactly this reason).
+        nbytes = max(int(cap) * 4, 1 << 30)
+    seconds = device.bandwidth.kernel_seconds(
+        nbytes,
+        level,
+        op,
+        blocks=launch.blocks,
+        threads_per_block=launch.threads_per_block,
+        vector_bytes=vector_bytes,
+        mig=device.mig if device.mig.profile != "full" else None,
+    )
+    event = device.clock.event()
+    device.clock.advance_seconds(seconds)
+    elapsed = device.clock.stop(event)
+    device.total_loads += nbytes // max(vector_bytes, 1)
+    return nbytes / elapsed

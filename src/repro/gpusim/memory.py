@@ -1,0 +1,98 @@
+"""Device-memory endpoint and a bump allocator for benchmark buffers.
+
+Real MT4G allocates its p-chase arrays with ``hipMalloc`` (global/texture/
+readonly paths), ``__constant__`` arrays (constant path, capped at 64 KiB
+— paper Section III-C) and ``__shared__`` buffers.  The simulator mirrors
+that with per-address-space arenas so that distinct buffers occupy
+distinct address ranges — only buffers routed through the *same physical
+cache* can evict each other, which is exactly what the physical-sharing
+benchmarks (Sections IV-G/H) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.gpuspec.spec import MemorySpec
+
+__all__ = ["Arena", "DeviceMemory", "CONSTANT_ARRAY_LIMIT"]
+
+#: NVIDIA's constant-bank limit (paper Section III-C / footnote 10).
+CONSTANT_ARRAY_LIMIT = 64 * 1024
+
+
+@dataclass
+class Arena:
+    """A contiguous address range served by bump allocation."""
+
+    name: str
+    base: int
+    capacity: int
+    offset: int = 0
+
+    def allocate(self, nbytes: int, align: int = 4096) -> int:
+        if nbytes <= 0:
+            raise AllocationError(f"{self.name}: allocation size must be positive")
+        start = -(-(self.base + self.offset) // align) * align
+        end = start + nbytes
+        if end > self.base + self.capacity:
+            raise AllocationError(
+                f"{self.name}: out of memory "
+                f"(requested {nbytes} B, {self.base + self.capacity - start} B free)"
+            )
+        self.offset = end - self.base
+        return start
+
+    def reset(self) -> None:
+        self.offset = 0
+
+
+class DeviceMemory:
+    """Main-memory model: capacity, latency, and address-space arenas.
+
+    The address map places each space in a disjoint region:
+
+    * ``global``  — device-memory buffers (global/texture/readonly paths);
+    * ``constant``— the constant bank (64 KiB hardware limit on NVIDIA);
+    * ``scratch`` — shared-memory/LDS offsets (per-SM, not cached).
+    """
+
+    def __init__(self, spec: MemorySpec, constant_limit: int = CONSTANT_ARRAY_LIMIT) -> None:
+        self.spec = spec
+        self.constant_limit = constant_limit
+        # Leave a guard gap between arenas so adjacent buffers never abut.
+        self._global = Arena("global", base=1 << 32, capacity=spec.size)
+        self._constant = Arena("constant", base=1 << 20, capacity=constant_limit)
+        self._scratch = Arena("scratch", base=1 << 28, capacity=64 * 1024 * 1024)
+
+    @property
+    def size(self) -> int:
+        return self.spec.size
+
+    @property
+    def load_latency(self) -> float:
+        return self.spec.load_latency
+
+    def allocate_global(self, nbytes: int) -> int:
+        """hipMalloc-style allocation in device memory."""
+        return self._global.allocate(nbytes)
+
+    def allocate_constant(self, nbytes: int) -> int:
+        """``__constant__`` array; enforces the 64 KiB bank limit."""
+        if nbytes > self.constant_limit:
+            raise AllocationError(
+                f"constant arrays are limited to {self.constant_limit} B "
+                f"(requested {nbytes} B)"
+            )
+        return self._constant.allocate(nbytes)
+
+    def allocate_scratch(self, nbytes: int) -> int:
+        """Shared-memory/LDS buffer address (capacity checked by the SM)."""
+        return self._scratch.allocate(nbytes)
+
+    def reset(self) -> None:
+        """Free every buffer (between benchmarks)."""
+        self._global.reset()
+        self._constant.reset()
+        self._scratch.reset()

@@ -1,0 +1,142 @@
+"""Streaming Multiprocessor / Compute Unit model.
+
+Each SM/CU owns the per-SM cache instances (lazily created — a H100 has
+132 SMs but benchmarks touch one or two), the shared-memory scratchpad,
+and the scheduling constraints the paper's protocols depend on:
+
+* cores are grouped into warps (``warp = core // warp_size``);
+* L1-family caches may be split into independent *segments*, with cores
+  block-mapped onto segments (paper Section IV-F discovers this split);
+* the Pascal P6000 cannot schedule a thread on warp 3 of 4
+  (paper Section V, item 2) — modelled by :meth:`check_warp_schedulable`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError, SchedulingError, SimulationError
+from repro.gpusim.cache import SimCache
+from repro.gpuspec.spec import CacheScope, CacheSpec, GPUSpec, Quirk
+
+__all__ = ["SMCore"]
+
+
+class SMCore:
+    """One SM (NVIDIA) or CU (AMD) instance."""
+
+    def __init__(self, spec: GPUSpec, sm_index: int, cache_config: str = "PreferL1") -> None:
+        if not 0 <= sm_index < spec.compute.num_sms:
+            raise SimulationError(
+                f"SM index {sm_index} out of range (device has {spec.compute.num_sms})"
+            )
+        self.spec = spec
+        self.sm_index = sm_index
+        self.cache_config = cache_config
+        self._caches: dict[tuple[str, int], SimCache] = {}
+        self._shared_allocated = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cores(self) -> int:
+        return self.spec.compute.cores_per_sm
+
+    @property
+    def warps(self) -> int:
+        return self.spec.compute.warps_per_sm
+
+    def warp_of_core(self, core: int) -> int:
+        self._check_core_index(core)
+        return core // self.spec.compute.warp_size
+
+    def check_warp_schedulable(self, warp: int) -> bool:
+        """Can a thread be pinned onto this warp's lanes?
+
+        Reproduces the P6000 quirk: with four warps per SM, warp 3 refuses
+        thread placement, so protocols requiring full-SM coverage abort.
+        """
+        if not 0 <= warp < self.warps:
+            raise SchedulingError(
+                f"warp {warp} out of range (SM has {self.warps} warps)"
+            )
+        if Quirk.WARP_SCHEDULING_BUG in self.spec.quirks and self.warps >= 4 and warp == 3:
+            return False
+        return True
+
+    def pin_core(self, core: int) -> int:
+        """Pin a benchmark thread to a core; returns the core's warp.
+
+        Raises :class:`SchedulingError` when the warp rejects placement.
+        """
+        warp = self.warp_of_core(core)
+        if not self.check_warp_schedulable(warp):
+            raise SchedulingError(
+                f"SM {self.sm_index}: cannot schedule a thread on warp "
+                f"{warp} (of {self.warps})"
+            )
+        return warp
+
+    def _check_core_index(self, core: int) -> None:
+        if not 0 <= core < self.cores:
+            raise SchedulingError(
+                f"core {core} out of range (SM has {self.cores} cores)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # per-SM caches                                                       #
+    # ------------------------------------------------------------------ #
+
+    def segment_of_core(self, cache_spec: CacheSpec, core: int) -> int:
+        """Which cache segment serves this core (block mapping)."""
+        self._check_core_index(core)
+        if cache_spec.segments == 1:
+            return 0
+        cores_per_segment = self.cores // cache_spec.segments
+        return min(core // cores_per_segment, cache_spec.segments - 1)
+
+    def cache_for(self, cache_spec: CacheSpec, core: int = 0) -> SimCache:
+        """The physical cache instance behind a logical space for a core."""
+        if cache_spec.scope is not CacheScope.SM:
+            raise SimulationError(
+                f"{cache_spec.name} is not SM-scoped (scope={cache_spec.scope})"
+            )
+        segment = self.segment_of_core(cache_spec, core)
+        key = (cache_spec.effective_physical_id, segment)
+        cache = self._caches.get(key)
+        if cache is None:
+            size = cache_spec.size
+            # The L1 family capacity follows the runtime carveout config.
+            if cache_spec.effective_physical_id == "l1tex" and self.spec.l1_carveout:
+                size = self.spec.effective_l1_size(self.cache_config)
+            cache = SimCache(
+                size=size,
+                line_size=cache_spec.line_size,
+                fetch_granularity=cache_spec.fetch_granularity,
+                ways=cache_spec.ways,
+                name=f"sm{self.sm_index}.{cache_spec.effective_physical_id}.{segment}",
+            )
+            self._caches[key] = cache
+        return cache
+
+    def flush_caches(self) -> None:
+        for cache in self._caches.values():
+            cache.flush()
+
+    # ------------------------------------------------------------------ #
+    # shared memory / LDS                                                 #
+    # ------------------------------------------------------------------ #
+
+    def allocate_shared(self, nbytes: int) -> None:
+        """Reserve shared-memory capacity (``__shared__`` declaration)."""
+        if nbytes <= 0:
+            raise AllocationError("shared allocation must be positive")
+        if self._shared_allocated + nbytes > self.spec.scratchpad.size:
+            raise AllocationError(
+                f"SM {self.sm_index}: shared memory exhausted "
+                f"({self._shared_allocated}+{nbytes} > {self.spec.scratchpad.size} B)"
+            )
+        self._shared_allocated += nbytes
+
+    def free_shared(self) -> None:
+        self._shared_allocated = 0

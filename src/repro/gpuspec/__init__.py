@@ -1,0 +1,38 @@
+"""Declarative GPU hardware specifications.
+
+A :class:`~repro.gpuspec.spec.GPUSpec` is the ground truth the simulator is
+built from.  MT4G itself never reads a spec directly — it only sees the
+emulated vendor APIs (:mod:`repro.api`) and the timing behaviour of the
+simulated device (:mod:`repro.gpusim`), exactly as the real tool only sees
+driver calls and clock readings.
+
+Presets for the ten validation GPUs of the paper's Table II live in
+:mod:`repro.gpuspec.presets`.
+"""
+
+from repro.gpuspec.spec import (
+    CacheScope,
+    CacheSpec,
+    ComputeSpec,
+    GPUSpec,
+    MemorySpec,
+    NoiseSpec,
+    Quirk,
+    ScratchpadSpec,
+    Vendor,
+)
+from repro.gpuspec.presets import available_presets, get_preset
+
+__all__ = [
+    "CacheScope",
+    "CacheSpec",
+    "ComputeSpec",
+    "GPUSpec",
+    "MemorySpec",
+    "NoiseSpec",
+    "Quirk",
+    "ScratchpadSpec",
+    "Vendor",
+    "available_presets",
+    "get_preset",
+]

@@ -1,0 +1,43 @@
+"""Preset registry: the ten validation GPUs of paper Table II plus
+synthetic test devices.
+
+>>> from repro.gpuspec import get_preset, available_presets
+>>> get_preset("H100-80").vendor
+<Vendor.NVIDIA: 'NVIDIA'>
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownGPUError
+from repro.gpuspec.presets.amd import AMD_PRESETS, CORES_PER_CU
+from repro.gpuspec.presets.nvidia import CORES_PER_SM, NVIDIA_PRESETS
+from repro.gpuspec.presets.testing import TESTING_PRESETS
+from repro.gpuspec.spec import GPUSpec
+
+__all__ = [
+    "available_presets",
+    "get_preset",
+    "PAPER_PRESETS",
+    "CORES_PER_SM",
+    "CORES_PER_CU",
+]
+
+#: The ten machines of paper Table II, in the paper's order.
+PAPER_PRESETS: dict[str, GPUSpec] = {**NVIDIA_PRESETS, **AMD_PRESETS}
+
+_ALL: dict[str, GPUSpec] = {**PAPER_PRESETS, **TESTING_PRESETS}
+
+
+def available_presets(include_testing: bool = False) -> tuple[str, ...]:
+    """Names of the registered presets (paper GPUs first)."""
+    if include_testing:
+        return tuple(_ALL)
+    return tuple(PAPER_PRESETS)
+
+
+def get_preset(name: str) -> GPUSpec:
+    """Fetch a preset by name; raises :class:`UnknownGPUError` otherwise."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise UnknownGPUError(name, tuple(_ALL)) from None

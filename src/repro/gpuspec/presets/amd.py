@@ -1,0 +1,305 @@
+"""AMD CDNA GPU presets for the three validation machines of paper Table II.
+
+Values follow the paper's Table III (MI210), the AMD CDNA 2/3 whitepapers,
+the ROCm GPU hardware-spec tables, and chipsandcheese latency measurements.
+
+AMD-specific modelling notes:
+
+* Physical CU ids: AMD dies ship with spare CUs fused off; the MI210
+  exposes 104 active CUs with physical ids in 0..127 (paper footnote 15).
+  ``physical_cu_ids`` records the active ids in logical order.
+* ``sL1d`` is shared by a small group of *physically adjacent* CUs
+  (paper Section IV-H: 2 or 3 depending on the model); the group of a CU is
+  ``physical_id // cu_share_group``.  A CU whose group partners are fused
+  off enjoys exclusive sL1d capacity — the optimization opportunity the
+  paper highlights.
+* L2 is one cache per XCD (paper Section IV-F.1); CDNA1/2 are single-die
+  so ``segments == 1``, the MI300X has 8 XCDs.
+* The MI300X preset carries :class:`~repro.gpuspec.spec.Quirk.VIRTUALIZED`
+  — the paper ran it as a virtual function ("MI300X VF") where thread
+  blocks cannot be pinned to CU ids, so the CU-sharing benchmark reports
+  no result (Section V, item 1).
+"""
+
+from __future__ import annotations
+
+from repro.gpuspec.spec import (
+    CacheScope,
+    CacheSpec,
+    ComputeSpec,
+    GPUSpec,
+    MemorySpec,
+    Quirk,
+    ScratchpadSpec,
+    Vendor,
+)
+from repro.units import GiB, KiB, MiB
+
+TiBps = 1024.0**4
+GiBps = 1024.0**3
+
+#: Stream processors per CU on CDNA (the tool's internal lookup table).
+CORES_PER_CU = {
+    "CDNA": 64,
+    "CDNA2": 64,
+    "CDNA3": 64,
+}
+
+
+def _active_cu_ids(total: int, disabled_mod: tuple[int, ...], mod: int) -> tuple[int, ...]:
+    """Physical ids of active CUs: all ids whose ``id % mod`` is enabled."""
+    return tuple(i for i in range(total) if (i % mod) not in disabled_mod)
+
+
+MI100 = GPUSpec(
+    name="MI100",
+    vendor=Vendor.AMD,
+    microarchitecture="CDNA",
+    chip="gfx908",
+    compute_capability="gfx908",
+    core_clock_hz=1.502e9,
+    compute=ComputeSpec(
+        num_sms=120,
+        cores_per_sm=64,
+        warp_size=64,
+        max_blocks_per_sm=32,
+        max_threads_per_block=1024,
+        max_threads_per_sm=2560,
+        registers_per_block=65536,
+        registers_per_sm=65536,
+        num_clusters=1,
+        simds_per_sm=4,
+        # 120 of 128 die CUs active: the last CU of each 16-CU group fused.
+        physical_cu_ids=_active_cu_ids(128, (15,), 16),
+    ),
+    caches=(
+        CacheSpec(
+            name="vL1",
+            size=16 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=140.0,
+            scope=CacheScope.SM,
+        ),
+        CacheSpec(
+            name="sL1d",
+            size=16 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=60.0,
+            scope=CacheScope.CU_GROUP,
+            cu_share_group=3,  # CDNA1: three CUs share one sL1d
+        ),
+        CacheSpec(
+            name="L2",
+            size=8 * MiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=16,
+            load_latency=300.0,
+            scope=CacheScope.GPU,
+            segments=1,
+            size_via_api=True,
+            line_size_via_api=True,
+            segments_via_api=True,
+            bandwidth_measured=True,
+            read_bandwidth=1.90 * TiBps,
+            write_bandwidth=1.30 * TiBps,
+        ),
+    ),
+    scratchpad=ScratchpadSpec(name="LDS", size=64 * KiB, load_latency=55.0),
+    memory=MemorySpec(
+        size=32 * GiB,
+        load_latency=700.0,
+        read_bandwidth=0.85 * TiBps,
+        write_bandwidth=0.75 * TiBps,
+        memory_clock_hz=1.2e9,
+        bus_width_bits=4096,
+    ),
+)
+
+
+MI210 = GPUSpec(
+    name="MI210",
+    vendor=Vendor.AMD,
+    microarchitecture="CDNA2",
+    chip="gfx90a",
+    compute_capability="gfx90a",
+    core_clock_hz=1.7e9,
+    compute=ComputeSpec(
+        num_sms=104,
+        cores_per_sm=64,
+        warp_size=64,
+        max_blocks_per_sm=32,
+        max_threads_per_block=1024,
+        max_threads_per_sm=2048,
+        registers_per_block=65536,
+        registers_per_sm=65536,
+        num_clusters=1,
+        simds_per_sm=4,
+        # Paper footnote 15: 104 CUs with physical ids 0..127 (die has 128);
+        # the last three ids of each 16-CU group are fused off.  sL1d pairs
+        # are (2k, 2k+1): CU 12 of each group keeps an exclusive sL1d since
+        # its partner 13 is disabled.
+        physical_cu_ids=_active_cu_ids(128, (13, 14, 15), 16),
+    ),
+    caches=(
+        CacheSpec(
+            name="vL1",
+            size=16 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=125.0,  # paper Table III: MT4G 125 (ref 145)
+            scope=CacheScope.SM,
+            # Section VII low-level-bandwidth extension figures.
+            read_bandwidth=11.0 * TiBps,
+            write_bandwidth=8.0 * TiBps,
+        ),
+        CacheSpec(
+            name="sL1d",
+            size=16 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=50.0,  # paper Table III: MT4G 50 (ref 64)
+            scope=CacheScope.CU_GROUP,
+            cu_share_group=2,  # CDNA2: two CUs share one sL1d
+        ),
+        CacheSpec(
+            name="L2",
+            size=8 * MiB,
+            line_size=128,  # via API (KFD), paper Table III
+            fetch_granularity=64,  # MT4G-measured, Table III
+            ways=16,
+            load_latency=310.0,  # paper Table III: MT4G 310
+            scope=CacheScope.GPU,
+            segments=1,
+            size_via_api=True,
+            line_size_via_api=True,
+            segments_via_api=True,
+            bandwidth_measured=True,
+            read_bandwidth=4.19 * TiBps,  # paper Table III achieved values
+            write_bandwidth=2.40 * TiBps,
+        ),
+    ),
+    scratchpad=ScratchpadSpec(name="LDS", size=64 * KiB, load_latency=55.0),
+    memory=MemorySpec(
+        size=64 * GiB,
+        load_latency=748.0,  # paper Table III: MT4G 748
+        read_bandwidth=1.00 * TiBps,  # paper Table III: 1.0/0.9 TiB/s
+        write_bandwidth=0.90 * TiBps,
+        memory_clock_hz=1.6e9,
+        bus_width_bits=4096,
+    ),
+    # Section VII extension data (MI210 datasheet peaks; matrix cores).
+    compute_throughput={
+        "fp64": 22.6e12,
+        "fp32": 22.6e12,
+        "fp16": 181e12,
+        "tensor_fp16": 181e12,
+        "tensor_fp64": 45.3e12,
+    },
+)
+
+
+MI300X = GPUSpec(
+    name="MI300X",
+    vendor=Vendor.AMD,
+    microarchitecture="CDNA3",
+    chip="gfx942",
+    compute_capability="gfx942",
+    core_clock_hz=2.1e9,
+    compute=ComputeSpec(
+        num_sms=304,
+        cores_per_sm=64,
+        warp_size=64,
+        max_blocks_per_sm=32,
+        max_threads_per_block=1024,
+        max_threads_per_sm=2048,
+        registers_per_block=65536,
+        registers_per_sm=65536,
+        num_clusters=8,  # 8 XCDs -> 8 L2 caches (paper Section IV-F.1)
+        simds_per_sm=4,
+        # 38 of 40 CUs active per XCD (304 of 320).
+        physical_cu_ids=_active_cu_ids(320, (38, 39), 40),
+    ),
+    caches=(
+        CacheSpec(
+            name="vL1",
+            size=32 * KiB,  # CDNA3 doubled vL1
+            line_size=128,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=115.0,
+            scope=CacheScope.SM,
+        ),
+        CacheSpec(
+            name="sL1d",
+            size=16 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=45.0,
+            scope=CacheScope.CU_GROUP,
+            cu_share_group=2,
+        ),
+        CacheSpec(
+            name="L2",
+            size=4 * MiB,  # per XCD; API reports 8 x 4 MiB
+            line_size=128,
+            fetch_granularity=64,
+            ways=16,
+            load_latency=280.0,
+            scope=CacheScope.GPU,
+            segments=8,
+            size_via_api=True,
+            line_size_via_api=True,
+            segments_via_api=True,
+            bandwidth_measured=True,
+            read_bandwidth=8.00 * TiBps,
+            write_bandwidth=6.00 * TiBps,
+        ),
+        # CDNA3 Infinity Cache.  MT4G cannot benchmark its load latency or
+        # fetch granularity (paper Section III-C) — the latency below is
+        # simulator ground truth the tool never sees.
+        CacheSpec(
+            name="L3",
+            size=256 * MiB,
+            line_size=128,
+            fetch_granularity=64,
+            ways=16,
+            load_latency=480.0,
+            scope=CacheScope.GPU,
+            segments=1,
+            size_via_api=True,
+            line_size_via_api=True,
+            segments_via_api=True,
+            bandwidth_measured=True,
+            read_bandwidth=5.00 * TiBps,
+            write_bandwidth=3.50 * TiBps,
+        ),
+    ),
+    scratchpad=ScratchpadSpec(name="LDS", size=64 * KiB, load_latency=50.0),
+    memory=MemorySpec(
+        size=192 * GiB,
+        load_latency=900.0,
+        read_bandwidth=3.30 * TiBps,
+        write_bandwidth=3.00 * TiBps,
+        memory_clock_hz=2.6e9,
+        bus_width_bits=8192,
+    ),
+    quirks=frozenset({Quirk.VIRTUALIZED}),
+    compute_throughput={
+        "fp64": 81.7e12,
+        "fp32": 163.4e12,
+        "fp16": 653.7e12,
+        "tensor_fp16": 1307.4e12,
+        "tensor_fp64": 163.4e12,
+    },
+)
+
+
+AMD_PRESETS = {spec.name: spec for spec in (MI100, MI210, MI300X)}

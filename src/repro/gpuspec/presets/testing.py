@@ -1,0 +1,227 @@
+"""Small synthetic GPU presets for fast unit and property tests.
+
+These are not real devices.  They exist so that the whole discovery
+pipeline can run in milliseconds and so that machinery the ten paper
+presets never trigger (multiple L1 segments per SM, a Constant L1.5 below
+the 64 KiB probe limit, a tiny CDNA3-style L3) is exercised by tests.
+"""
+
+from __future__ import annotations
+
+from repro.gpuspec.spec import (
+    CacheScope,
+    CacheSpec,
+    ComputeSpec,
+    GPUSpec,
+    MemorySpec,
+    NoiseSpec,
+    ScratchpadSpec,
+    Vendor,
+)
+from repro.units import GiB, KiB
+
+GiBps = 1024.0**3
+
+_QUIET = NoiseSpec(
+    measurement_overhead=6.0,
+    jitter_sigma=0.5,
+    outlier_probability=0.001,
+    outlier_magnitude=150.0,
+)
+
+
+def _test_nv(name: str, l1_segments: int, l2_segments: int) -> GPUSpec:
+    l1_common = dict(
+        size=4 * KiB,
+        line_size=64,
+        fetch_granularity=32,
+        ways=2,
+        scope=CacheScope.SM,
+        segments=l1_segments,
+        physical_id="l1tex",
+    )
+    return GPUSpec(
+        name=name,
+        vendor=Vendor.NVIDIA,
+        microarchitecture="Hopper",
+        chip="TEST",
+        compute_capability="9.0",
+        core_clock_hz=1.0e9,
+        compute=ComputeSpec(
+            num_sms=2,
+            cores_per_sm=64,
+            warp_size=32,
+            max_blocks_per_sm=8,
+            max_threads_per_block=256,
+            max_threads_per_sm=512,
+            registers_per_block=32768,
+            registers_per_sm=32768,
+            num_clusters=2,
+        ),
+        caches=(
+            CacheSpec(
+                name="L1",
+                load_latency=30.0,
+                read_bandwidth=200.0 * GiBps,
+                write_bandwidth=150.0 * GiBps,
+                **l1_common,
+            ),
+            CacheSpec(name="Texture", load_latency=32.0, **l1_common),
+            CacheSpec(name="Readonly", load_latency=31.0, **l1_common),
+            CacheSpec(
+                name="ConstL1",
+                size=1 * KiB,
+                line_size=32,
+                fetch_granularity=32,
+                ways=2,
+                load_latency=20.0,
+                scope=CacheScope.SM,
+            ),
+            # Below the 64 KiB constant-array limit, so the size benchmark
+            # CAN pin it down on this device (unlike the real presets).
+            CacheSpec(
+                name="ConstL1.5",
+                size=8 * KiB,
+                line_size=64,
+                fetch_granularity=64,
+                ways=4,
+                load_latency=60.0,
+                scope=CacheScope.SM,
+            ),
+            CacheSpec(
+                name="L2",
+                size=(64 // l2_segments) * KiB,
+                line_size=64,
+                fetch_granularity=32,
+                ways=4,
+                load_latency=100.0,
+                scope=CacheScope.GPU,
+                segments=l2_segments,
+                size_via_api=True,
+                bandwidth_measured=True,
+                read_bandwidth=100.0 * GiBps,
+                write_bandwidth=80.0 * GiBps,
+            ),
+        ),
+        scratchpad=ScratchpadSpec(name="SharedMem", size=8 * KiB, load_latency=15.0),
+        memory=MemorySpec(
+            size=1 * GiB,
+            load_latency=300.0,
+            read_bandwidth=50.0 * GiBps,
+            write_bandwidth=45.0 * GiBps,
+            memory_clock_hz=1.0e9,
+            bus_width_bits=256,
+        ),
+        noise=_QUIET,
+        mig_profiles={"1g": (1, 1), "2g": (2, 2)},
+        compute_throughput={
+            "fp64": 0.5e12,
+            "fp32": 1.0e12,
+            "tensor_fp16": 4.0e12,
+        },
+    )
+
+
+TEST_NV = _test_nv("TestGPU-NV", l1_segments=1, l2_segments=1)
+TEST_NV_2SEG = _test_nv("TestGPU-NV-2SEG", l1_segments=2, l2_segments=2)
+
+
+def _test_amd(name: str, with_l3: bool) -> GPUSpec:
+    caches = [
+        CacheSpec(
+            name="vL1",
+            size=4 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=2,
+            load_latency=40.0,
+            scope=CacheScope.SM,
+        ),
+        CacheSpec(
+            name="sL1d",
+            size=2 * KiB,
+            line_size=64,
+            fetch_granularity=64,
+            ways=2,
+            load_latency=25.0,
+            scope=CacheScope.CU_GROUP,
+            cu_share_group=2,
+        ),
+        CacheSpec(
+            name="L2",
+            size=16 * KiB if with_l3 else 32 * KiB,
+            line_size=128,
+            fetch_granularity=64,
+            ways=4,
+            load_latency=80.0,
+            scope=CacheScope.GPU,
+            segments=2 if with_l3 else 1,
+            size_via_api=True,
+            line_size_via_api=True,
+            segments_via_api=True,
+            bandwidth_measured=True,
+            read_bandwidth=120.0 * GiBps,
+            write_bandwidth=90.0 * GiBps,
+        ),
+    ]
+    if with_l3:
+        caches.append(
+            CacheSpec(
+                name="L3",
+                size=128 * KiB,
+                line_size=128,
+                fetch_granularity=64,
+                ways=4,
+                load_latency=150.0,
+                scope=CacheScope.GPU,
+                segments=1,
+                size_via_api=True,
+                line_size_via_api=True,
+                segments_via_api=True,
+                bandwidth_measured=True,
+                read_bandwidth=90.0 * GiBps,
+                write_bandwidth=70.0 * GiBps,
+            )
+        )
+    return GPUSpec(
+        name=name,
+        vendor=Vendor.AMD,
+        microarchitecture="CDNA3" if with_l3 else "CDNA2",
+        chip="TEST",
+        compute_capability="gfxtest",
+        core_clock_hz=1.0e9,
+        compute=ComputeSpec(
+            num_sms=8,
+            cores_per_sm=64,
+            warp_size=64,
+            max_blocks_per_sm=8,
+            max_threads_per_block=256,
+            max_threads_per_sm=512,
+            registers_per_block=32768,
+            registers_per_sm=32768,
+            num_clusters=2 if with_l3 else 1,
+            simds_per_sm=4,
+            # 8 active CUs on a 12-CU die; CUs 2 and 6 have fused-off sL1d
+            # partners (3 and 7), giving them exclusive sL1d capacity.
+            physical_cu_ids=(0, 1, 2, 4, 5, 6, 8, 9),
+        ),
+        caches=tuple(caches),
+        scratchpad=ScratchpadSpec(name="LDS", size=4 * KiB, load_latency=12.0),
+        memory=MemorySpec(
+            size=1 * GiB,
+            load_latency=250.0,
+            read_bandwidth=60.0 * GiBps,
+            write_bandwidth=50.0 * GiBps,
+            memory_clock_hz=1.0e9,
+            bus_width_bits=512,
+        ),
+        noise=_QUIET,
+    )
+
+
+TEST_AMD = _test_amd("TestGPU-AMD", with_l3=False)
+TEST_AMD_L3 = _test_amd("TestGPU-AMD-L3", with_l3=True)
+
+TESTING_PRESETS = {
+    spec.name: spec for spec in (TEST_NV, TEST_NV_2SEG, TEST_AMD, TEST_AMD_L3)
+}

@@ -1,0 +1,24 @@
+"""The paper's three integration use-cases (Section VI).
+
+* :mod:`repro.integrations.perfmodel` — the Hong & Kim CWP/MWP analytical
+  performance model, parameterised from an MT4G report (VI-A);
+* :mod:`repro.integrations.gpuscout` — GPUscout-GUI's memory-graph
+  context: NCU-like counters joined with MT4G sizes plus bottleneck
+  recommendations (VI-B, Fig. 4);
+* :mod:`repro.integrations.syssage` — a sys-sage-style topology store
+  combining the static MT4G report with dynamic MIG queries (VI-C,
+  Fig. 5).
+"""
+
+from repro.integrations.gpuscout import GPUscoutContext, NCUCounters
+from repro.integrations.perfmodel import ApplicationParams, GPUParams, HongKimModel
+from repro.integrations.syssage import SysSageTopology
+
+__all__ = [
+    "ApplicationParams",
+    "GPUParams",
+    "HongKimModel",
+    "GPUscoutContext",
+    "NCUCounters",
+    "SysSageTopology",
+]

@@ -1,0 +1,222 @@
+"""GPUscout-GUI integration (paper Section VI-B, Fig. 4).
+
+GPUscout detects memory-related kernel bottlenecks from Nsight-Compute
+counters; its GUI renders a *memory graph* — kernel, L1, L2, DRAM and
+Shared-Memory nodes with per-level traffic and hit rates — and MT4G
+supplies the hardware context: cache sizes, amounts and sharing.  With
+both, the recommendations become quantitative ("your per-block working
+set is 1.7x the 238 KiB L1") instead of guesses.
+
+:class:`NCUCounters` stands in for the profiler output; the
+:class:`GPUscoutContext` joins it with a :class:`TopologyReport` into a
+:mod:`networkx` memory graph plus rule-based recommendations, mirroring
+the GUI's Memory Graph component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.report import TopologyReport
+from repro.errors import ReproError
+from repro.units import format_size
+
+__all__ = ["NCUCounters", "Recommendation", "GPUscoutContext"]
+
+
+@dataclass(frozen=True)
+class NCUCounters:
+    """The subset of Nsight-Compute counters GPUscout consumes."""
+
+    kernel_name: str
+    l1_hit_rate: float  # [0, 1]
+    l2_hit_rate: float  # [0, 1]
+    l1_bytes: int  # traffic entering L1 from the kernel
+    l2_bytes: int  # traffic L1 -> L2
+    dram_bytes: int  # traffic L2 -> DRAM
+    registers_per_thread: int
+    threads_per_block: int
+    blocks_per_sm: int
+    shared_bytes_per_block: int = 0
+    local_spill_bytes: int = 0
+    working_set_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        for rate in (self.l1_hit_rate, self.l2_hit_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError("hit rates must be in [0, 1]")
+        if min(self.l1_bytes, self.l2_bytes, self.dram_bytes) < 0:
+            raise ReproError("traffic byte counters must be non-negative")
+        if self.threads_per_block <= 0 or self.blocks_per_sm <= 0:
+            raise ReproError("launch geometry must be positive")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One GPUscout-style tuning hint, backed by MT4G numbers."""
+
+    severity: str  # "info" | "warning" | "critical"
+    code: str
+    message: str
+
+
+class GPUscoutContext:
+    """Joins profiler counters with MT4G topology for one kernel."""
+
+    #: element names per vendor-agnostic role
+    _L1_ROLE = ("L1", "vL1")
+    _SHARED_ROLE = ("SharedMem", "LDS")
+
+    def __init__(self, report: TopologyReport, counters: NCUCounters) -> None:
+        self.report = report
+        self.counters = counters
+
+    # ------------------------------------------------------------------ #
+    # element helpers                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _first_element(self, names: tuple[str, ...]) -> str:
+        for name in names:
+            if name in self.report.memory:
+                return name
+        raise ReproError(f"report has none of {names}")
+
+    def _size_of(self, element: str) -> int | None:
+        value = self.report.attribute(element, "size").value
+        return int(value) if value is not None else None
+
+    # ------------------------------------------------------------------ #
+    # the memory graph (Fig. 4)                                           #
+    # ------------------------------------------------------------------ #
+
+    def memory_graph(self) -> nx.DiGraph:
+        """Kernel -> L1 -> L2 -> DRAM graph with sizes, rates and traffic."""
+        c = self.counters
+        l1 = self._first_element(self._L1_ROLE)
+        shared = self._first_element(self._SHARED_ROLE)
+        graph = nx.DiGraph()
+        graph.add_node(
+            "Kernel",
+            kind="kernel",
+            name=c.kernel_name,
+            registers_per_thread=c.registers_per_thread,
+            threads_per_block=c.threads_per_block,
+        )
+        graph.add_node(
+            l1,
+            kind="cache",
+            size=self._size_of(l1),
+            hit_rate=c.l1_hit_rate,
+            amount=self.report.attribute(l1, "amount").value,
+            shared_with=self.report.attribute(l1, "shared_with").value,
+        )
+        graph.add_node(
+            "L2",
+            kind="cache",
+            size=self._size_of("L2"),
+            hit_rate=c.l2_hit_rate,
+            amount=self.report.attribute("L2", "amount").value,
+        )
+        graph.add_node(
+            "DeviceMemory",
+            kind="memory",
+            size=self._size_of("DeviceMemory"),
+            read_bandwidth=self.report.attribute("DeviceMemory", "read_bandwidth").value,
+        )
+        graph.add_node(shared, kind="scratchpad", size=self._size_of(shared))
+        graph.add_edge("Kernel", l1, bytes=c.l1_bytes)
+        graph.add_edge(l1, "L2", bytes=c.l2_bytes)
+        graph.add_edge("L2", "DeviceMemory", bytes=c.dram_bytes)
+        graph.add_edge("Kernel", shared, bytes=c.shared_bytes_per_block * c.blocks_per_sm)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # recommendations                                                     #
+    # ------------------------------------------------------------------ #
+
+    def recommendations(self) -> list[Recommendation]:
+        """Rule-based hints, each grounded in an MT4G attribute.
+
+        The rules mirror the examples the paper names: register spilling
+        is tied to the registers per SM, the L1 hit rate to the L1 size,
+        and block-dimension redesign to whether the working set fits L1.
+        """
+        recs: list[Recommendation] = []
+        c = self.counters
+        compute = self.report.compute
+        l1_name = self._first_element(self._L1_ROLE)
+        l1_size = self._size_of(l1_name)
+        shared_name = self._first_element(self._SHARED_ROLE)
+        shared_size = self._size_of(shared_name)
+
+        regs_needed = c.registers_per_thread * c.threads_per_block * c.blocks_per_sm
+        if regs_needed > compute.registers_per_sm or c.local_spill_bytes > 0:
+            recs.append(
+                Recommendation(
+                    "critical",
+                    "register-spilling",
+                    f"kernel needs {regs_needed} registers per SM but the GPU "
+                    f"provides {compute.registers_per_sm}; spills of "
+                    f"{c.local_spill_bytes} B go through the memory hierarchy — "
+                    "reduce per-thread registers or shrink the block",
+                )
+            )
+
+        if l1_size is not None and c.working_set_per_block:
+            ws = c.working_set_per_block * c.blocks_per_sm
+            if ws > l1_size and c.l1_hit_rate < 0.8:
+                recs.append(
+                    Recommendation(
+                        "warning",
+                        "l1-working-set",
+                        f"per-SM working set {format_size(ws)} exceeds the "
+                        f"{format_size(l1_size)} L1 ({c.l1_hit_rate:.0%} hit rate) — "
+                        "redesign block dimensions so a block's tile fits in L1",
+                    )
+                )
+            elif ws <= l1_size and c.l1_hit_rate < 0.5:
+                recs.append(
+                    Recommendation(
+                        "info",
+                        "l1-thrash-pattern",
+                        f"working set {format_size(ws)} fits the L1 but the hit "
+                        f"rate is only {c.l1_hit_rate:.0%} — check for strided or "
+                        "conflict-heavy access patterns",
+                    )
+                )
+
+        l2_size = self._size_of("L2")
+        if l2_size is not None and c.l2_hit_rate < 0.5 and c.dram_bytes > c.l2_bytes // 2:
+            recs.append(
+                Recommendation(
+                    "warning",
+                    "l2-capacity",
+                    f"L2 hit rate {c.l2_hit_rate:.0%} with heavy DRAM traffic — "
+                    f"tile the problem to the {format_size(l2_size)} L2 "
+                    "(one SM only reaches one segment)",
+                )
+            )
+
+        if shared_size is not None and c.shared_bytes_per_block:
+            per_sm = c.shared_bytes_per_block * c.blocks_per_sm
+            if per_sm > shared_size:
+                recs.append(
+                    Recommendation(
+                        "critical",
+                        "shared-oversubscribed",
+                        f"blocks request {format_size(per_sm)} of "
+                        f"{shared_name} per SM but only "
+                        f"{format_size(shared_size)} exists — occupancy will drop",
+                    )
+                )
+        if not recs:
+            recs.append(
+                Recommendation(
+                    "info",
+                    "no-bottleneck",
+                    "no memory-related bottleneck detected by the rules",
+                )
+            )
+        return recs

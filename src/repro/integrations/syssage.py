@@ -1,0 +1,180 @@
+"""sys-sage integration (paper Section VI-C, Fig. 5).
+
+sys-sage manages HPC system topologies as a component tree; MT4G's report
+supplies the *static* GPU topology, and dynamic nvml queries supply the
+*current* MIG partitioning.  The combination answers the question Fig. 5
+poses: *how much L2 does a kernel on one SM actually see right now?*
+
+Key reproduction targets:
+
+* :meth:`SysSageTopology.effective_l2_per_sm` — the value behind Fig. 5's
+  vertical lines: one SM reaches at most one L2 segment (the MT4G
+  "Amount" information), and never more than the MIG instance's slice —
+  which is why the full A100 and its ``4g.20gb`` instance coincide;
+* :meth:`SysSageTopology.stream_experiment` — the streaming-read sweep of
+  Fig. 5 (ns/B over array sizes) under the current MIG profile;
+* :meth:`SysSageTopology.tree` — the component tree (Machine -> GPU ->
+  memory/L2 segments + cluster -> SM -> L1/shared/cores) rendered as a
+  :mod:`networkx` DiGraph with attribute payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.api.nvml import nvml_mig_state
+from repro.core.report import TopologyReport
+from repro.errors import ReproError, SpecError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.mig import resolve_mig
+from repro.gpuspec.spec import Vendor
+
+__all__ = ["SysSageTopology"]
+
+
+class SysSageTopology:
+    """Static MT4G context + dynamic device state, sys-sage style."""
+
+    def __init__(self, report: TopologyReport, device: SimulatedGPU) -> None:
+        if report.general.model != f"{device.vendor.value} {device.name}":
+            raise ReproError(
+                "report/device mismatch: "
+                f"{report.general.model!r} vs {device.vendor.value} {device.name!r}"
+            )
+        self.report = report
+        self.device = device
+        self._mig = device.mig
+
+    # ------------------------------------------------------------------ #
+    # dynamic state                                                       #
+    # ------------------------------------------------------------------ #
+
+    def refresh(self) -> dict[str, object]:
+        """Re-query the dynamic configuration (nvml on NVIDIA)."""
+        if self.device.vendor is Vendor.NVIDIA:
+            state = nvml_mig_state(self.device)
+            self._mig = self.device.mig
+            return state
+        return {"mig_enabled": False, "profile": "full"}
+
+    def set_mig_profile(self, profile: str | None) -> None:
+        """Reconfigure the device's MIG instance and refresh the view."""
+        if profile not in (None, "full") and self.device.vendor is not Vendor.NVIDIA:
+            raise SpecError("MIG partitioning exists only on NVIDIA devices")
+        self.device.mig = resolve_mig(self.device.spec, profile)
+        self._mig = self.device.mig
+
+    # ------------------------------------------------------------------ #
+    # derived topology answers                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def visible_sms(self) -> int:
+        return self._mig.visible_sms(self.device.spec)
+
+    @property
+    def visible_dram_bytes(self) -> int:
+        return self._mig.visible_dram_bytes(self.device.spec)
+
+    def l2_segment_count(self) -> int:
+        """The MT4G 'Amount' of the L2 — static information."""
+        amount = self.report.attribute("L2", "amount").value
+        return int(amount) if amount else 1
+
+    def l2_total_size(self) -> int:
+        size = self.report.attribute("L2", "size").value
+        if size is None:
+            raise ReproError("report lacks an L2 size")
+        return int(size)
+
+    def effective_l2_per_sm(self) -> int:
+        """L2 capacity one SM can reach under the current configuration.
+
+        Combines three facts: the API-reported total (MT4G 'Size'), the
+        segment count (MT4G 'Amount' — crucial, per Fig. 5's observation
+        2), and the dynamic MIG memory fraction.  Without the Amount
+        information the full-GPU line would be drawn at the total size
+        and the observed performance cliff would not match it.
+        """
+        total = self.l2_total_size()
+        segment = total // self.l2_segment_count()
+        mig_visible = int(total * self._mig.memory_fraction)
+        return min(segment, mig_visible)
+
+    # ------------------------------------------------------------------ #
+    # the Fig. 5 experiment                                               #
+    # ------------------------------------------------------------------ #
+
+    def stream_experiment(
+        self, working_sets: np.ndarray, noisy: bool = True
+    ) -> np.ndarray:
+        """ns/B of a one-core streaming read over the given array sizes."""
+        mig = None if self._mig.profile == "full" else self._mig
+        return self.device.bandwidth.stream_sweep_ns_per_byte(
+            np.asarray(working_sets, dtype=np.float64), mig=mig, noisy=noisy
+        )
+
+    # ------------------------------------------------------------------ #
+    # the component tree                                                  #
+    # ------------------------------------------------------------------ #
+
+    def tree(self, max_sms: int = 4) -> nx.DiGraph:
+        """Render the combined topology as a component tree.
+
+        ``max_sms`` limits the expanded SM subtrees (a H100 has 132; the
+        tree keeps the first few and a summary node, like sys-sage GUIs
+        do).
+        """
+        r = self.report
+        g = nx.DiGraph()
+        g.add_node("machine", kind="Machine")
+        gpu_node = f"gpu:{self.device.name}"
+        g.add_node(
+            gpu_node,
+            kind="Chip",
+            vendor=r.general.vendor,
+            microarchitecture=r.general.microarchitecture,
+            mig_profile=self._mig.profile,
+        )
+        g.add_edge("machine", gpu_node)
+
+        dram = "memory:DRAM"
+        g.add_node(
+            dram,
+            kind="MemoryRegion",
+            size=self.visible_dram_bytes,
+            latency=r.attribute("DeviceMemory", "load_latency").value,
+        )
+        g.add_edge(gpu_node, dram)
+
+        segment_size = self.l2_total_size() // self.l2_segment_count()
+        for seg in range(self.l2_segment_count()):
+            node = f"cache:L2.{seg}"
+            g.add_node(node, kind="Cache", level=2, size=segment_size)
+            g.add_edge(gpu_node, node)
+
+        l1_name = "L1" if "L1" in r.memory else "vL1"
+        scratch = "SharedMem" if "SharedMem" in r.memory else "LDS"
+        shown = min(max_sms, self.visible_sms)
+        for sm in range(shown):
+            sm_node = f"sm:{sm}"
+            g.add_node(sm_node, kind="SM", cores=r.compute.cores_per_sm)
+            g.add_edge(gpu_node, sm_node)
+            l1_node = f"cache:{l1_name}.sm{sm}"
+            g.add_node(
+                l1_node,
+                kind="Cache",
+                level=1,
+                size=r.attribute(l1_name, "size").value,
+                shared_with=r.attribute(l1_name, "shared_with").value,
+            )
+            g.add_edge(sm_node, l1_node)
+            sp_node = f"scratchpad:{scratch}.sm{sm}"
+            g.add_node(sp_node, kind="Scratchpad", size=r.attribute(scratch, "size").value)
+            g.add_edge(sm_node, sp_node)
+        if self.visible_sms > shown:
+            rest = f"sm:+{self.visible_sms - shown}more"
+            g.add_node(rest, kind="SMGroup", count=self.visible_sms - shown)
+            g.add_edge(gpu_node, rest)
+        return g

@@ -1,0 +1,14 @@
+"""Host-side p-chase benchmark engine.
+
+The GPU side (address walking, cache effects, timing) lives in
+:mod:`repro.gpusim.kernel`; this package is the CPU side the paper
+describes in Section IV: "The setup, configuration, post-processing, and
+evaluation steps are executed on the CPU, while the actual benchmarking
+is performed on the GPU."
+"""
+
+from repro.pchase.arrays import exponential_sizes, linear_sizes
+from repro.pchase.config import PChaseConfig
+from repro.pchase.runner import PChaseRunner
+
+__all__ = ["PChaseRunner", "PChaseConfig", "exponential_sizes", "linear_sizes"]

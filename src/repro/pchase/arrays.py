@@ -1,0 +1,45 @@
+"""Size-grid construction for sweep benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exponential_sizes", "linear_sizes"]
+
+
+def exponential_sizes(lo: int, hi: int) -> np.ndarray:
+    """Doubling grid from ``lo`` up to and including at least ``hi``.
+
+    Used by the size benchmark's bound-finding phase (Section IV-B
+    workflow step 1): start at the lower search bound and double until
+    the array exceeds the cache.
+    """
+    if lo <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    sizes = [lo]
+    while sizes[-1] < hi:
+        sizes.append(sizes[-1] * 2)
+    return np.asarray(sizes, dtype=np.int64)
+
+
+def linear_sizes(lo: int, hi: int, step: int, max_points: int) -> np.ndarray:
+    """Linear grid from ``lo`` to ``hi`` inclusive.
+
+    The natural step is the fetch granularity (Section IV-B workflow step
+    2: finer steps re-access sectors, coarser steps skip lines); when the
+    interval would exceed ``max_points`` runs, the step grows to the next
+    multiple of ``step`` that fits — the paper's coarse-measurement mode.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if step <= 0 or max_points < 2:
+        raise ValueError("step must be positive, max_points >= 2")
+    span = hi - lo
+    natural_points = span // step + 1
+    if natural_points > max_points:
+        multiplier = -(-span // (step * (max_points - 1)))
+        step = step * multiplier
+    grid = np.arange(lo, hi + 1, step, dtype=np.int64)
+    if grid[-1] != hi:
+        grid = np.append(grid, np.int64(hi))
+    return grid

@@ -1,0 +1,165 @@
+"""The host-side p-chase driver: buffers, runs, sweeps.
+
+Owns the benchmark buffers (one reusable arena slot per address space, so
+repeated sweeps do not exhaust the device allocator) and exposes the three
+measurement primitives every Section-IV benchmark builds on:
+
+* :meth:`PChaseRunner.latencies` — one fine-grained p-chase run;
+* :meth:`PChaseRunner.sweep` — a latency matrix over array sizes;
+* :meth:`PChaseRunner.probe` — cold/warm probe passes for the protocols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.isa import LoadKind, MemorySpace, space_for_kind
+from repro.gpusim.kernel import probe_hits, run_pchase, warm
+from repro.pchase.config import PChaseConfig
+
+__all__ = ["PChaseRunner"]
+
+_SHARED_BASE = 1 << 28
+
+
+class PChaseRunner:
+    """Stateful driver bound to one simulated device."""
+
+    def __init__(self, device: SimulatedGPU, config: PChaseConfig | None = None) -> None:
+        self.device = device
+        self.config = config or PChaseConfig()
+        self._buffers: dict[tuple[MemorySpace, int], tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # buffers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def buffer(self, kind: LoadKind, nbytes: int, slot: int = 0) -> int:
+        """Base address of a buffer large enough for ``nbytes``.
+
+        Buffers are cached per (address space, slot) and only re-allocated
+        when they must grow; the cooperative protocols use two slots of
+        the same space (arrays A and B of Sections IV-F..H).  The
+        shared-memory space needs no arena (loads never touch a cache)
+        and uses fixed scratch addresses.
+        """
+        if nbytes <= 0:
+            raise SimulationError("buffer size must be positive")
+        space = space_for_kind(kind)
+        if space is MemorySpace.SHARED:
+            if nbytes > self.device.spec.scratchpad.size:
+                raise SimulationError(
+                    f"shared buffer of {nbytes} B exceeds the "
+                    f"{self.device.spec.scratchpad.size} B scratchpad"
+                )
+            return _SHARED_BASE + slot * (64 << 10)
+        key = (space, slot)
+        cached = self._buffers.get(key)
+        if cached is not None and cached[1] >= nbytes:
+            return cached[0]
+        if space is MemorySpace.CONSTANT:
+            # The whole constant bank is allocated once — it cannot grow.
+            # Slot 1 (the cooperative protocols' array B) lives in the
+            # upper half; a full-bank slot-0 sweep and a slot-1 array are
+            # never live simultaneously (benchmarks flush between runs).
+            limit = self.device.memory.constant_limit
+            if (MemorySpace.CONSTANT, 0) not in self._buffers:
+                base = self.device.alloc(space, limit)
+                self._buffers[(MemorySpace.CONSTANT, 0)] = (base, limit)
+            base = self._buffers[(MemorySpace.CONSTANT, 0)][0]
+            if slot not in (0, 1):
+                raise SimulationError("the constant bank offers two slots")
+            offset = 0 if slot == 0 else limit // 2
+            if nbytes > limit - offset:
+                raise SimulationError(
+                    f"constant buffer of {nbytes} B exceeds the available "
+                    f"{limit - offset} B of the bank (slot {slot})"
+                )
+            return base + offset
+        granted = max(nbytes, 1 << 16)
+        base = self.device.alloc(space, granted)
+        self._buffers[key] = (base, granted)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # measurement primitives                                              #
+    # ------------------------------------------------------------------ #
+
+    def latencies(
+        self,
+        kind: LoadKind,
+        nbytes: int,
+        stride: int,
+        sm: int = 0,
+        core: int = 0,
+        fresh: bool = True,
+        warmup: bool = True,
+        n_samples: int | None = None,
+        slot: int = 0,
+    ) -> np.ndarray:
+        """One p-chase run; returns the first-N observed latencies."""
+        base = self.buffer(kind, nbytes, slot)
+        return run_pchase(
+            self.device,
+            kind,
+            base,
+            nbytes,
+            stride,
+            n_samples=n_samples or self.config.n_samples,
+            sm=sm,
+            core=core,
+            warmup_passes=self.config.warmup_passes if warmup else 0,
+            flush=fresh,
+        )
+
+    def sweep(
+        self,
+        kind: LoadKind,
+        sizes: np.ndarray,
+        stride: int,
+        sm: int = 0,
+        core: int = 0,
+    ) -> np.ndarray:
+        """Latency matrix: one fresh p-chase run per array size."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.size == 0:
+            raise SimulationError("sweep requires at least one size")
+        matrix = np.empty((sizes.size, self.config.n_samples), dtype=np.float64)
+        for i, size in enumerate(sizes):
+            matrix[i] = self.latencies(kind, int(size), stride, sm=sm, core=core)
+        return matrix
+
+    def warm(
+        self,
+        kind: LoadKind,
+        nbytes: int,
+        stride: int,
+        sm: int = 0,
+        core: int = 0,
+        slot: int = 0,
+    ) -> None:
+        """Untimed warm pass over a buffer (protocol building block)."""
+        base = self.buffer(kind, nbytes, slot)
+        addrs = base + np.arange(nbytes // stride, dtype=np.int64) * stride
+        warm(self.device, kind, addrs, sm=sm, core=core)
+
+    def probe(
+        self,
+        kind: LoadKind,
+        nbytes: int,
+        stride: int,
+        sm: int = 0,
+        core: int = 0,
+        n_samples: int | None = None,
+        slot: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Timed probe pass (no warm-up): (first-level hits, latencies)."""
+        base = self.buffer(kind, nbytes, slot)
+        count = nbytes // stride
+        if count == 0:
+            raise SimulationError("probe array smaller than one stride")
+        n = min(n_samples or self.config.n_samples, count)
+        addrs = base + np.arange(n, dtype=np.int64) * stride
+        return probe_hits(self.device, kind, addrs, sm=sm, core=core)

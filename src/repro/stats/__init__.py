@@ -1,0 +1,36 @@
+"""Statistical auto-evaluation of microbenchmark results.
+
+The paper's contribution C3: raw per-load latencies in, reliable
+topological attributes out.  The pipeline is
+
+1. :mod:`~repro.stats.reduction` — collapse each size's latency vector to
+   one scalar via the geometric mapping of Grundy et al. (paper Eq. 2);
+2. :mod:`~repro.stats.outliers` — robust spike detection driving the
+   interval-widening loop (workflow step 3 of Section IV-B);
+3. :mod:`~repro.stats.kstest` + :mod:`~repro.stats.changepoint` — the
+   two-sample Kolmogorov-Smirnov change-point detector with the critical
+   value of paper Eq. 1;
+4. :mod:`~repro.stats.heuristics` — the cache-line-size amplification
+   heuristics of Section IV-E;
+5. :mod:`~repro.stats.descriptive` — latency summaries (mean, p50, p95).
+"""
+
+from repro.stats.changepoint import ChangePoint, detect_change_point
+from repro.stats.descriptive import LatencyStats, summarize
+from repro.stats.kstest import KSResult, ks_2sample, ks_critical_value, ks_distance
+from repro.stats.outliers import find_outliers, near_interval_edge
+from repro.stats.reduction import geometric_reduction
+
+__all__ = [
+    "ChangePoint",
+    "detect_change_point",
+    "LatencyStats",
+    "summarize",
+    "KSResult",
+    "ks_2sample",
+    "ks_critical_value",
+    "ks_distance",
+    "find_outliers",
+    "near_interval_edge",
+    "geometric_reduction",
+]

@@ -1,0 +1,53 @@
+"""Descriptive latency statistics (paper Section IV-C).
+
+The load-latency benchmarks report "the average as a main result, and a
+set of statistical values, such as p50, p95, or standard deviation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample, in clock cycles."""
+
+    mean: float
+    p50: float
+    p95: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "count": float(self.count),
+        }
+
+
+def summarize(latencies: np.ndarray) -> LatencyStats:
+    """Compute the paper's latency summary for one sample vector."""
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size == 0:
+        raise ValueError("cannot summarize an empty latency sample")
+    return LatencyStats(
+        mean=float(lat.mean()),
+        p50=float(np.percentile(lat, 50)),
+        p95=float(np.percentile(lat, 95)),
+        std=float(lat.std(ddof=1)) if lat.size > 1 else 0.0,
+        minimum=float(lat.min()),
+        maximum=float(lat.max()),
+        count=int(lat.size),
+    )

@@ -1,0 +1,130 @@
+"""Cache-line-size evaluation heuristics (paper Section IV-E).
+
+The premise (paper IV-E): the size benchmark evicts lines because its
+stride is below the line size; a stride *above* the line size skips whole
+lines, so the cache appears larger.  Quantitatively, for a cache of
+capacity ``C`` and line size ``L`` probed with stride ``s``:
+
+* ``s <= L`` — every line is touched; the apparent capacity (the array
+  size where misses start) is ``C``;
+* ``s > L``, ``s`` not a multiple of ``L`` (or an odd multiple) — one
+  line per element, all sets covered; apparent capacity is ``C * s / L``;
+* ``s`` an even multiple of ``L`` (power-of-two set counts) — only a
+  fraction of the sets is reachable and the apparent capacity *aliases*
+  back to ``C``.  These are the "aliased outliers" the paper's
+  heuristics must survive.
+
+:func:`estimate_cache_line_size` inverts that relation: every stride
+whose apparent-capacity ratio ``r(s) = C*(s)/C`` clearly exceeds 1 votes
+for ``L = s / r(s)``; aliased strides conveniently disqualify themselves
+(their ratio stays ~1), and the median vote is snapped to a power of two
+(the paper's final assumption).
+
+:func:`similarity_scores` / :func:`amplify_scores` implement the paper's
+original pivot/MAX weighting formulation; they are kept as the
+lower-level building blocks (and exercised by tests), while the
+apparent-capacity estimator is what the benchmark drives, because it
+degrades more gracefully when profile magnitudes differ between strides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import round_to_power_of_two
+
+__all__ = [
+    "similarity_scores",
+    "amplify_scores",
+    "estimate_cache_line_size",
+]
+
+_EPS = 1e-12
+
+#: A stride counts as "shifted" (line-skipping) when its apparent
+#: capacity exceeds the base capacity by at least this factor.
+_SHIFT_THRESHOLD = 1.30
+
+
+def similarity_scores(profiles: np.ndarray) -> np.ndarray:
+    """Per-stride similarity to the MAX profile, in [0, 1].
+
+    ``profiles`` has shape (n_strides, n_sizes); row 0 is the pivot, the
+    last row is MAX.  A score of 0 means "behaves like the pivot", 1
+    means "behaves like MAX".  Column weights grow linearly with the
+    array-size index (the paper's heuristic: larger arrays weigh more).
+    """
+    p = np.asarray(profiles, dtype=np.float64)
+    if p.ndim != 2 or p.shape[0] < 3:
+        raise ValueError("need at least pivot, one candidate and MAX profiles")
+    pivot, maxp = p[0], p[-1]
+    weights = np.arange(1, p.shape[1] + 1, dtype=np.float64)
+    weights /= weights.sum()
+    d_pivot = np.abs(p - pivot)
+    d_max = np.abs(p - maxp)
+    ratio = d_pivot / (d_pivot + d_max + _EPS)
+    return ratio @ weights
+
+
+def amplify_scores(scores: np.ndarray) -> np.ndarray:
+    """Monotone amplification above the pivot->MAX crossing.
+
+    Once a stride is more MAX-like than pivot-like (score > 0.5), no
+    later stride may fall back below the running maximum: aliasing can
+    only *reduce* apparent misses spuriously, never increase them.
+    """
+    s = np.asarray(scores, dtype=np.float64).copy()
+    crossing = np.flatnonzero(s > 0.5)
+    if crossing.size:
+        start = int(crossing[0])
+        s[start:] = np.maximum.accumulate(s[start:])
+    return s
+
+
+def estimate_cache_line_size(
+    strides: np.ndarray,
+    apparent_capacities: np.ndarray,
+    fetch_granularity: int,
+) -> tuple[int | None, float]:
+    """Estimate (line_size, confidence) from apparent capacities.
+
+    ``apparent_capacities[i]`` is the measured capacity boundary when
+    probing with ``strides[i]``; the first stride must be at or below the
+    line size (the benchmark uses the fetch granularity, and a line holds
+    at least one sector).  Returns ``(None, 0.0)`` when no stride shifted
+    the boundary — the grid never exceeded the line size.
+    """
+    strides = np.asarray(strides, dtype=np.float64)
+    apparent = np.asarray(apparent_capacities, dtype=np.float64)
+    if strides.shape != apparent.shape or strides.size < 2:
+        raise ValueError("need matching stride/capacity arrays of length >= 2")
+    if np.any(apparent <= 0):
+        raise ValueError("apparent capacities must be positive")
+    base = float(apparent[0])
+    ratios = apparent / base
+    shifted = ratios >= _SHIFT_THRESHOLD
+    if not shifted.any():
+        return None, 0.0
+    votes = strides[shifted] / ratios[shifted]
+    # Partial aliasing (a stride at an even-but-not-power-of-two multiple
+    # of the line covers only 1/2^k of the sets) inflates a vote to
+    # line * 2^k — never below the true line.  The smallest snapped vote
+    # cluster with any support is therefore the line size.
+    snapped = np.array(
+        [max(int(fetch_granularity), round_to_power_of_two(float(v))) for v in votes]
+    )
+    candidates, counts = np.unique(snapped, return_counts=True)
+    line = None
+    for cand, count in zip(candidates, counts):
+        if count >= 2 or candidates.size == 1:
+            line = int(cand)
+            support = int(count)
+            break
+    if line is None:  # all singletons: trust the smallest
+        line = int(candidates[0])
+        support = 1
+    cluster = votes[snapped == line]
+    rel_err = float(np.median(np.abs(cluster - line)) / line)
+    agreement = support / votes.size
+    confidence = float(np.clip(agreement * (1.0 - 2.0 * rel_err), 0.0, 1.0))
+    return line, confidence

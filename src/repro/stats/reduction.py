@@ -1,0 +1,59 @@
+"""Dimension reduction of raw p-chase matrices (paper Eq. 2).
+
+Each size benchmark produces a 2-D result: one latency vector per array
+size.  Before change-point detection the paper reduces each vector to a
+single scalar with the geometrically-inspired mapping of Grundy et al.:
+
+    S_i = sqrt( sum_j (r_ij - min(r))^2 )
+
+where ``min(r)`` is the *global* minimum over the whole matrix.  The
+reduction is monotone in both the number and the magnitude of slow loads,
+which is why Fig. 2 shows it exposing the change point far more clearly
+than per-size maxima (outlier-prone) or means (diluted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["geometric_reduction", "reduce_matrix_rows"]
+
+
+def geometric_reduction(matrix: np.ndarray, global_min: float | None = None) -> np.ndarray:
+    """Reduce an (n_sizes, n_samples) latency matrix to n_sizes scalars.
+
+    ``global_min`` defaults to the matrix minimum (paper Eq. 2); callers
+    with streaming data may pass a precomputed floor instead.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D latency matrix, got ndim={m.ndim}")
+    if m.size == 0:
+        raise ValueError("latency matrix must be non-empty")
+    floor = float(m.min()) if global_min is None else float(global_min)
+    deltas = m - floor
+    return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+
+
+def reduce_matrix_rows(rows: list[np.ndarray], global_min: float | None = None) -> np.ndarray:
+    """Ragged-row variant: rows may have different sample counts.
+
+    Each row is normalised by ``sqrt(len(row))`` so that rows of unequal
+    length remain comparable (the p-chase stores first-N samples, but N
+    can shrink for tiny arrays).
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    floor = (
+        min(float(np.min(r)) for r in rows) if global_min is None else float(global_min)
+    )
+    out = np.empty(len(rows), dtype=np.float64)
+    for i, row in enumerate(rows):
+        r = np.asarray(row, dtype=np.float64)
+        if r.size == 0:
+            raise ValueError(f"row {i} is empty")
+        d = r - floor
+        out[i] = np.sqrt(float(d @ d) / r.size) * np.sqrt(
+            max(len(r) for r in rows)
+        )
+    return out

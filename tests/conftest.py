@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Full discoveries are session-scoped: the four synthetic test GPUs cover
+the pipeline in a few seconds total, and many test modules assert against
+the same reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.gpuspec.presets import get_preset
+from repro.gpuspec.spec import ComputeSpec, GPUSpec, Quirk
+
+
+@pytest.fixture(scope="session")
+def nv_device() -> SimulatedGPU:
+    return SimulatedGPU.from_preset("TestGPU-NV", seed=11)
+
+
+@pytest.fixture(scope="session")
+def nv_report(nv_device):
+    return MT4G(nv_device).discover()
+
+@pytest.fixture(scope="session")
+def nv2seg_report():
+    device = SimulatedGPU.from_preset("TestGPU-NV-2SEG", seed=11)
+    return MT4G(device).discover()
+
+
+@pytest.fixture(scope="session")
+def amd_device() -> SimulatedGPU:
+    return SimulatedGPU.from_preset("TestGPU-AMD", seed=11)
+
+
+@pytest.fixture(scope="session")
+def amd_report(amd_device):
+    return MT4G(amd_device).discover()
+
+
+@pytest.fixture(scope="session")
+def amd_l3_report():
+    device = SimulatedGPU.from_preset("TestGPU-AMD-L3", seed=11)
+    return MT4G(device).discover()
+
+
+def make_quirked_nv(quirks: frozenset[Quirk], cores_per_sm: int = 128) -> GPUSpec:
+    """TestGPU-NV variant with quirks and enough warps to trigger them."""
+    base = get_preset("TestGPU-NV")
+    compute = dataclasses.replace(
+        base.compute,
+        cores_per_sm=cores_per_sm,
+        max_threads_per_sm=max(base.compute.max_threads_per_sm, cores_per_sm * 4),
+    )
+    return dataclasses.replace(
+        base, name=f"{base.name}-quirk", compute=compute, quirks=quirks
+    )
+
+
+def make_quirked_amd(quirks: frozenset[Quirk]) -> GPUSpec:
+    base = get_preset("TestGPU-AMD")
+    return dataclasses.replace(base, name=f"{base.name}-quirk", quirks=quirks)

@@ -1,0 +1,113 @@
+"""Tests for the emulated vendor APIs — including their *gaps*."""
+
+import pytest
+
+from repro.api import (
+    cuda_get_device_properties,
+    hip_get_device_properties,
+    hsa_cache_info,
+    kfd_cache_line_sizes,
+    nvml_mig_state,
+)
+from repro.errors import APIUnavailableError
+from repro.gpusim.device import SimulatedGPU
+
+
+@pytest.fixture
+def h100():
+    return SimulatedGPU.from_preset("H100-80", seed=0)
+
+
+@pytest.fixture
+def mi210():
+    return SimulatedGPU.from_preset("MI210", seed=0)
+
+
+class TestHip:
+    def test_works_on_both_vendors(self, h100, mi210):
+        for dev in (h100, mi210):
+            props = hip_get_device_properties(dev)
+            assert props.multiProcessorCount == dev.spec.compute.num_sms
+            assert props.totalGlobalMem == dev.spec.memory.size
+
+    def test_l2_reports_total_across_segments(self, h100):
+        props = hip_get_device_properties(h100)
+        l2 = h100.spec.cache("L2")
+        assert props.l2CacheSize == l2.size * l2.segments  # 50 MB, fn. 13
+
+    def test_compute_capability(self, h100, mi210):
+        assert hip_get_device_properties(h100).compute_capability == "9.0"
+        assert hip_get_device_properties(mi210).gcnArchName == "gfx90a"
+
+    def test_clock_in_khz(self, h100):
+        assert hip_get_device_properties(h100).clockRate == int(1.98e9 / 1000)
+
+    def test_shared_mem(self, mi210):
+        assert hip_get_device_properties(mi210).sharedMemPerBlock == 64 * 1024
+
+    def test_mig_restricts_visible_sms(self):
+        dev = SimulatedGPU.from_preset("A100", seed=0, mig_profile="1g.5gb")
+        props = hip_get_device_properties(dev)
+        assert props.multiProcessorCount == (108 * 1) // 7
+
+
+class TestCuda:
+    def test_mirrors_hip_on_nvidia(self, h100):
+        c = cuda_get_device_properties(h100)
+        h = hip_get_device_properties(h100)
+        assert c.l2CacheSize == h.l2CacheSize
+        assert c.multiProcessorCount == h.multiProcessorCount
+
+    def test_unavailable_on_amd(self, mi210):
+        with pytest.raises(APIUnavailableError):
+            cuda_get_device_properties(mi210)
+
+
+class TestHsa:
+    def test_l2_info(self, mi210):
+        info = hsa_cache_info(mi210)
+        assert info["L2"] == {"size": 8 * 1024 * 1024, "instances": 1}
+
+    def test_l3_on_cdna3(self):
+        dev = SimulatedGPU.from_preset("MI300X", seed=0)
+        info = hsa_cache_info(dev)
+        assert info["L2"]["instances"] == 8  # one per XCD
+        assert "L3" in info
+
+    def test_no_l1_exposure(self, mi210):
+        # Table I: vL1/sL1d sizes are benchmark territory.
+        info = hsa_cache_info(mi210)
+        assert "vL1" not in info and "sL1d" not in info
+
+    def test_unavailable_on_nvidia(self, h100):
+        with pytest.raises(APIUnavailableError):
+            hsa_cache_info(h100)
+
+
+class TestKfd:
+    def test_line_sizes(self, mi210):
+        lines = kfd_cache_line_sizes(mi210)
+        assert lines["L2"] == 128
+        assert "vL1" not in lines
+
+    def test_unavailable_on_nvidia(self, h100):
+        with pytest.raises(APIUnavailableError):
+            kfd_cache_line_sizes(h100)
+
+
+class TestNvml:
+    def test_full_gpu(self, h100):
+        state = nvml_mig_state(h100)
+        assert state["mig_enabled"] is False
+        assert state["visible_sms"] == 132
+
+    def test_mig_instance(self):
+        dev = SimulatedGPU.from_preset("A100", seed=0, mig_profile="4g.20gb")
+        state = nvml_mig_state(dev)
+        assert state["mig_enabled"] is True
+        assert state["memory_fraction"] == pytest.approx(0.5)
+        assert state["visible_dram_bytes"] == 20 * 1024**3
+
+    def test_unavailable_on_amd(self, mi210):
+        with pytest.raises(APIUnavailableError):
+            nvml_mig_state(mi210)

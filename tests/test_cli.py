@@ -1,0 +1,73 @@
+"""Tests for the mt4g command-line interface."""
+
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.gpu == "H100-80"
+        assert args.seed == 0
+        assert args.json is None
+
+    def test_flag_with_default_filename(self):
+        args = build_parser().parse_args(["-j"])
+        assert args.json == ""
+
+    def test_flag_with_explicit_filename(self):
+        args = build_parser().parse_args(["-j", "out.json"])
+        assert args.json == "out.json"
+
+    def test_mem_repeatable(self):
+        args = build_parser().parse_args(["--mem", "L1", "--mem", "L2"])
+        assert args.mem == ["L1", "L2"]
+
+    def test_cache_config_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--cache-config", "PreferChaos"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "H100-80" in out and "TestGPU-NV" in out
+
+    def test_unknown_gpu_fails(self, capsys):
+        assert main(["--gpu", "B200"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_quiet_json_run(self, capsys):
+        rc = main(["--gpu", "TestGPU-AMD", "--mem", "LDS", "--mem",
+                   "DeviceMemory", "-q", "--seed", "5"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["general"]["vendor"] == "AMD"
+        assert set(report["memory"]) == {"LDS", "DeviceMemory"}
+
+    def test_bad_mem_element(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--gpu", "TestGPU-NV", "--mem", "vL1", "-q"])
+
+    def test_output_files(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "--gpu", "TestGPU-NV", "--mem", "SharedMem", "-q",
+            "-j", "r.json", "-p", "r.md", "--csv", "r.csv", "-o", "r_raw.json",
+        ])
+        assert rc == 0
+        assert (tmp_path / "r.json").exists()
+        assert (tmp_path / "r.md").exists()
+        assert (tmp_path / "r.csv").exists()
+        raw = json.loads((tmp_path / "r_raw.json").read_text())
+        assert raw["benchmarks_executed"] >= 1
+
+    def test_default_filenames(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["--gpu", "TestGPU-NV", "--mem", "SharedMem", "-q", "-j"])
+        assert rc == 0
+        assert (tmp_path / "TestGPU-NV.json").exists()

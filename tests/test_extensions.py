@@ -1,0 +1,166 @@
+"""Tests for the Section VII future-work extensions.
+
+The paper's conclusions list four planned extensions; three are
+implemented here as opt-ins: FLOPS/tensor-engine characterisation,
+low-level-cache bandwidth, and the configurable L2 fetch granularity
+(the Section IV-D remark about ``cudaDeviceSetLimit``).
+"""
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.core.benchmarks.base import BenchmarkContext, Source
+from repro.core.benchmarks.fetch_granularity import measure_fetch_granularity
+from repro.core.benchmarks.flops import measure_all_flops, measure_flops
+from repro.errors import SimulationError, SpecError
+from repro.gpusim.compute import ComputeThroughputModel
+from repro.gpusim.device import SimulatedGPU as Dev
+from repro.gpusim.isa import LoadKind
+
+
+@pytest.fixture
+def nv():
+    return SimulatedGPU.from_preset("TestGPU-NV", seed=8)
+
+
+class TestComputeThroughputModel:
+    def test_datatypes_from_spec(self, nv):
+        model = ComputeThroughputModel(nv.spec, nv.rng)
+        assert set(model.datatypes) == {"fp64", "fp32", "tensor_fp16"}
+        assert model.is_tensor("tensor_fp16") and not model.is_tensor("fp32")
+
+    def test_achieved_near_peak_at_optimum(self, nv):
+        model = ComputeThroughputModel(nv.spec, nv.rng)
+        rate = model.achieved("fp32", noisy=False)
+        assert rate == pytest.approx(1.0e12, rel=1e-6)
+
+    def test_partial_occupancy_degrades(self, nv):
+        model = ComputeThroughputModel(nv.spec, nv.rng)
+        full = model.achieved("fp32", noisy=False)
+        partial = model.achieved("fp32", blocks=1, threads_per_block=32, noisy=False)
+        assert partial < full * 0.7
+
+    def test_tensor_more_occupancy_sensitive(self, nv):
+        model = ComputeThroughputModel(nv.spec, nv.rng)
+        frac_vector = model.efficiency(2, 256, "fp32")
+        frac_tensor = model.efficiency(2, 256, "tensor_fp16")
+        assert frac_tensor < frac_vector
+
+    def test_unknown_dtype_rejected(self, nv):
+        model = ComputeThroughputModel(nv.spec, nv.rng)
+        with pytest.raises(SimulationError):
+            model.peak("fp4")
+
+    def test_kernel_seconds_positive(self, nv):
+        model = ComputeThroughputModel(nv.spec, nv.rng)
+        assert model.kernel_seconds(10**9, "fp64") > 0
+        with pytest.raises(SimulationError):
+            model.kernel_seconds(0, "fp64")
+
+
+class TestFlopsBenchmark:
+    def test_measures_each_dtype(self, nv):
+        ctx = BenchmarkContext(nv)
+        results = measure_all_flops(ctx)
+        assert set(results) == {"fp64", "fp32", "tensor_fp16"}
+        for dtype, m in results.items():
+            truth = nv.spec.compute_throughput[dtype]
+            assert m.value == pytest.approx(truth, rel=0.1)
+            assert m.confidence > 0.8
+
+    def test_engine_tagging(self, nv):
+        ctx = BenchmarkContext(nv)
+        assert measure_flops(ctx, "tensor_fp16").detail["engine"] == "tensor"
+        assert measure_flops(ctx, "fp32").detail["engine"] == "vector"
+
+    def test_unsupported_dtype_no_result(self, nv):
+        ctx = BenchmarkContext(nv)
+        m = measure_flops(ctx, "fp8")
+        assert m.value is None
+
+    def test_device_without_figures(self):
+        dev = SimulatedGPU.from_preset("TestGPU-AMD", seed=8)
+        ctx = BenchmarkContext(dev)
+        assert measure_all_flops(ctx) == {}
+
+
+class TestToolIntegration:
+    def test_flops_extension_fills_throughput(self):
+        dev = SimulatedGPU.from_preset("TestGPU-NV", seed=8)
+        report = MT4G(dev, targets={"SharedMem"}, extensions={"flops"}).discover()
+        assert set(report.throughput) == {"fp64", "fp32", "tensor_fp16"}
+        assert report.throughput["fp32"].unit == "OP/s"
+        assert "throughput" in report.as_dict()
+
+    def test_default_has_no_throughput(self, nv_report):
+        assert nv_report.throughput == {}
+        assert "throughput" not in nv_report.as_dict()
+
+    def test_lowlevel_bandwidth_extension(self):
+        dev = SimulatedGPU.from_preset("TestGPU-NV", seed=8)
+        report = MT4G(
+            dev,
+            targets={"L1", "L2", "Texture", "Readonly", "SharedMem", "DeviceMemory"},
+            extensions={"lowlevel_bandwidth"},
+        ).discover()
+        av = report.attribute("L1", "read_bandwidth")
+        assert av.source is Source.BENCHMARK
+        assert av.value == pytest.approx(
+            dev.spec.cache("L1").read_bandwidth, rel=0.12
+        )
+        assert "extension" in av.note
+
+    def test_lowlevel_bandwidth_honest_without_figures(self):
+        # TestGPU-AMD's vL1 has no figure: the extension reports no result
+        # instead of inventing one.
+        dev = SimulatedGPU.from_preset("TestGPU-AMD", seed=8)
+        report = MT4G(dev, extensions={"lowlevel_bandwidth"}).discover()
+        av = report.attribute("vL1", "read_bandwidth")
+        assert av.value is None
+
+    def test_unknown_extension_rejected(self, nv):
+        with pytest.raises(SpecError):
+            MT4G(nv, extensions={"quantum"})
+
+    def test_paper_presets_have_figures(self):
+        from repro.gpuspec.presets import get_preset
+
+        for name in ("H100-80", "A100", "V100", "MI210", "MI300X"):
+            assert get_preset(name).compute_throughput, name
+        # tensor beats vector fp16 on every device exposing both
+        for name in ("H100-80", "MI300X"):
+            tp = get_preset(name).compute_throughput
+            assert tp["tensor_fp16"] > tp["fp16"]
+
+
+class TestL2FetchGranularityLimit:
+    """Paper IV-D: 'Newer NVIDIA GPU L2 caches have configurable fetch
+    granularity (through the cudaDeviceSetLimit call)'."""
+
+    def test_discovered_granularity_follows_limit(self):
+        dev = Dev.from_preset("TestGPU-NV", seed=8)
+        ctx = BenchmarkContext(dev)
+        before = measure_fetch_granularity(ctx, LoadKind.LD_GLOBAL_CG, "L2")
+        assert before.value == 32
+        dev.set_limit("l2_fetch_granularity", 64)
+        after = measure_fetch_granularity(ctx, LoadKind.LD_GLOBAL_CG, "L2")
+        assert after.value == 64
+
+    def test_limit_validation(self):
+        dev = Dev.from_preset("TestGPU-NV", seed=8)
+        with pytest.raises(SimulationError):
+            dev.set_limit("l2_fetch_granularity", 48)  # must divide the line
+        with pytest.raises(SimulationError):
+            dev.set_limit("warp_size", 64)
+
+    def test_amd_rejected(self):
+        dev = Dev.from_preset("TestGPU-AMD", seed=8)
+        with pytest.raises(SimulationError):
+            dev.set_limit("l2_fetch_granularity", 64)
+
+    def test_l1_unaffected(self):
+        dev = Dev.from_preset("TestGPU-NV", seed=8)
+        dev.set_limit("l2_fetch_granularity", 64)
+        ctx = BenchmarkContext(dev)
+        l1 = measure_fetch_granularity(ctx, LoadKind.LD_GLOBAL_CA, "L1")
+        assert l1.value == 32

@@ -1,0 +1,163 @@
+"""Tests for the GPUscout and sys-sage integrations (Sections VI-B/C)."""
+
+import numpy as np
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.errors import ReproError, SpecError
+from repro.integrations.gpuscout import GPUscoutContext, NCUCounters
+from repro.integrations.syssage import SysSageTopology
+from repro.units import KiB, MiB
+
+
+def make_counters(**overrides) -> NCUCounters:
+    defaults = dict(
+        kernel_name="saxpy",
+        l1_hit_rate=0.9,
+        l2_hit_rate=0.85,
+        l1_bytes=10**8,
+        l2_bytes=10**7,
+        dram_bytes=10**6,
+        registers_per_thread=32,
+        threads_per_block=128,
+        blocks_per_sm=2,
+    )
+    defaults.update(overrides)
+    return NCUCounters(**defaults)
+
+
+class TestNCUCounters:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_counters(l1_hit_rate=1.5)
+        with pytest.raises(ReproError):
+            make_counters(dram_bytes=-1)
+        with pytest.raises(ReproError):
+            make_counters(threads_per_block=0)
+
+
+class TestMemoryGraph:
+    def test_structure(self, nv_report):
+        g = GPUscoutContext(nv_report, make_counters()).memory_graph()
+        assert set(g.nodes) == {"Kernel", "L1", "L2", "DeviceMemory", "SharedMem"}
+        assert g.has_edge("Kernel", "L1") and g.has_edge("L2", "DeviceMemory")
+
+    def test_mt4g_sizes_attached(self, nv_report):
+        g = GPUscoutContext(nv_report, make_counters()).memory_graph()
+        assert g.nodes["L1"]["size"] == nv_report.attribute("L1", "size").value
+        assert g.nodes["L1"]["shared_with"] == nv_report.attribute("L1", "shared_with").value
+
+    def test_traffic_on_edges(self, nv_report):
+        c = make_counters()
+        g = GPUscoutContext(nv_report, c).memory_graph()
+        assert g.edges["Kernel", "L1"]["bytes"] == c.l1_bytes
+
+    def test_amd_uses_vl1_and_lds(self, amd_report):
+        g = GPUscoutContext(amd_report, make_counters()).memory_graph()
+        assert "vL1" in g.nodes and "LDS" in g.nodes
+
+
+class TestRecommendations:
+    def test_healthy_kernel_no_findings(self, nv_report):
+        recs = GPUscoutContext(nv_report, make_counters()).recommendations()
+        assert [r.code for r in recs] == ["no-bottleneck"]
+
+    def test_register_spilling(self, nv_report):
+        c = make_counters(registers_per_thread=255, threads_per_block=256,
+                          blocks_per_sm=4, local_spill_bytes=2048)
+        codes = [r.code for r in GPUscoutContext(nv_report, c).recommendations()]
+        assert "register-spilling" in codes
+
+    def test_l1_working_set(self, nv_report):
+        c = make_counters(l1_hit_rate=0.3, working_set_per_block=64 * KiB)
+        recs = GPUscoutContext(nv_report, c).recommendations()
+        by_code = {r.code: r for r in recs}
+        assert "l1-working-set" in by_code
+        # The message quantifies against the MT4G-measured L1 size.
+        assert "L1" in by_code["l1-working-set"].message
+
+    def test_l1_pattern_problem(self, nv_report):
+        c = make_counters(l1_hit_rate=0.2, working_set_per_block=512)
+        codes = [r.code for r in GPUscoutContext(nv_report, c).recommendations()]
+        assert "l1-thrash-pattern" in codes
+
+    def test_l2_capacity(self, nv_report):
+        c = make_counters(l2_hit_rate=0.2, dram_bytes=10**7, l2_bytes=10**7)
+        codes = [r.code for r in GPUscoutContext(nv_report, c).recommendations()]
+        assert "l2-capacity" in codes
+
+    def test_shared_oversubscription(self, nv_report):
+        c = make_counters(shared_bytes_per_block=6 * KiB, blocks_per_sm=4)
+        codes = [r.code for r in GPUscoutContext(nv_report, c).recommendations()]
+        assert "shared-oversubscribed" in codes
+
+
+class TestSysSage:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        device = SimulatedGPU.from_preset("TestGPU-NV", seed=21)
+        report = MT4G(device, targets={"L1", "L2", "SharedMem", "DeviceMemory"}).discover()
+        return report, device
+
+    def test_mismatched_pair_rejected(self, pair, amd_device):
+        report, _ = pair
+        with pytest.raises(ReproError):
+            SysSageTopology(report, amd_device)
+
+    def test_effective_l2_full(self, pair):
+        ss = SysSageTopology(*pair)
+        assert ss.effective_l2_per_sm() == 64 * KiB
+
+    def test_effective_l2_under_mig(self, pair):
+        ss = SysSageTopology(*pair)
+        ss.set_mig_profile("1g")
+        assert ss.effective_l2_per_sm() == 8 * KiB
+        ss.set_mig_profile(None)
+        assert ss.effective_l2_per_sm() == 64 * KiB
+
+    def test_refresh_reports_mig(self, pair):
+        ss = SysSageTopology(*pair)
+        ss.set_mig_profile("2g")
+        state = ss.refresh()
+        assert state["mig_enabled"] is True and state["profile"] == "2g"
+        ss.set_mig_profile(None)
+
+    def test_stream_experiment_cliff(self, pair):
+        ss = SysSageTopology(*pair)
+        ws = np.array([16 * KiB, 48 * KiB, 256 * KiB, 1 * MiB])
+        ns = ss.stream_experiment(ws, noisy=False)
+        assert ns[-1] > ns[0] * 1.5  # beyond-L2 streaming is slower
+        assert ns[1] == pytest.approx(ns[0], rel=0.05)
+
+    def test_tree_structure(self, pair):
+        ss = SysSageTopology(*pair)
+        tree = ss.tree(max_sms=1)
+        kinds = {d["kind"] for _, d in tree.nodes(data=True)}
+        assert {"Machine", "Chip", "MemoryRegion", "Cache", "SM", "Scratchpad"} <= kinds
+        # exactly one L2 segment node per discovered segment
+        l2_nodes = [n for n in tree.nodes if n.startswith("cache:L2")]
+        assert len(l2_nodes) == ss.l2_segment_count()
+
+    def test_mig_on_amd_rejected(self, amd_report, amd_device):
+        ss = SysSageTopology(amd_report, amd_device)
+        with pytest.raises(SpecError):
+            ss.set_mig_profile("1g")
+
+
+class TestFig5Property:
+    """The headline sys-sage result on the real A100 preset (model level)."""
+
+    def test_full_equals_4g20gb_but_not_1g5gb(self):
+        device = SimulatedGPU.from_preset("A100", seed=5)
+        ws = np.geomspace(1 * MiB, 128 * MiB, 24)
+        full = device.bandwidth.stream_sweep_ns_per_byte(ws, mig=None, noisy=False)
+        from repro.gpusim.mig import resolve_mig
+
+        m4 = device.bandwidth.stream_sweep_ns_per_byte(
+            ws, mig=resolve_mig(device.spec, "4g.20gb"), noisy=False
+        )
+        m1 = device.bandwidth.stream_sweep_ns_per_byte(
+            ws, mig=resolve_mig(device.spec, "1g.5gb"), noisy=False
+        )
+        assert np.allclose(full, m4)
+        assert (m1 >= full - 1e-12).all() and m1.max() > full.max() * 1.05

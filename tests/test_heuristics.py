@@ -1,0 +1,140 @@
+"""Tests for the cache-line-size heuristics (paper Section IV-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.heuristics import (
+    amplify_scores,
+    estimate_cache_line_size,
+    similarity_scores,
+)
+
+
+def synthetic_apparent(strides: np.ndarray, cap: int, line: int) -> np.ndarray:
+    """Model apparent capacities: C * s/L off-aliasing, C on even multiples.
+
+    Mirrors the set-coverage physics derived in the heuristics module:
+    a stride at ``2^k * L`` covers ``1/2^k`` of the (power-of-two many)
+    sets, aliasing the boundary back to ``C``.
+    """
+    out = np.empty(strides.size, dtype=np.float64)
+    for i, s in enumerate(strides):
+        if s <= line:
+            out[i] = cap
+        else:
+            ratio = s / line
+            k = 0
+            while ratio % 2 == 0:
+                ratio /= 2
+                k += 1
+            covered = 1 / (2**k)
+            out[i] = cap * (s / line) * covered
+    return out
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("line", [32, 64, 128, 256])
+    def test_recovers_line_size(self, line):
+        fg = 32
+        strides = np.arange(fg, 4 * line + 1, fg)
+        apparent = synthetic_apparent(strides, 64 * 1024, line)
+        est, conf = estimate_cache_line_size(strides, apparent, fg)
+        assert est == line
+        assert conf > 0.3
+
+    def test_aliased_strides_do_not_vote(self):
+        line, fg = 64, 32
+        strides = np.array([32, 64, 96, 128, 160, 192])
+        apparent = synthetic_apparent(strides, 4096, line)
+        # The 128 B stride aliases (ratio 1); votes come from 96/160/192.
+        est, _ = estimate_cache_line_size(strides, apparent, fg)
+        assert est == 64
+
+    def test_no_shift_returns_none(self):
+        strides = np.array([32, 64, 96])
+        apparent = np.array([4096.0, 4096.0, 4100.0])
+        est, conf = estimate_cache_line_size(strides, apparent, 32)
+        assert est is None and conf == 0.0
+
+    def test_partial_alias_votes_filtered_by_cluster(self):
+        # A stride at 6x line covers half the sets -> votes 2*line; the
+        # smallest supported cluster must still win.
+        line, fg = 64, 64
+        strides = np.array([64, 192, 320, 384, 448])
+        apparent = synthetic_apparent(strides, 8192, line)
+        est, _ = estimate_cache_line_size(strides, apparent, fg)
+        assert est == line
+
+    def test_line_never_below_fetch_granularity(self):
+        strides = np.array([64, 96, 128])
+        apparent = np.array([1000.0, 3000.0, 1000.0])  # noisy nonsense
+        est, _ = estimate_cache_line_size(strides, apparent, 64)
+        assert est is None or est >= 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_cache_line_size(np.array([32]), np.array([1.0]), 32)
+        with pytest.raises(ValueError):
+            estimate_cache_line_size(np.array([32, 64]), np.array([1.0, -1.0]), 32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        line_exp=st.integers(min_value=5, max_value=8),
+        cap_exp=st.integers(min_value=12, max_value=22),
+        noise=st.floats(min_value=0.0, max_value=0.04),
+    )
+    def test_property_noise_tolerant(self, line_exp, cap_exp, noise):
+        line = 1 << line_exp
+        cap = 1 << cap_exp
+        fg = 32
+        strides = np.arange(fg, 4 * line + 1, fg)
+        rng = np.random.default_rng(line_exp * 100 + cap_exp)
+        apparent = synthetic_apparent(strides, cap, line)
+        apparent = apparent * (1 + rng.normal(0, noise, apparent.size))
+        est, _ = estimate_cache_line_size(strides, apparent, fg)
+        assert est == line
+
+
+class TestPaperFormulation:
+    """The pivot/MAX similarity machinery of the paper's wording."""
+
+    def test_similarity_endpoints(self):
+        profiles = np.array(
+            [
+                [0.0, 0.0, 0.0],  # pivot
+                [0.0, 0.0, 0.0],  # identical to pivot
+                [1.0, 1.0, 1.0],  # identical to MAX
+                [1.0, 1.0, 1.0],  # MAX
+            ]
+        )
+        scores = similarity_scores(profiles)
+        assert scores[1] == pytest.approx(0.0)
+        assert scores[2] == pytest.approx(1.0)
+
+    def test_weights_favor_large_arrays(self):
+        # A profile deviating only at the largest size scores higher than
+        # one deviating only at the smallest.
+        pivot = np.zeros(4)
+        maxp = np.ones(4) * 10
+        dev_small = np.array([10.0, 0, 0, 0])
+        dev_large = np.array([0.0, 0, 0, 10.0])
+        scores = similarity_scores(np.vstack([pivot, dev_small, dev_large, maxp]))
+        assert scores[2] > scores[1]
+
+    def test_needs_three_profiles(self):
+        with pytest.raises(ValueError):
+            similarity_scores(np.zeros((2, 4)))
+
+    def test_amplify_monotone_after_crossing(self):
+        scores = np.array([0.1, 0.2, 0.9, 0.3, 0.6, 0.4])
+        out = amplify_scores(scores)
+        crossing = 2
+        assert (np.diff(out[crossing:]) >= 0).all()
+        assert out[3] == pytest.approx(0.9)
+
+    def test_amplify_untouched_below_crossing(self):
+        scores = np.array([0.1, 0.4, 0.2, 0.9, 0.5])
+        out = amplify_scores(scores)
+        assert out[0] == 0.1 and out[1] == 0.4 and out[2] == 0.2

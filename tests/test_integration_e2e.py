@@ -1,0 +1,118 @@
+"""Cross-module end-to-end flows.
+
+These tests chain whole subsystems the way downstream users would:
+discovery -> serialization -> external consumption (the GPUscout-GUI CSV
+path of paper footnote 19), runtime cache-carveout reconfiguration, and
+the markdown rendering of extension output.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.core.output.csv_out import to_csv
+from repro.core.output.json_out import to_json
+from repro.core.output.markdown import to_markdown
+from repro.units import KiB
+
+
+class TestJsonRoundTrip:
+    def test_full_report_survives_json(self, nv_report):
+        parsed = json.loads(to_json(nv_report))
+        for element, el_dict in parsed["memory"].items():
+            for attr, av in el_dict["attributes"].items():
+                ours = nv_report.attribute(element, attr)
+                if isinstance(ours.value, tuple):
+                    assert av["value"] == list(ours.value)
+                elif isinstance(ours.value, dict):
+                    assert set(av["value"]) == {str(k) for k in ours.value}
+                else:
+                    assert av["value"] == ours.value
+
+    def test_extended_report_serialises(self):
+        dev = SimulatedGPU.from_preset("TestGPU-NV", seed=31)
+        report = MT4G(dev, targets={"SharedMem"}, extensions={"flops"}).discover()
+        parsed = json.loads(to_json(report))
+        assert parsed["throughput"]["fp32"]["unit"] == "OP/s"
+
+
+class TestCSVToGPUscout:
+    """Footnote 19: GPUscout-GUI parses the CSV output."""
+
+    def test_csv_carries_everything_gpuscout_needs(self, nv_report):
+        rows = list(csv.DictReader(io.StringIO(to_csv(nv_report))))
+        table = {(r["element"], r["attribute"]): r for r in rows}
+        l1_size = table[("L1", "size")]
+        assert float(l1_size["value"]) == nv_report.attribute("L1", "size").value
+        assert l1_size["source"] == "benchmark"
+        assert float(l1_size["confidence"]) > 0.9
+        # the no-result cells stay empty, not zero
+        cl15_line = table[("ConstL1.5", "cache_line_size")]
+        assert cl15_line["value"] == ""
+        assert cl15_line["source"] == "unavailable"
+
+    def test_rebuild_memory_graph_from_csv(self, nv_report):
+        """A GPUscout-style consumer can reconstruct sizes from CSV alone."""
+        rows = list(csv.DictReader(io.StringIO(to_csv(nv_report))))
+        sizes = {
+            r["element"]: float(r["value"])
+            for r in rows
+            if r["attribute"] == "size" and r["value"]
+        }
+        assert sizes["L2"] == 64 * KiB
+        assert abs(sizes["L1"] - 4 * KiB) / (4 * KiB) < 0.12
+
+
+class TestCacheConfigVariants:
+    """Footnote 17: the L1/shared carveout is a runtime option; the MT4G
+    CLI can measure any of them.  The discovered L1 size must track it."""
+
+    @pytest.mark.parametrize(
+        "config,expected",
+        [("PreferL1", 4 * KiB), ("PreferEqual", 2 * KiB), ("PreferShared", 1 * KiB)],
+    )
+    def test_l1_size_follows_carveout(self, config, expected):
+        import dataclasses
+
+        from repro.gpuspec.presets import get_preset
+
+        base = get_preset("TestGPU-NV")
+        spec = dataclasses.replace(
+            base,
+            name=base.name,
+            l1_carveout={
+                "PreferL1": 4 * KiB,
+                "PreferEqual": 2 * KiB,
+                "PreferShared": 1 * KiB,
+            },
+        )
+        device = SimulatedGPU(spec, seed=17, cache_config=config)
+        report = MT4G(device, targets={"L1", "L2", "SharedMem", "DeviceMemory"}).discover()
+        measured = report.attribute("L1", "size").value
+        assert measured == pytest.approx(expected, rel=0.15)
+
+
+class TestMarkdownExtensionRendering:
+    def test_throughput_section_present_when_measured(self):
+        dev = SimulatedGPU.from_preset("TestGPU-NV", seed=31)
+        report = MT4G(dev, targets={"SharedMem"}, extensions={"flops"}).discover()
+        md = to_markdown(report)
+        assert "## Compute Throughput (extension)" in md
+        assert "tensor_fp16" in md
+
+    def test_throughput_section_absent_by_default(self, nv_report):
+        assert "Compute Throughput" not in to_markdown(nv_report)
+
+
+class TestDiscoverySubsetsCompose:
+    """Partial discoveries must not poison each other's state."""
+
+    def test_sequential_tools_on_one_device(self):
+        device = SimulatedGPU.from_preset("TestGPU-AMD", seed=29)
+        first = MT4G(device, targets={"vL1"}).discover()
+        second = MT4G(device, targets={"LDS", "DeviceMemory"}).discover()
+        assert first.attribute("vL1", "size").value == pytest.approx(4096, rel=0.1)
+        assert second.attribute("LDS", "size").value == 4 * KiB

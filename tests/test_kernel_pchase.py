@@ -1,0 +1,199 @@
+"""Tests for the kernel engine and the host-side p-chase runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.isa import LoadKind, MemorySpace, space_for_kind
+from repro.gpusim.kernel import (
+    KernelLaunch,
+    pchase_addresses,
+    probe_hits,
+    run_pchase,
+    run_stream_kernel,
+    warm,
+)
+from repro.pchase import PChaseConfig, PChaseRunner, exponential_sizes, linear_sizes
+
+
+@pytest.fixture
+def nv() -> SimulatedGPU:
+    return SimulatedGPU.from_preset("TestGPU-NV", seed=2)
+
+
+class TestAddressGeneration:
+    def test_strided(self):
+        addrs = pchase_addresses(1000, 256, 64)
+        assert addrs.tolist() == [1000, 1064, 1128, 1192]
+
+    def test_too_small(self):
+        with pytest.raises(SimulationError):
+            pchase_addresses(0, 32, 64)
+
+    def test_bad_stride(self):
+        with pytest.raises(SimulationError):
+            pchase_addresses(0, 256, 0)
+
+
+class TestRunPchase:
+    def test_in_cache_latencies_near_l1(self, nv):
+        base = nv.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+        lat = run_pchase(nv, LoadKind.LD_GLOBAL_CA, base, 2048, 32, flush=True)
+        expected = nv.spec.cache("L1").load_latency + nv.spec.noise.measurement_overhead
+        assert abs(lat.mean() - expected) < 4
+
+    def test_over_capacity_latencies_near_l2(self, nv):
+        base = nv.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+        lat = run_pchase(nv, LoadKind.LD_GLOBAL_CA, base, 16384, 32, flush=True)
+        expected = nv.spec.cache("L2").load_latency + nv.spec.noise.measurement_overhead
+        assert abs(lat.mean() - expected) < 6
+
+    def test_no_warmup_cold_misses(self, nv):
+        base = nv.alloc(LoadKind.LD_GLOBAL_CG, 1 << 20)
+        lat = run_pchase(
+            nv, LoadKind.LD_GLOBAL_CG, base, 384 * 64, 64,
+            warmup_passes=0, flush=True,
+        )
+        expected = nv.spec.memory.load_latency + nv.spec.noise.measurement_overhead
+        assert abs(lat.mean() - expected) < 8
+
+    def test_scratchpad_constant_latency(self, nv):
+        lat = run_pchase(nv, LoadKind.LD_SHARED, 1 << 28, 2048, 32)
+        expected = nv.spec.scratchpad.load_latency + nv.spec.noise.measurement_overhead
+        assert abs(lat.mean() - expected) < 3
+
+    def test_sample_count(self, nv):
+        base = nv.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+        lat = run_pchase(nv, LoadKind.LD_GLOBAL_CA, base, 2048, 32, n_samples=100)
+        assert lat.shape == (100,)
+
+    def test_accounts_time(self, nv):
+        before = nv.elapsed_seconds()
+        base = nv.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+        run_pchase(nv, LoadKind.LD_GLOBAL_CA, base, 2048, 32)
+        assert nv.elapsed_seconds() > before
+
+    def test_warm_and_probe(self, nv):
+        base = nv.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+        addrs = pchase_addresses(base, 2048, 32)
+        nv.flush_caches()
+        warm(nv, LoadKind.LD_GLOBAL_CA, addrs)
+        hits, lat = probe_hits(nv, LoadKind.LD_GLOBAL_CA, addrs)
+        assert hits.all()
+        assert lat.shape == addrs.shape
+
+
+class TestStreamKernel:
+    def test_l2_read_near_spec(self, nv):
+        bw = run_stream_kernel(nv, "L2", "read")
+        assert bw == pytest.approx(nv.spec.cache("L2").read_bandwidth, rel=0.1)
+
+    def test_write_slower_than_read(self, nv):
+        read = run_stream_kernel(nv, "L2", "read")
+        write = run_stream_kernel(nv, "L2", "write")
+        assert write < read
+
+    def test_small_launch_underperforms(self, nv):
+        tiny = run_stream_kernel(
+            nv, "DeviceMemory", "read", launch=KernelLaunch(blocks=1, threads_per_block=32)
+        )
+        full = run_stream_kernel(nv, "DeviceMemory", "read")
+        assert tiny < full * 0.5
+
+    def test_launch_validation(self):
+        with pytest.raises(SimulationError):
+            KernelLaunch(blocks=0, threads_per_block=1)
+
+
+class TestSizeGrids:
+    def test_exponential(self):
+        sizes = exponential_sizes(1024, 5000)
+        assert sizes.tolist() == [1024, 2048, 4096, 8192]
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            exponential_sizes(0, 100)
+
+    def test_linear_natural_step(self):
+        sizes = linear_sizes(100, 200, 25, 100)
+        assert sizes.tolist() == [100, 125, 150, 175, 200]
+
+    def test_linear_coarsens_to_budget(self):
+        sizes = linear_sizes(0x1000, 0x9000, 32, 9)
+        assert sizes.size <= 10
+        assert sizes[0] == 0x1000 and sizes[-1] == 0x9000
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            linear_sizes(100, 100, 10, 10)
+        with pytest.raises(ValueError):
+            linear_sizes(100, 200, 0, 10)
+
+
+class TestRunnerBuffers:
+    def test_slots_are_disjoint(self, nv):
+        runner = PChaseRunner(nv)
+        a = runner.buffer(LoadKind.LD_GLOBAL_CA, 4096, slot=0)
+        b = runner.buffer(LoadKind.LD_GLOBAL_CA, 4096, slot=1)
+        assert abs(a - b) >= 4096
+
+    def test_buffer_reused_until_growth(self, nv):
+        runner = PChaseRunner(nv)
+        a = runner.buffer(LoadKind.LD_GLOBAL_CA, 4096)
+        assert runner.buffer(LoadKind.LD_GLOBAL_CA, 2048) == a
+        big = runner.buffer(LoadKind.LD_GLOBAL_CA, 1 << 20)
+        assert big != a
+
+    def test_constant_two_slots_within_bank(self, nv):
+        runner = PChaseRunner(nv)
+        a = runner.buffer(LoadKind.LD_CONST, 1024, slot=0)
+        b = runner.buffer(LoadKind.LD_CONST, 1024, slot=1)
+        assert b == a + 32 * 1024
+        with pytest.raises(SimulationError):
+            runner.buffer(LoadKind.LD_CONST, 40 * 1024, slot=1)
+
+    def test_shared_validated(self, nv):
+        runner = PChaseRunner(nv)
+        with pytest.raises(SimulationError):
+            runner.buffer(LoadKind.LD_SHARED, 1 << 20)
+
+    def test_kind_space_mapping(self):
+        assert space_for_kind(LoadKind.LD_CONST) is MemorySpace.CONSTANT
+        assert space_for_kind(LoadKind.TEX1DFETCH) is MemorySpace.TEXTURE
+        assert space_for_kind(LoadKind.S_LOAD) is MemorySpace.GLOBAL
+        assert space_for_kind(LoadKind.DS_READ) is MemorySpace.SHARED
+
+
+class TestRunnerMeasurements:
+    def test_sweep_shape(self, nv):
+        runner = PChaseRunner(nv, PChaseConfig(n_samples=64))
+        sizes = np.array([1024, 2048, 4096])
+        matrix = runner.sweep(LoadKind.LD_GLOBAL_CA, sizes, 32)
+        assert matrix.shape == (3, 64)
+
+    def test_sweep_shows_cliff(self, nv):
+        runner = PChaseRunner(nv, PChaseConfig(n_samples=128))
+        matrix = runner.sweep(
+            LoadKind.LD_GLOBAL_CA, np.array([2048, 16384]), 32
+        )
+        assert matrix[1].mean() > matrix[0].mean() + 30
+
+    def test_empty_sweep_rejected(self, nv):
+        runner = PChaseRunner(nv)
+        with pytest.raises(SimulationError):
+            runner.sweep(LoadKind.LD_GLOBAL_CA, np.array([]), 32)
+
+    def test_probe_without_warm_misses(self, nv):
+        runner = PChaseRunner(nv)
+        nv.flush_caches()
+        hits, _ = runner.probe(LoadKind.LD_GLOBAL_CA, 4096, 64)
+        assert not hits.any()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PChaseConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            PChaseConfig(ks_alpha=2.0)
+        with pytest.raises(ValueError):
+            PChaseConfig(search_lo=100, search_hi=50)

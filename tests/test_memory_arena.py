@@ -1,0 +1,90 @@
+"""Tests for the device-memory arenas and the errors hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.gpusim.memory import CONSTANT_ARRAY_LIMIT, Arena, DeviceMemory
+from repro.gpuspec.presets import get_preset
+
+
+class TestArena:
+    def test_bump_allocation(self):
+        arena = Arena("test", base=4096, capacity=16384)
+        a = arena.allocate(1000, align=256)
+        b = arena.allocate(1000, align=256)
+        assert a % 256 == 0 and b % 256 == 0
+        assert b >= a + 1000
+
+    def test_exhaustion(self):
+        arena = Arena("test", base=0, capacity=1024)
+        arena.allocate(512, align=1)
+        with pytest.raises(errors.AllocationError):
+            arena.allocate(1024, align=1)
+
+    def test_reset(self):
+        arena = Arena("test", base=0, capacity=1024)
+        first = arena.allocate(512, align=1)
+        arena.reset()
+        assert arena.allocate(512, align=1) == first
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(errors.AllocationError):
+            Arena("test", base=0, capacity=10).allocate(0)
+
+
+class TestDeviceMemory:
+    @pytest.fixture
+    def mem(self):
+        return DeviceMemory(get_preset("TestGPU-NV").memory)
+
+    def test_spaces_are_disjoint(self, mem):
+        g = mem.allocate_global(4096)
+        c = mem.allocate_constant(4096)
+        s = mem.allocate_scratch(4096)
+        ranges = sorted([(g, g + 4096), (c, c + 4096), (s, s + 4096)])
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start
+
+    def test_constant_bank_limit(self, mem):
+        # Paper Section III-C: the 64 KiB constant-array limitation.
+        mem.allocate_constant(CONSTANT_ARRAY_LIMIT)
+        with pytest.raises(errors.AllocationError):
+            mem.allocate_constant(CONSTANT_ARRAY_LIMIT + 1)
+
+    def test_reset_frees_all_spaces(self, mem):
+        mem.allocate_constant(CONSTANT_ARRAY_LIMIT)
+        mem.reset()
+        mem.allocate_constant(CONSTANT_ARRAY_LIMIT)
+
+    def test_properties(self, mem):
+        assert mem.size == get_preset("TestGPU-NV").memory.size
+        assert mem.load_latency == 300.0
+
+
+class TestErrorHierarchy:
+    """Catchability contracts the library documents."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SpecError,
+            errors.SimulationError,
+            errors.SchedulingError,
+            errors.AllocationError,
+            errors.APIUnavailableError,
+            errors.BenchmarkError,
+            errors.BenchmarkInconclusiveError,
+            errors.BenchmarkUnsupportedError,
+            errors.OutputError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+    def test_unknown_gpu_is_keyerror_too(self):
+        assert issubclass(errors.UnknownGPUError, KeyError)
+        err = errors.UnknownGPUError("X", ("A", "B"))
+        assert "A" in str(err)

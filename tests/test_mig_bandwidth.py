@@ -1,0 +1,153 @@
+"""Tests for MIG partitioning math and the bandwidth model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, SpecError
+from repro.gpusim.bandwidth import BandwidthModel
+from repro.gpusim.mig import resolve_mig
+from repro.gpuspec.presets import get_preset
+from repro.units import GiB, MiB
+
+
+class TestMIGResolution:
+    def test_full_profile(self):
+        spec = get_preset("A100")
+        mig = resolve_mig(spec, None)
+        assert mig.profile == "full"
+        assert mig.visible_sms(spec) == spec.compute.num_sms
+        assert mig.visible_dram_bytes(spec) == spec.memory.size
+
+    def test_4g20gb(self):
+        spec = get_preset("A100")
+        mig = resolve_mig(spec, "4g.20gb")
+        assert mig.visible_dram_bytes(spec) == 20 * GiB
+        assert mig.visible_l2_total(spec) == 20 * MiB
+        assert mig.visible_sms(spec) == (108 * 4) // 7
+
+    def test_fig5_key_insight_full_equals_4g(self):
+        # One SM reaches one 20 MB segment on the full GPU; 4g.20gb grants
+        # exactly 20 MB -> identical per-SM L2 (paper Fig. 5 observation 2).
+        spec = get_preset("A100")
+        full = resolve_mig(spec, None)
+        half = resolve_mig(spec, "4g.20gb")
+        assert full.visible_l2_per_sm(spec) == half.visible_l2_per_sm(spec) == 20 * MiB
+
+    def test_smaller_slices_shrink_per_sm_l2(self):
+        spec = get_preset("A100")
+        assert resolve_mig(spec, "1g.5gb").visible_l2_per_sm(spec) == 5 * MiB
+        assert resolve_mig(spec, "2g.10gb").visible_l2_per_sm(spec) == 10 * MiB
+
+    def test_bandwidth_scales_with_memory_slices(self):
+        spec = get_preset("A100")
+        full = resolve_mig(spec, None)
+        one = resolve_mig(spec, "1g.5gb")
+        ratio = one.visible_dram_read_bandwidth(spec) / full.visible_dram_read_bandwidth(spec)
+        assert ratio == pytest.approx(1 / 8)
+
+    def test_unknown_profile(self):
+        with pytest.raises(SpecError):
+            resolve_mig(get_preset("A100"), "9g.90gb")
+
+    def test_non_mig_device(self):
+        with pytest.raises(SpecError):
+            resolve_mig(get_preset("MI210"), "1g.5gb")
+
+
+class TestBandwidthModel:
+    @pytest.fixture
+    def model(self):
+        spec = get_preset("H100-80")
+        return BandwidthModel(spec, np.random.default_rng(0))
+
+    def test_optimal_blocks_heuristic(self, model):
+        # Paper IV-I: num_SMs * max_blocks_per_SM maximises throughput.
+        c = model.spec.compute
+        assert model.optimal_blocks == c.num_sms * c.max_blocks_per_sm
+
+    def test_efficiency_saturates_at_optimum(self, model):
+        c = model.spec.compute
+        at_opt = model.efficiency(model.optimal_blocks, c.max_threads_per_block, 16)
+        beyond = model.efficiency(model.optimal_blocks * 2, c.max_threads_per_block, 16)
+        assert at_opt == pytest.approx(1.0)
+        assert beyond == pytest.approx(1.0)
+
+    def test_efficiency_monotone_in_blocks(self, model):
+        c = model.spec.compute
+        effs = [
+            model.efficiency(b, c.max_threads_per_block, 16)
+            for b in (1, 16, 256, model.optimal_blocks)
+        ]
+        assert effs == sorted(effs)
+
+    def test_vector_loads_beat_scalar(self, model):
+        c = model.spec.compute
+        vec = model.efficiency(model.optimal_blocks, c.max_threads_per_block, 16)
+        scalar = model.efficiency(model.optimal_blocks, c.max_threads_per_block, 4)
+        assert vec > scalar
+
+    def test_invalid_launch_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.efficiency(0, 1, 16)
+
+    def test_achieved_hits_spec_at_optimum(self, model):
+        bw = model.achieved("L2", "read", noisy=False)
+        assert bw == pytest.approx(model.spec.cache("L2").read_bandwidth, rel=1e-6)
+
+    def test_achieved_dram_with_mig(self):
+        spec = get_preset("A100")
+        model = BandwidthModel(spec, np.random.default_rng(0))
+        mig = resolve_mig(spec, "1g.5gb")
+        full = model.achieved("DeviceMemory", "read", noisy=False)
+        sliced = model.achieved("DeviceMemory", "read", mig=mig, noisy=False)
+        assert sliced == pytest.approx(full / 8, rel=1e-6)
+
+    def test_unknown_level_rejected(self, model):
+        with pytest.raises(Exception):
+            model.achieved("L9", "read")
+
+    def test_bad_op_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.achieved("L2", "sideways")
+
+    def test_kernel_seconds_positive_and_scaling(self, model):
+        t1 = model.kernel_seconds(1 << 30, "L2")
+        t2 = model.kernel_seconds(1 << 31, "L2")
+        assert 0 < t1 < t2
+
+
+class TestStreamSweep:
+    """The Fig. 5 experiment at the model level."""
+
+    def test_cliff_at_visible_l2(self):
+        spec = get_preset("A100")
+        model = BandwidthModel(spec, np.random.default_rng(0))
+        ws = np.array([1 * MiB, 10 * MiB, 19 * MiB, 40 * MiB, 120 * MiB])
+        ns = model.stream_sweep_ns_per_byte(ws, noisy=False)
+        # Flat inside the 20 MB segment, clearly slower far beyond it.
+        assert ns[1] == pytest.approx(ns[0], rel=0.02)
+        assert ns[4] > ns[2] * 1.5
+
+    def test_full_and_4g_identical(self):
+        spec = get_preset("A100")
+        model = BandwidthModel(spec, np.random.default_rng(0))
+        ws = np.geomspace(1 * MiB, 128 * MiB, 12)
+        full = model.stream_sweep_ns_per_byte(ws, mig=None, noisy=False)
+        m4g = model.stream_sweep_ns_per_byte(ws, mig=resolve_mig(spec, "4g.20gb"), noisy=False)
+        assert np.allclose(full, m4g)
+
+    def test_small_slice_cliffs_earlier(self):
+        spec = get_preset("A100")
+        model = BandwidthModel(spec, np.random.default_rng(0))
+        ws = np.array([7 * MiB])
+        full = model.stream_sweep_ns_per_byte(ws, noisy=False)[0]
+        tiny = model.stream_sweep_ns_per_byte(
+            ws, mig=resolve_mig(spec, "1g.5gb"), noisy=False
+        )[0]
+        assert tiny > full * 1.2  # 7 MiB no longer fits the 5 MB slice
+
+    def test_rejects_nonpositive_sizes(self):
+        spec = get_preset("A100")
+        model = BandwidthModel(spec, np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            model.stream_sweep_ns_per_byte(np.array([0.0]))

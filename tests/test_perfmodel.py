@@ -1,0 +1,153 @@
+"""Tests for the Hong & Kim CWP/MWP performance model (Section VI-A)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.integrations.perfmodel import (
+    ApplicationParams,
+    GPUParams,
+    HongKimModel,
+)
+
+
+def make_gpu(**overrides) -> GPUParams:
+    defaults = dict(
+        mem_latency=400.0,
+        mem_bandwidth=1.5e12,
+        clock_hz=1.4e9,
+        num_sms=100,
+        max_warps_per_sm=64,
+        departure_delay=4.0,
+    )
+    defaults.update(overrides)
+    return GPUParams(**defaults)
+
+
+def make_app(**overrides) -> ApplicationParams:
+    defaults = dict(
+        comp_insts_per_warp=100.0,
+        mem_insts_per_warp=10.0,
+        active_warps_per_sm=32,
+    )
+    defaults.update(overrides)
+    return ApplicationParams(**defaults)
+
+
+class TestFormulas:
+    def test_cwp_equation(self):
+        # CWP' = (mem_cycles + comp_cycles) / comp_cycles  (paper Eq. 3)
+        model = HongKimModel(make_app(), make_gpu())
+        mem = 400.0 * 10
+        comp = 4.0 * 100
+        assert model.cwp_raw == pytest.approx((mem + comp) / comp)
+
+    def test_cwp_capped_by_active_warps(self):
+        model = HongKimModel(make_app(active_warps_per_sm=4), make_gpu())
+        assert model.cwp == 4.0
+
+    def test_mwp_latency_bound(self):
+        # MWP' = mem_latency / departure_delay  (paper Eq. 4)
+        model = HongKimModel(make_app(), make_gpu())
+        assert model.mwp_latency_bound == pytest.approx(100.0)
+
+    def test_mwp_bandwidth_bound(self):
+        gpu = make_gpu()
+        model = HongKimModel(make_app(), gpu)
+        bw_per_warp = gpu.clock_hz * 128.0 / gpu.mem_latency
+        expected = gpu.mem_bandwidth / (bw_per_warp * gpu.num_sms)
+        assert model.mwp_bandwidth_bound == pytest.approx(expected)
+
+    def test_mwp_is_min_of_three(self):
+        model = HongKimModel(make_app(active_warps_per_sm=2), make_gpu())
+        assert model.mwp == 2.0
+
+
+class TestClassification:
+    def test_memory_bound_app(self):
+        # Few compute instructions per memory access -> CWP explodes.
+        app = make_app(comp_insts_per_warp=5.0, mem_insts_per_warp=20.0,
+                       active_warps_per_sm=64)
+        gpu = make_gpu(mem_bandwidth=2e11)  # narrow memory
+        result = HongKimModel(app, gpu).evaluate()
+        assert result.memory_bound
+        assert result.bottleneck == "memory"
+
+    def test_compute_bound_app(self):
+        app = make_app(comp_insts_per_warp=5000.0, mem_insts_per_warp=1.0)
+        result = HongKimModel(app, make_gpu()).evaluate()
+        assert not result.memory_bound
+        assert result.bottleneck == "compute"
+
+    def test_memory_bound_costs_more_cycles_when_bw_shrinks(self):
+        app = make_app(mem_insts_per_warp=50.0, active_warps_per_sm=64)
+        wide = HongKimModel(app, make_gpu(mem_bandwidth=3e12)).execution_cycles()
+        narrow = HongKimModel(app, make_gpu(mem_bandwidth=2e11)).execution_cycles()
+        assert narrow > wide
+
+
+class TestExecutionCycles:
+    def test_positive(self):
+        assert HongKimModel(make_app(), make_gpu()).execution_cycles() > 0
+
+    def test_repetitions_scale(self):
+        app_small = make_app(total_warps=32 * 100)  # exactly one round
+        app_big = make_app(total_warps=32 * 100 * 4)  # four rounds
+        small = HongKimModel(app_small, make_gpu()).execution_cycles()
+        big = HongKimModel(app_big, make_gpu()).execution_cycles()
+        assert big == pytest.approx(small * 4)
+
+    def test_more_parallelism_amortises_latency(self):
+        lat_heavy = make_gpu(mem_latency=2000.0, mem_bandwidth=1e14)
+        few = HongKimModel(make_app(active_warps_per_sm=1), lat_heavy)
+        many = HongKimModel(make_app(active_warps_per_sm=64), lat_heavy)
+        per_warp_few = few.execution_cycles() / 1
+        per_warp_many = many.execution_cycles() / 64
+        assert per_warp_many < per_warp_few
+
+
+class TestFromReport:
+    def test_dram_level(self, nv_report):
+        gpu = GPUParams.from_report(nv_report, "DeviceMemory")
+        assert gpu.mem_latency == pytest.approx(
+            nv_report.attribute("DeviceMemory", "load_latency").value
+        )
+        assert gpu.num_sms == nv_report.compute.num_sms
+
+    def test_l2_level(self, nv_report):
+        gpu = GPUParams.from_report(nv_report, "L2")
+        assert gpu.mem_latency < GPUParams.from_report(nv_report, "DeviceMemory").mem_latency
+
+    def test_l1_falls_back_to_dram_bandwidth(self, nv_report):
+        # L1 has no bandwidth figure (Table I dagger).
+        gpu = GPUParams.from_report(nv_report, "L1")
+        assert gpu.mem_bandwidth == pytest.approx(
+            nv_report.attribute("DeviceMemory", "read_bandwidth").value
+        )
+
+    def test_missing_latency_rejected(self, amd_l3_report):
+        with pytest.raises(ReproError):
+            GPUParams.from_report(amd_l3_report, "L3")  # latency unavailable
+
+    def test_cross_level_classification_shifts(self, nv_report):
+        # The same app can be memory-bound against DRAM but compute-bound
+        # against the (faster) L2 — the reason the paper extends the model
+        # across the hierarchy.
+        app = make_app(comp_insts_per_warp=60.0, mem_insts_per_warp=12.0,
+                       active_warps_per_sm=16)
+        dram = HongKimModel(app, GPUParams.from_report(nv_report, "DeviceMemory"))
+        l2 = HongKimModel(app, GPUParams.from_report(nv_report, "L2"))
+        assert dram.cwp_raw > l2.cwp_raw
+
+
+class TestValidation:
+    def test_bad_app(self):
+        with pytest.raises(ReproError):
+            make_app(mem_insts_per_warp=0.0)
+        with pytest.raises(ReproError):
+            make_app(active_warps_per_sm=0)
+
+    def test_bad_gpu(self):
+        with pytest.raises(ReproError):
+            make_gpu(mem_latency=0.0)
+        with pytest.raises(ReproError):
+            make_gpu(departure_delay=0.0)

@@ -1,0 +1,136 @@
+"""Tests for the report model and the three output writers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.benchmarks.base import MeasurementResult, Source
+from repro.core.output.csv_out import to_csv, write_csv
+from repro.core.output.json_out import to_json, write_json
+from repro.core.output.markdown import to_markdown, write_markdown
+from repro.core.report import ATTRIBUTES, AttributeValue, MemoryElementReport
+
+
+class TestAttributeValue:
+    def test_from_measurement(self):
+        m = MeasurementResult("size", "L1", 4096, "B", 0.9)
+        av = AttributeValue.from_measurement(m)
+        assert av.value == 4096 and av.source is Source.BENCHMARK
+
+    def test_rendered_size(self):
+        assert AttributeValue(238 * 1024, "B", 1.0, Source.BENCHMARK).rendered() == "238 KiB"
+
+    def test_rendered_api_tag(self):
+        av = AttributeValue(1024, "B", 1.0, Source.API)
+        assert "(API)" in av.rendered()
+
+    def test_rendered_conf_zero(self):
+        av = AttributeValue(65536, "B", 0.0, Source.BENCHMARK)
+        assert "(conf 0)" in av.rendered()
+
+    def test_rendered_na_and_missing(self):
+        assert AttributeValue.not_applicable().rendered() == "n/a"
+        assert AttributeValue.unavailable("B").rendered() == "—"
+
+    def test_rendered_partners(self):
+        av = AttributeValue(("Texture", "Readonly"), "elements", 1.0, Source.BENCHMARK)
+        assert av.rendered() == "Texture,Readonly"
+        assert AttributeValue((), "elements", 1.0, Source.BENCHMARK).rendered() == "no"
+
+    def test_rendered_cu_map(self):
+        av = AttributeValue({0: (1,), 1: (0,), 2: ()}, "cu-map", 1.0, Source.BENCHMARK)
+        assert "2/3" in av.rendered()
+
+    def test_as_dict_converts_tuples(self):
+        av = AttributeValue(("a", "b"), "elements", 1.0, Source.BENCHMARK)
+        assert av.as_dict()["value"] == ["a", "b"]
+
+
+class TestMemoryElementReport:
+    def test_unknown_attribute_rejected(self):
+        el = MemoryElementReport("L1")
+        with pytest.raises(KeyError):
+            el.set("speed", AttributeValue.not_applicable())
+        with pytest.raises(KeyError):
+            el.get("speed")
+
+    def test_missing_defaults_na(self):
+        el = MemoryElementReport("L1")
+        assert el.get("size").source is Source.NOT_APPLICABLE
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            MemoryElementReport("L1", {"bogus": AttributeValue.not_applicable()})
+
+
+class TestTopologyReportModel:
+    def test_element_lookup(self, nv_report):
+        assert nv_report.element("L1").name == "L1"
+        with pytest.raises(KeyError):
+            nv_report.element("L9")
+
+    def test_as_dict_schema(self, nv_report):
+        d = nv_report.as_dict()
+        assert d["schema"] == "mt4g-repro/1"
+        assert set(d) >= {"general", "compute", "memory", "runtime", "seed"}
+        for el in d["memory"].values():
+            assert set(el["attributes"]) == set(ATTRIBUTES)
+
+
+class TestJSONOutput:
+    def test_valid_json(self, nv_report):
+        parsed = json.loads(to_json(nv_report))
+        assert parsed["general"]["vendor"] == "NVIDIA"
+
+    def test_roundtrip_values(self, nv_report):
+        parsed = json.loads(to_json(nv_report))
+        l1 = parsed["memory"]["L1"]["attributes"]["size"]
+        assert l1["value"] == nv_report.attribute("L1", "size").value
+        assert l1["source"] == "benchmark"
+
+    def test_write(self, nv_report, tmp_path):
+        path = write_json(nv_report, tmp_path / "sub" / "r.json")
+        assert path.exists()
+        assert json.loads(path.read_text())["seed"] == nv_report.seed
+
+
+class TestMarkdownOutput:
+    def test_sections_present(self, nv_report):
+        md = to_markdown(nv_report)
+        for heading in ("## General Information", "## Compute Resources",
+                        "## Memory Resources", "## Run Time"):
+            assert heading in md
+
+    def test_memory_table_rows(self, nv_report):
+        md = to_markdown(nv_report)
+        for element in nv_report.memory:
+            assert f"| {element} |" in md
+
+    def test_amd_renders_cu_ids(self, amd_report):
+        md = to_markdown(amd_report)
+        assert "SIMDs per CU: 4" in md
+        assert "physical ids 0..9" in md
+
+    def test_write(self, nv_report, tmp_path):
+        path = write_markdown(nv_report, tmp_path / "r.md")
+        assert path.read_text().startswith("# MT4G Topology Report")
+
+
+class TestCSVOutput:
+    def test_structure(self, nv_report):
+        rows = list(csv.DictReader(io.StringIO(to_csv(nv_report))))
+        assert len(rows) == len(nv_report.memory) * len(ATTRIBUTES)
+        first = rows[0]
+        assert set(first) == {"element", "attribute", "value", "unit",
+                              "confidence", "source", "note"}
+
+    def test_tuple_flattening(self, nv_report):
+        rows = list(csv.DictReader(io.StringIO(to_csv(nv_report))))
+        shared = [r for r in rows if r["element"] == "L1" and r["attribute"] == "shared_with"]
+        assert shared[0]["value"] == "Readonly;Texture"
+
+    def test_write(self, nv_report, tmp_path):
+        path = write_csv(nv_report, tmp_path / "r.csv")
+        assert path.exists() and path.read_text().startswith("element,")

@@ -1,0 +1,211 @@
+"""Tests for the hardware spec model and the Table II presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SpecError, UnknownGPUError
+from repro.gpuspec import (
+    CacheScope,
+    CacheSpec,
+    ComputeSpec,
+    NoiseSpec,
+    Quirk,
+    Vendor,
+    available_presets,
+    get_preset,
+)
+from repro.gpuspec.presets import PAPER_PRESETS
+from repro.units import GiB, KiB, MiB
+
+
+class TestCacheSpec:
+    def test_geometry_properties(self):
+        c = CacheSpec(
+            name="X", size=4096, line_size=64, fetch_granularity=32, ways=2,
+            load_latency=10.0,
+        )
+        assert c.num_sets == 32
+        assert c.sectors_per_line == 2
+        assert c.effective_physical_id == "X"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size=0),
+            dict(line_size=48),
+            dict(fetch_granularity=48),
+            dict(ways=0),
+            dict(size=1000),
+            dict(load_latency=0),
+            dict(segments=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            name="X", size=4096, line_size=64, fetch_granularity=32, ways=2,
+            load_latency=10.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(SpecError):
+            CacheSpec(**base)
+
+
+class TestComputeSpec:
+    def test_warp_math(self):
+        c = ComputeSpec(
+            num_sms=4, cores_per_sm=128, warp_size=32, max_blocks_per_sm=8,
+            max_threads_per_block=1024, max_threads_per_sm=2048,
+            registers_per_block=65536, registers_per_sm=65536,
+        )
+        assert c.warps_per_sm == 4
+        assert c.max_warps_per_sm == 64
+
+    def test_cores_must_be_warp_multiple(self):
+        with pytest.raises(SpecError):
+            ComputeSpec(
+                num_sms=1, cores_per_sm=100, warp_size=32, max_blocks_per_sm=1,
+                max_threads_per_block=1, max_threads_per_sm=1,
+                registers_per_block=1, registers_per_sm=1,
+            )
+
+    def test_physical_ids_length_checked(self):
+        with pytest.raises(SpecError):
+            ComputeSpec(
+                num_sms=4, cores_per_sm=64, warp_size=64, max_blocks_per_sm=1,
+                max_threads_per_block=1, max_threads_per_sm=64,
+                registers_per_block=1, registers_per_sm=1,
+                physical_cu_ids=(0, 1),
+            )
+
+
+class TestGPUSpecInvariants:
+    def test_shared_physical_geometry_enforced(self):
+        base = get_preset("TestGPU-NV")
+        caches = list(base.caches)
+        # Corrupt the Texture cache to differ from L1 while sharing l1tex.
+        bad = dataclasses.replace(caches[1], size=caches[1].size * 2)
+        with pytest.raises(SpecError):
+            dataclasses.replace(base, caches=tuple([caches[0], bad] + caches[2:]))
+
+    def test_duplicate_cache_names_rejected(self):
+        base = get_preset("TestGPU-NV")
+        with pytest.raises(SpecError):
+            dataclasses.replace(base, caches=base.caches + (base.caches[0],))
+
+    def test_cache_lookup(self):
+        spec = get_preset("H100-80")
+        assert spec.cache("L2").segments == 2
+        with pytest.raises(SpecError):
+            spec.cache("nonexistent")
+        assert spec.has_cache("L1") and not spec.has_cache("L9")
+
+    def test_sharing_groups(self):
+        groups = get_preset("H100-80").sharing_groups()
+        assert set(groups["l1tex"]) == {"L1", "Texture", "Readonly"}
+        assert groups["ConstL1"] == ("ConstL1",)
+
+    def test_carveout(self):
+        spec = get_preset("H100-80")
+        assert spec.effective_l1_size("PreferL1") == 238 * KiB
+        assert spec.effective_l1_size("PreferShared") == 28 * KiB
+        with pytest.raises(SpecError):
+            spec.effective_l1_size("PreferNothing")
+
+    def test_carveout_default_without_table(self):
+        spec = get_preset("P6000")  # Pascal: fixed L1
+        assert spec.effective_l1_size() == spec.cache("L1").size
+
+    def test_noise_spec_validation(self):
+        with pytest.raises(SpecError):
+            NoiseSpec(outlier_probability=1.5)
+        with pytest.raises(SpecError):
+            NoiseSpec(measurement_overhead=-1)
+
+
+class TestRegistry:
+    def test_paper_presets_complete(self):
+        # The ten validation machines of Table II.
+        expected = {
+            "P6000", "V100", "T1000", "RTX2080", "A100",
+            "H100-80", "H100-96", "MI100", "MI210", "MI300X",
+        }
+        assert set(available_presets()) == expected
+
+    def test_testing_presets_hidden_by_default(self):
+        assert "TestGPU-NV" not in available_presets()
+        assert "TestGPU-NV" in available_presets(include_testing=True)
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownGPUError):
+            get_preset("B100")
+
+    @pytest.mark.parametrize("name", sorted(PAPER_PRESETS))
+    def test_preset_internally_consistent(self, name):
+        spec = get_preset(name)
+        assert spec.name == name
+        assert spec.compute.num_sms > 0
+        # every cache validates at construction; sanity-check L2 presence
+        assert spec.has_cache("L2")
+        if spec.vendor is Vendor.AMD:
+            assert spec.has_cache("vL1") and spec.has_cache("sL1d")
+            assert spec.compute.warp_size == 64
+            assert spec.compute.physical_cu_ids
+        else:
+            assert spec.has_cache("L1") and spec.has_cache("ConstL1")
+            assert spec.compute.warp_size == 32
+
+
+class TestPaperPresetFacts:
+    """Ground-truth facts from the paper's Tables II/III."""
+
+    def test_h100_l1(self):
+        spec = get_preset("H100-80")
+        l1 = spec.cache("L1")
+        assert l1.size == 238 * KiB
+        assert l1.line_size == 128 and l1.fetch_granularity == 32
+        assert spec.cache("Texture").effective_physical_id == "l1tex"
+
+    def test_h100_l2_segments(self):
+        l2 = get_preset("H100-80").cache("L2")
+        assert l2.size == 25 * MiB and l2.segments == 2  # API: 50 MB total
+
+    def test_a100_l2_is_two_20mb_segments(self):
+        l2 = get_preset("A100").cache("L2")
+        assert l2.size == 20 * MiB and l2.segments == 2  # paper fn. 13
+
+    def test_v100_two_sector_transaction(self):
+        # Paper Section IV-D: V100 default transaction = 2 sectors = 64 B.
+        assert get_preset("V100").cache("L1").fetch_granularity == 64
+
+    def test_mi210_cu_topology(self):
+        spec = get_preset("MI210")
+        ids = spec.compute.physical_cu_ids
+        assert len(ids) == 104
+        assert max(ids) <= 127  # paper fn. 15: die has 128
+        assert spec.cache("sL1d").cu_share_group == 2
+
+    def test_mi100_sl1d_three_way(self):
+        assert get_preset("MI100").cache("sL1d").cu_share_group == 3
+
+    def test_mi300x_topology(self):
+        spec = get_preset("MI300X")
+        assert spec.compute.num_clusters == 8  # XCDs
+        assert spec.cache("L2").segments == 8
+        assert spec.has_cache("L3")
+        assert Quirk.VIRTUALIZED in spec.quirks
+
+    def test_p6000_quirks(self):
+        spec = get_preset("P6000")
+        assert Quirk.WARP_SCHEDULING_BUG in spec.quirks
+        assert Quirk.FLAKY_L1_CONST_SHARING in spec.quirks
+        assert spec.compute.warps_per_sm == 4  # warp 3 of 4 is the bug
+
+    def test_a100_mig_profiles(self):
+        spec = get_preset("A100")
+        assert spec.mig_profiles["4g.20gb"] == (4, 4)
+        assert spec.mig_profiles["1g.5gb"] == (1, 1)
+
+    def test_memory_sizes(self):
+        assert get_preset("H100-80").memory.size == 80 * GiB
+        assert get_preset("MI210").memory.size == 64 * GiB

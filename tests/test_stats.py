@@ -1,0 +1,190 @@
+"""Tests for reduction (Eq. 2), change-point detection, outlier handling
+and descriptive statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.changepoint import detect_change_point
+from repro.stats.descriptive import summarize
+from repro.stats.outliers import find_outliers, near_interval_edge, scrub_outliers
+from repro.stats.reduction import geometric_reduction, reduce_matrix_rows
+
+
+class TestGeometricReduction:
+    def test_paper_equation(self):
+        # S_i = sqrt(sum_j (r_ij - min(r))^2) with the GLOBAL minimum.
+        m = np.array([[1.0, 2.0], [3.0, 5.0]])
+        out = geometric_reduction(m)
+        assert out[0] == pytest.approx(np.sqrt(0 + 1))
+        assert out[1] == pytest.approx(np.sqrt(4 + 16))
+
+    def test_explicit_floor(self):
+        m = np.array([[10.0, 10.0]])
+        assert geometric_reduction(m, global_min=0.0)[0] == pytest.approx(
+            np.sqrt(200.0)
+        )
+
+    def test_uniform_matrix_reduces_to_zero(self):
+        m = np.full((4, 16), 42.0)
+        assert np.allclose(geometric_reduction(m), 0.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            geometric_reduction(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            geometric_reduction(np.empty((0, 0)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 10), st.integers(2, 30)),
+            elements=st.floats(0, 1e6),
+        )
+    )
+    def test_nonnegative_and_monotone_in_misses(self, m):
+        out = geometric_reduction(m)
+        assert (out >= 0).all()
+        # Adding a large value to one row strictly increases its score.
+        bumped = m.copy()
+        bumped[0, 0] += 1e7
+        out2 = geometric_reduction(bumped, global_min=float(m.min()))
+        assert out2[0] > out[0]
+
+    def test_ragged_rows(self):
+        rows = [np.array([1.0, 1.0, 1.0]), np.array([5.0, 5.0])]
+        out = reduce_matrix_rows(rows)
+        assert out[1] > out[0]
+
+    def test_ragged_rejects_empty(self):
+        with pytest.raises(ValueError):
+            reduce_matrix_rows([])
+        with pytest.raises(ValueError):
+            reduce_matrix_rows([np.array([])])
+
+
+class TestChangePoint:
+    def test_clean_step(self):
+        series = np.concatenate([np.zeros(30), np.ones(30) * 10])
+        cp = detect_change_point(series)
+        assert cp is not None
+        assert cp.index == 30
+        assert cp.significant
+        assert cp.confidence > 0.99
+
+    def test_ramp_onset_detected(self):
+        # Past a capacity boundary the reduction RAMPS concavely (energy
+        # grows with the square root of the miss count); the change point
+        # must land at the onset, not mid-ramp (size-benchmark accuracy).
+        rng = np.random.default_rng(3)
+        noise = rng.normal(0, 0.05, 40)
+        ramp = 30.0 * np.sqrt(np.arange(1, 41) / 40.0)
+        series = np.concatenate([noise, ramp + rng.normal(0, 0.05, 40)])
+        cp = detect_change_point(series)
+        assert cp is not None
+        assert 38 <= cp.index <= 42
+        assert cp.significant
+
+    def test_pure_noise_not_significant(self):
+        rng = np.random.default_rng(7)
+        series = rng.normal(0, 1, 120)
+        cp = detect_change_point(series, alpha=0.001)
+        assert cp is None or not cp.significant
+
+    def test_short_series_returns_none(self):
+        assert detect_change_point(np.array([1.0, 2.0, 3.0])) is None
+
+    def test_index_is_first_of_new_distribution(self):
+        series = np.array([0.0] * 10 + [5.0] * 10)
+        cp = detect_change_point(series)
+        assert cp.index == 10
+        assert series[cp.index] == 5.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        split=st.integers(min_value=8, max_value=52),
+        gap=st.floats(min_value=5.0, max_value=100.0),
+    )
+    def test_property_step_recovery(self, split, gap):
+        rng = np.random.default_rng(split)
+        series = np.concatenate(
+            [rng.normal(0, 0.3, split), rng.normal(gap, 0.3, 60 - split)]
+        )
+        cp = detect_change_point(series)
+        assert cp is not None and cp.significant
+        assert abs(cp.index - split) <= 1
+
+
+class TestOutliers:
+    def test_isolated_spike_found(self):
+        series = np.ones(50)
+        series[20] = 100.0
+        mask = find_outliers(series)
+        assert mask[20]
+        assert mask.sum() == 1
+
+    def test_level_shift_not_flagged(self):
+        # A genuine cliff is a contiguous run — not an isolated spike.
+        series = np.concatenate([np.ones(25), np.ones(25) * 100])
+        assert not find_outliers(series).any()
+
+    def test_scrub_replaces_with_local_median(self):
+        series = np.ones(30)
+        series[10] = 500.0
+        out = scrub_outliers(series)
+        assert out[10] == pytest.approx(1.0)
+        assert (out[:10] == 1.0).all()
+
+    def test_scrub_returns_copy(self):
+        series = np.ones(30)
+        series[5] = 400.0
+        scrub_outliers(series)
+        assert series[5] == 400.0
+
+    def test_short_series_no_outliers(self):
+        assert not find_outliers(np.array([1.0, 99.0])).any()
+
+    def test_constant_series(self):
+        assert not find_outliers(np.full(20, 7.0)).any()
+
+    @pytest.mark.parametrize(
+        "index,length,expected",
+        [(0, 100, True), (99, 100, True), (50, 100, False), (4, 100, True), (95, 100, True)],
+    )
+    def test_near_edge(self, index, length, expected):
+        assert near_interval_edge(index, length) is expected
+
+    def test_near_edge_validation(self):
+        with pytest.raises(ValueError):
+            near_interval_edge(5, 0)
+        with pytest.raises(ValueError):
+            near_interval_edge(100, 100)
+
+
+class TestDescriptive:
+    def test_summary_fields(self):
+        lat = np.array([10.0, 20.0, 30.0, 40.0, 100.0])
+        s = summarize(lat)
+        assert s.mean == pytest.approx(40.0)
+        assert s.p50 == pytest.approx(30.0)
+        assert s.minimum == 10.0 and s.maximum == 100.0
+        assert s.count == 5
+
+    def test_p95_tracks_tail(self):
+        lat = np.concatenate([np.full(95, 10.0), np.full(5, 1000.0)])
+        assert summarize(lat).p95 >= 10.0
+
+    def test_single_sample(self):
+        s = summarize(np.array([42.0]))
+        assert s.std == 0.0 and s.mean == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_as_dict_roundtrip(self):
+        d = summarize(np.array([1.0, 2.0, 3.0])).as_dict()
+        assert set(d) == {"mean", "p50", "p95", "std", "min", "max", "count"}

@@ -1,0 +1,121 @@
+"""End-to-end discovery assertions on the synthetic AMD devices."""
+
+import pytest
+
+from repro.core.benchmarks.base import Source
+from repro.gpuspec.presets import get_preset
+
+SPEC = get_preset("TestGPU-AMD")
+
+
+class TestGeneralAndCompute:
+    def test_general(self, amd_report):
+        g = amd_report.general
+        assert g.vendor == "AMD"
+        assert g.microarchitecture == "CDNA2"
+
+    def test_compute(self, amd_report):
+        c = amd_report.compute
+        assert c.num_sms == 8
+        assert c.warp_size == 64
+        assert c.simds_per_sm == 4
+        assert c.physical_cu_ids == (0, 1, 2, 4, 5, 6, 8, 9)
+
+
+class TestElementCoverage:
+    def test_elements(self, amd_report):
+        assert set(amd_report.memory) == {"vL1", "sL1d", "L2", "LDS", "DeviceMemory"}
+
+    def test_l3_only_when_present(self, amd_l3_report):
+        assert "L3" in amd_l3_report.memory
+
+    def test_api_sources_follow_table1(self, amd_report):
+        # Table I AMD rows: L2 size/line/amount via API, vL1/sL1d benchmarked.
+        assert amd_report.attribute("L2", "size").source is Source.API
+        assert amd_report.attribute("L2", "cache_line_size").source is Source.API
+        assert amd_report.attribute("L2", "amount").source is Source.API
+        assert amd_report.attribute("vL1", "size").source is Source.BENCHMARK
+        assert amd_report.attribute("sL1d", "cache_line_size").source is Source.BENCHMARK
+
+
+class TestDiscoveredValues:
+    def test_vl1_size(self, amd_report):
+        assert amd_report.attribute("vL1", "size").value == pytest.approx(4096, rel=0.1)
+
+    def test_sl1d_size(self, amd_report):
+        assert amd_report.attribute("sL1d", "size").value == pytest.approx(2048, rel=0.1)
+
+    @pytest.mark.parametrize(
+        "element,expected", [("vL1", 64), ("sL1d", 64), ("L2", 64)]
+    )
+    def test_fetch_granularities(self, amd_report, element, expected):
+        assert amd_report.attribute(element, "fetch_granularity").value == expected
+
+    @pytest.mark.parametrize(
+        "element,true_latency",
+        [("vL1", 40.0), ("sL1d", 25.0), ("L2", 80.0), ("LDS", 12.0),
+         ("DeviceMemory", 250.0)],
+    )
+    def test_latencies(self, amd_report, element, true_latency):
+        measured = amd_report.attribute(element, "load_latency").value
+        assert measured == pytest.approx(
+            true_latency + SPEC.noise.measurement_overhead, abs=5
+        )
+
+    def test_l2_api_values(self, amd_report):
+        assert amd_report.attribute("L2", "size").value == 32 * 1024
+        assert amd_report.attribute("L2", "cache_line_size").value == 128
+        assert amd_report.attribute("L2", "amount").value == 1
+
+    def test_vl1_amount(self, amd_report):
+        assert amd_report.attribute("vL1", "amount").value == 1
+
+
+class TestSL1dSharing:
+    def test_cu_map(self, amd_report):
+        av = amd_report.attribute("sL1d", "shared_with")
+        pairs = av.value
+        assert pairs[0] == (1,) and pairs[1] == (0,)
+        assert pairs[2] == ()  # physical partner fused off -> exclusive
+        assert pairs[5] == ()
+
+    def test_exclusive_note(self, amd_report):
+        assert "exclusive" in amd_report.attribute("sL1d", "shared_with").note
+
+
+class TestL3Honesty:
+    """Paper Section III-C: the CDNA3 L3 gaps must be explicit."""
+
+    def test_l3_size_via_api(self, amd_l3_report):
+        av = amd_l3_report.attribute("L3", "size")
+        assert av.source is Source.API
+        assert av.value == 128 * 1024
+
+    def test_l3_latency_unavailable(self, amd_l3_report):
+        av = amd_l3_report.attribute("L3", "load_latency")
+        assert av.source is Source.UNAVAILABLE
+        assert av.value is None
+
+    def test_l3_fg_unavailable(self, amd_l3_report):
+        assert amd_l3_report.attribute("L3", "fetch_granularity").source is Source.UNAVAILABLE
+
+    def test_l3_bandwidth_measured(self, amd_l3_report):
+        # Table I: L3 R&W bandwidth IS measurable.
+        av = amd_l3_report.attribute("L3", "read_bandwidth")
+        assert av.source is Source.BENCHMARK
+        assert av.value > 0
+
+    def test_l2_segments_via_xcd_count(self, amd_l3_report):
+        assert amd_l3_report.attribute("L2", "amount").value == 2
+
+
+class TestRuntime:
+    def test_fewer_benchmarks_than_nvidia(self, amd_report, nv_report):
+        # Paper Section V-A: ~15 AMD vs ~35 NVIDIA benchmarks.
+        assert amd_report.runtime.benchmarks_executed < nv_report.runtime.benchmarks_executed
+
+    def test_amd_faster(self, amd_report, nv_report):
+        assert (
+            amd_report.runtime.modeled_total_seconds
+            < nv_report.runtime.modeled_total_seconds
+        )

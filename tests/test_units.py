@@ -1,0 +1,145 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_latency_cycles,
+    format_size,
+    is_power_of_two,
+    nearest_integer_fraction,
+    parse_size,
+    round_to_power_of_two,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("1 KiB", KiB),
+            ("228KiB", 228 * KiB),
+            ("50MB", 50 * MiB),  # vendor convention: MB == MiB for caches
+            ("80 GB", 80 * GiB),
+            ("2.5 MiB", int(2.5 * MiB)),
+            ("16k", 16 * KiB),
+            ("3g", 3 * GiB),
+            ("0", 0),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_numeric_passthrough(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(10.0) == 10
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 XB", "-5 KiB"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_exact_kib(self):
+        assert format_size(238 * KiB) == "238 KiB"
+
+    def test_fractional(self):
+        assert format_size(int(4.06 * KiB)) == "4.06 KiB"
+
+    def test_bytes(self):
+        assert format_size(512) == "512 B"
+
+    def test_gib(self):
+        assert format_size(80 * GiB) == "80 GiB"
+
+    def test_roundtrip(self):
+        assert parse_size(format_size(64 * KiB)) == 64 * KiB
+
+
+class TestFormatters:
+    def test_bandwidth_tib(self):
+        assert format_bandwidth(4.4 * 1024**4) == "4.40 TiB/s"
+
+    def test_bandwidth_gib(self):
+        assert format_bandwidth(100 * 1024**3) == "100.0 GiB/s"
+
+    def test_latency(self):
+        assert format_latency_cycles(37.6) == "38 cyc"
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 64, 1024, 1 << 30])
+    def test_true(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 127, 129])
+    def test_false(self, n):
+        assert not is_power_of_two(n)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (3, 4), (5, 4), (6, 8), (96, 128), (64.6, 64), (144, 128), (120, 128)],
+    )
+    def test_round(self, value, expected):
+        assert round_to_power_of_two(value) == expected
+
+    def test_round_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_to_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_round_is_power(self, n):
+        assert is_power_of_two(round_to_power_of_two(n))
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    def test_round_within_factor_two(self, n):
+        p = round_to_power_of_two(n)
+        assert p / 2 < n <= p * 2
+
+
+class TestNearestIntegerFraction:
+    def test_exact_half(self):
+        # A100: API reports 40 MB, one segment measures ~20 MB.
+        k, conf = nearest_integer_fraction(40 * MiB, 20 * MiB)
+        assert k == 2
+        assert conf > 0.99
+
+    def test_slightly_off(self):
+        k, conf = nearest_integer_fraction(50 * MiB, 24.7 * MiB)
+        assert k == 2
+        assert 0.5 < conf < 1.0
+
+    def test_single_segment(self):
+        k, conf = nearest_integer_fraction(8 * MiB, 7.9 * MiB)
+        assert k == 1
+        assert conf > 0.9
+
+    def test_eight_segments(self):
+        k, _ = nearest_integer_fraction(32 * MiB, 4 * MiB)
+        assert k == 8
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            nearest_integer_fraction(0, 10)
+        with pytest.raises(ValueError):
+            nearest_integer_fraction(10, -1)
+
+    @given(
+        total=st.integers(min_value=1024, max_value=1 << 30),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_recovers_exact_fractions(self, total, k):
+        found, conf = nearest_integer_fraction(total, total / k)
+        assert found == k
+        assert conf > 0.95

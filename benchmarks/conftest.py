@@ -1,8 +1,9 @@
 """Session-scoped discovery fixtures shared by the benchmark modules.
 
-Full discoveries on the paper presets take ~10-20 s each; the benches
-time the experiment-specific work and share these reports for the
-comparison/validation parts.
+Full discoveries on the paper presets run on the analytic measurement
+engine (~1-3 s each; see benchmarks/bench_discovery_speed.py for the
+before/after record); the benches time the experiment-specific work and
+share these reports for the comparison/validation parts.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ in the grid (reusing the size benchmark's bound-finding machinery with a
 tight budget), feeds the (stride, apparent capacity) pairs into
 :func:`~repro.stats.heuristics.estimate_cache_line_size`, and reports the
 power-of-two-snapped median vote with its agreement confidence.
+
+This is the discovery pipeline's heaviest consumer of huge p-chase
+arrays (probes up to 8x the cache size per stride): line-skipping
+strides exceed the cache line, so the analytic engine's rank cache
+(:mod:`repro.gpusim.cache`) and deferred warms keep the per-probe cost
+at O(samples) instead of O(array).
 """
 
 from __future__ import annotations

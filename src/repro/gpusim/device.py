@@ -89,6 +89,10 @@ class SimulatedGPU:
         self._cu_group_caches: dict[int, SimCache] = {}
         self._l2_fetch_granularity_override: int | None = None
         self.total_loads = 0
+        # Monotone counter bumped by every accounted kernel operation and
+        # every flush: lets drivers prove "nothing touched the caches in
+        # between" when reusing warm state across p-chase runs.
+        self.op_serial = 0
 
     @classmethod
     def from_preset(cls, name: str, **kwargs) -> "SimulatedGPU":
@@ -234,6 +238,7 @@ class SimulatedGPU:
 
     def flush_caches(self) -> None:
         """Invalidate every instantiated cache (between benchmark runs)."""
+        self.op_serial += 1
         for sm in self._sms.values():
             sm.flush_caches()
         for cache in self._gpu_caches.values():
@@ -341,6 +346,7 @@ class SimulatedGPU:
         """Record simulated GPU work (used by the kernel engine)."""
         if count < 0 or cycles < 0:
             raise SimulationError("accounting values must be non-negative")
+        self.op_serial += 1
         self.total_loads += count
         self.clock.advance(cycles)
 

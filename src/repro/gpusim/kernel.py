@@ -13,6 +13,24 @@ MT4G launches (paper Section IV):
 * :func:`run_stream_kernel` — the Section IV-I bandwidth kernel: vector
   loads from maximal occupancy, timed with event records.
 
+Two execution engines produce identical results (asserted by tests and
+by ``benchmarks/bench_discovery_speed.py``):
+
+* ``engine="analytic"`` (default) drives the timed pass through
+  :meth:`SimCache.chase_cyclic` / :meth:`SimCache.pass_monotone` — a
+  fully vectorised hit/latency computation with zero per-load Python —
+  falling back to exact per-load simulation whenever a sequence or cache
+  state falls outside the analytic preconditions;
+* ``engine="exact"`` walks every load through the per-access simulator
+  (the reference implementation the property tests compare against).
+
+Warm-up passes are executed once per cache regardless of
+``warmup_passes`` — a repeated cyclic warm is an LRU fixed point — while
+the simulated run-time model still charges every requested pass, with the
+first pass after a flush charged at *miss* latency (the loads of a cold
+warm-up traverse to the terminal level; charging them at hit latency
+would understate the Section V-A run-time report).
+
 All functions account simulated GPU time on the device so the Section V-A
 run-time model can report per-benchmark durations.
 """
@@ -31,6 +49,7 @@ __all__ = [
     "KernelLaunch",
     "pchase_addresses",
     "run_pchase",
+    "run_pchase_ex",
     "warm",
     "probe_hits",
     "run_stream_kernel",
@@ -38,6 +57,9 @@ __all__ = [
 
 #: Default number of stored samples per timed pass (first-N capture).
 DEFAULT_SAMPLES = 384
+
+#: Valid measurement engines.
+ENGINES = ("analytic", "exact")
 
 
 @dataclass(frozen=True)
@@ -81,14 +103,125 @@ def _walk(path: LoadPath, addr: int) -> float:
     return lat
 
 
-def warm(device: SimulatedGPU, kind: LoadKind, addrs: np.ndarray, sm: int = 0, core: int = 0) -> None:
-    """One untimed pass: populate every cache on the path (Section IV-A)."""
-    path = device.resolve_path(kind, sm, core)
-    for cache, _ in path.levels:
-        cache.warm_cyclic(addrs)
+def _pass_filtered(
+    cache, addrs: np.ndarray, n_samples: int, pending: np.ndarray
+) -> np.ndarray | None:
+    """Batch-walk the pending subset of a cyclic sequence through a cache.
+
+    The pending positions of each ring revolution form a monotone
+    subsequence, which :meth:`SimCache.pass_monotone` replays exactly on
+    whatever state the cache is in.  Returns a full-length hit vector
+    (False at non-pending positions), or ``None`` if a segment cannot be
+    replayed in batch.
+    """
+    ring = len(addrs)
+    out = np.zeros(n_samples, dtype=bool)
+    for seg in range(0, n_samples, ring):
+        pm = pending[seg : seg + ring]
+        idx = np.flatnonzero(pm)
+        if idx.size == 0:
+            continue
+        h = cache.pass_monotone(addrs[idx])
+        if h is None:
+            return None
+        out[seg + idx] = h
+    return out
+
+
+def _walk_many(
+    path: LoadPath,
+    addrs: np.ndarray,
+    n_samples: int,
+    warmed: bool | None,
+    stride: int | None,
+    preserve_warm_state: bool,
+) -> tuple[np.ndarray | None, np.ndarray | None, bool]:
+    """Batch timed pass over a cyclic ring: per-load latency vector.
+
+    Combines the per-level analytic hit vectors into one latency vector:
+    a load observes the latency of the first level it hits, and levels
+    below a hit are not accessed (the ``pending`` cascade).  ``warmed``
+    mirrors the :meth:`SimCache.chase_cyclic` contract (``None`` =
+    unknown state, use the arbitrary-state batch walker throughout).
+
+    Returns ``(latencies, first_level_hits, preserved)`` where
+    ``preserved`` reports whether every touched cache was left at the
+    warm fixed point (only possible with ``preserve_warm_state``; a
+    filtered or fallback level always mutates).
+    """
+    n = int(n_samples)
+    lat = np.full(n, path.terminal_latency, dtype=np.float64)
+    pending = np.ones(n, dtype=bool)
+    first_hits: np.ndarray | None = None
+    preserved = preserve_warm_state
+    for level_idx, (cache, level_lat) in enumerate(path.levels):
+        hits = None
+        if pending.all() and warmed is not None:
+            hits = cache.chase_cyclic(
+                addrs,
+                n,
+                warmed=warmed,
+                stride=stride,
+                update_state=not preserve_warm_state,
+            )
+        if hits is None:
+            if not pending.any():
+                hits = np.zeros(n, dtype=bool)
+            else:
+                hits = _pass_filtered(cache, addrs, n, pending)
+                if hits is None:
+                    return None, None, False
+                preserved = False
+        if level_idx == 0:
+            first_hits = hits.copy()
+        lat[pending & hits] = level_lat
+        pending &= ~hits
+    full = np.ones(n, dtype=bool)
     for cache in path.side_effects:
-        cache.warm_cyclic(addrs)
+        h = None
+        if warmed is not None:
+            h = cache.chase_cyclic(
+                addrs,
+                n,
+                warmed=warmed,
+                stride=stride,
+                update_state=not preserve_warm_state,
+            )
+        if h is None:
+            if _pass_filtered(cache, addrs, n, full) is None:
+                return None, None, False
+            preserved = False
+    return lat, first_hits, preserved
+
+
+def warm(
+    device: SimulatedGPU,
+    kind: LoadKind,
+    addrs: np.ndarray,
+    sm: int = 0,
+    core: int = 0,
+    stride: int | None = None,
+    engine: str = "analytic",
+) -> None:
+    """One untimed pass: populate every cache on the path (Section IV-A).
+
+    With the analytic engine and a uniform-stride ring the warm is
+    deferred per cache (:meth:`SimCache.warm_cyclic_lazy`): protocols warm
+    caches on the whole path but typically probe only the first level, and
+    the next flush discards the untouched warms for free.
+    """
+    path = device.resolve_path(kind, sm, core)
+    lazy = engine == "analytic" and stride is not None and len(addrs) > 0
+    caches = [c for c, _ in path.levels] + list(path.side_effects)
+    for cache in caches:
+        if lazy:
+            cache.warm_cyclic_lazy(int(addrs[0]), len(addrs) * stride, stride)
+        else:
+            cache.warm_cyclic(addrs, stride=stride)
     first_latency = path.levels[0][1] if path.levels else path.terminal_latency
+    # Protocol warms are charged at first-level hit latency irrespective
+    # of cache state (the run_pchase cold-warm miss surcharge relies on
+    # knowing a flush preceded; this standalone warm cannot know that).
     device.account_loads(len(addrs), len(addrs) * first_latency)
 
 
@@ -98,6 +231,7 @@ def probe_hits(
     addrs: np.ndarray,
     sm: int = 0,
     core: int = 0,
+    engine: str = "analytic",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Timed probe pass: per-load (first-level hit?, observed latency).
 
@@ -105,6 +239,11 @@ def probe_hits(
     cooperative protocols ask "did my data survive in the target cache?".
     The observed latencies include measurement noise, exactly what a real
     evaluation would have to threshold.
+
+    The analytic engine batches the whole pass through
+    :meth:`SimCache.pass_monotone`: a probe immediately precedes its own
+    load, so the probe outcome *is* the first-level hit outcome of the
+    walk.  Non-monotone address sequences fall back to the per-load loop.
     """
     path = device.resolve_path(kind, sm, core)
     n = len(addrs)
@@ -114,11 +253,26 @@ def probe_hits(
         hits[:] = True
         base[:] = path.terminal_latency
     else:
-        first_cache = path.levels[0][0]
-        for i, addr in enumerate(addrs):
-            addr = int(addr)
-            hits[i] = first_cache.probe(addr)
-            base[i] = _walk(path, addr)
+        done = False
+        if engine == "analytic":
+            lat, first_hits, _ = _walk_many(
+                path,
+                np.asarray(addrs, dtype=np.int64),
+                n,
+                warmed=None,
+                stride=None,
+                preserve_warm_state=False,
+            )
+            if lat is not None:
+                base = lat
+                hits = first_hits
+                done = True
+        if not done:
+            first_cache = path.levels[0][0]
+            for i, addr in enumerate(addrs):
+                addr = int(addr)
+                hits[i] = first_cache.probe(addr)
+                base[i] = _walk(path, addr)
     device.account_loads(n, float(base.sum()))
     return hits, device.noise.perturb(base)
 
@@ -134,6 +288,7 @@ def run_pchase(
     core: int = 0,
     warmup_passes: int = 1,
     flush: bool = False,
+    engine: str = "analytic",
 ) -> np.ndarray:
     """Fine-grained p-chase: returns the first ``n_samples`` load latencies.
 
@@ -143,33 +298,129 @@ def run_pchase(
     latencies are recorded (wrapping around the ring if N exceeds the
     element count).
     """
+    lat, _ = run_pchase_ex(
+        device,
+        kind,
+        base,
+        nbytes,
+        stride,
+        n_samples=n_samples,
+        sm=sm,
+        core=core,
+        warmup_passes=warmup_passes,
+        flush=flush,
+        engine=engine,
+    )
+    return lat
+
+
+def run_pchase_ex(
+    device: SimulatedGPU,
+    kind: LoadKind,
+    base: int,
+    nbytes: int,
+    stride: int,
+    n_samples: int = DEFAULT_SAMPLES,
+    sm: int = 0,
+    core: int = 0,
+    warmup_passes: int = 1,
+    flush: bool = False,
+    engine: str = "analytic",
+    incremental_from: int | None = None,
+    preserve_warm_state: bool = False,
+) -> tuple[np.ndarray, bool]:
+    """:func:`run_pchase` plus the incremental-sweep driver interface.
+
+    ``incremental_from`` (bytes of an identical-base, identical-stride
+    ring already warmed to its LRU fixed point) replaces the flush +
+    full-ring warm with a warm of only the appended suffix — provably the
+    same end state — while the simulated run-time model still charges the
+    full flush + warm the real tool would execute.
+    ``preserve_warm_state`` asks the analytic timed pass to leave the
+    caches at the warm fixed point so the *next* sweep size can extend it.
+
+    Returns ``(latencies, preserved)``; ``preserved`` is True only when
+    the fixed point was actually kept (analytic pass, no fallback).
+    """
     if n_samples <= 0:
         raise SimulationError("n_samples must be positive")
+    if engine not in ENGINES:
+        raise SimulationError(f"unknown engine {engine!r}; valid: {ENGINES}")
     device.sm(sm).pin_core(core)
-    if flush:
+    analytic = engine == "analytic"
+    # There is no warm fixed point to preserve without a warm-up pass: a
+    # cold timed pass must apply its state mutations like the exact engine.
+    if warmup_passes <= 0:
+        preserve_warm_state = False
+    incremental = (
+        analytic
+        and incremental_from is not None
+        and 0 < incremental_from <= nbytes
+        and flush
+        and warmup_passes > 0
+    )
+    if flush and not incremental:
         device.flush_caches()
     path = device.resolve_path(kind, sm, core)
     if not path.levels:
         # Scratchpad: constant latency, no cache dynamics.
         base_lat = np.full(n_samples, path.terminal_latency)
         device.account_loads(n_samples, float(base_lat.sum()))
-        return device.noise.perturb(base_lat)
+        return device.noise.perturb(base_lat), False
 
     addrs = pchase_addresses(base, nbytes, stride)
-    for _ in range(warmup_passes):
-        for cache, _lat in path.levels:
-            cache.warm_cyclic(addrs)
-        for cache in path.side_effects:
-            cache.warm_cyclic(addrs)
     n_ring = len(addrs)
-    base_lat = np.empty(n_samples, dtype=np.float64)
-    for i in range(n_samples):
-        base_lat[i] = _walk(path, int(addrs[i % n_ring]))
-    warm_cost = warmup_passes * n_ring * path.levels[0][1]
+    caches = [c for c, _ in path.levels] + list(path.side_effects)
+    if warmup_passes > 0:
+        # One executed pass stands in for all requested passes: a repeated
+        # cyclic warm is an LRU fixed point (property-tested).
+        if analytic and flush:
+            # Fresh warm after a flush (or its incremental equivalent):
+            # record the fixed point as a deferred descriptor — O(1).  An
+            # extension is only accepted against a cache that provably
+            # still holds the previous ring's fixed point; otherwise the
+            # run degrades to a real flush + fresh warm.
+            if incremental and not all(
+                c.extend_fixed_point(base, nbytes, stride) for c in caches
+            ):
+                device.flush_caches()
+                incremental = False
+            if not incremental:
+                for cache in caches:
+                    cache.warm_fixed_point(base, nbytes, stride)
+        else:
+            # Exact engine, or a warm onto unknown (unflushed) state:
+            # incremental reuse never applies here.
+            for cache in caches:
+                cache.warm_cyclic(addrs, stride=stride)
+
+    base_lat = None
+    preserved = False
+    if analytic:
+        if flush:  # fresh state (a real flush or its incremental equivalent)
+            warmed: bool | None = warmup_passes > 0
+        else:
+            warmed = None  # unknown prior state: arbitrary-state batch walk
+        base_lat, _, preserved = _walk_many(
+            path, addrs, n_samples, warmed, stride, preserve_warm_state
+        )
+    if base_lat is None:
+        base_lat = np.empty(n_samples, dtype=np.float64)
+        for i in range(n_samples):
+            base_lat[i] = _walk(path, int(addrs[i % n_ring]))
+        preserved = False
+
+    # Run-time model (Section V-A): charge every requested warm pass; the
+    # first pass after a flush runs against cold caches and is charged at
+    # terminal (miss) latency, later passes at first-level hit latency.
+    first_latency = path.levels[0][1]
+    warm_cycles = warmup_passes * n_ring * first_latency
+    if flush and warmup_passes > 0:
+        warm_cycles += n_ring * (path.terminal_latency - first_latency)
     device.account_loads(
-        n_samples + warmup_passes * n_ring, float(base_lat.sum()) + warm_cost
+        n_samples + warmup_passes * n_ring, float(base_lat.sum()) + warm_cycles
     )
-    return device.noise.perturb(base_lat)
+    return device.noise.perturb(base_lat), preserved
 
 
 def run_stream_kernel(

@@ -37,10 +37,21 @@ class PChaseConfig:
     #: latency-benchmark array size in fetch-granularity units (IV-C:
     #: "MT4G uses size of 256 * Fetch Granularity").
     latency_array_elems: int = 256
+    #: measurement engine: "analytic" batches warm/timed/probe passes
+    #: through the vectorised cache primitives (with automatic exact
+    #: fallback) and lets sweeps reuse warm state incrementally;
+    #: "exact" walks every load through the per-access simulator.  Both
+    #: produce identical measurements — the analytic engine exists purely
+    #: for speed (see benchmarks/bench_discovery_speed.py).
+    engine: str = "analytic"
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0 or self.warmup_passes < 0:
             raise ValueError("n_samples must be positive, warmup_passes >= 0")
+        if self.engine not in ("analytic", "exact"):
+            raise ValueError(
+                f"engine must be 'analytic' or 'exact', got {self.engine!r}"
+            )
         if self.max_sweep_points < 8:
             raise ValueError("max_sweep_points must be at least 8")
         if not 0.0 < self.ks_alpha < 1.0:

@@ -1,8 +1,8 @@
 """Shared fixtures.
 
 Full discoveries are session-scoped: the four synthetic test GPUs cover
-the pipeline in a few seconds total, and many test modules assert against
-the same reports.
+the pipeline in about a second total on the analytic measurement engine,
+and many test modules assert against the same reports.
 """
 
 from __future__ import annotations

@@ -1,0 +1,322 @@
+"""Property tests for the batch/analytic measurement engine.
+
+The analytic primitives — :meth:`SimCache.chase_cyclic`,
+:meth:`SimCache.pass_monotone`, :meth:`SimCache.probe_many`, the deferred
+warm state (:meth:`warm_fixed_point` / :meth:`warm_cyclic_lazy`) and the
+incremental suffix-extension warm — must be *access-for-access*
+equivalent to the exact :meth:`SimCache.access` loop: same hit/miss
+vector, same end state (snapshot), same statistics counters.  These
+tests pin that equivalence over randomized cache geometries, strides,
+ring sizes, sample counts (including multi-wrap chases), warm/cold
+starts and post-flush generations, plus the automatic exact fallback on
+non-monotone sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.cache import SimCache
+
+
+def strided_ring(nbytes: int, stride: int, base: int = 0) -> np.ndarray:
+    return base + np.arange(max(1, nbytes // stride), dtype=np.int64) * stride
+
+
+def stats(cache: SimCache) -> tuple[int, int, int, int]:
+    return (cache.hits, cache.sector_misses, cache.line_misses, cache.evictions)
+
+
+def chase_reference(cache: SimCache, addrs: np.ndarray, n: int) -> np.ndarray:
+    """The exact timed pass: per-load access over the cyclic walk."""
+    ring = len(addrs)
+    return np.fromiter(
+        (cache.access(int(addrs[i % ring])) for i in range(n)), dtype=bool, count=n
+    )
+
+
+@st.composite
+def geometry_and_ring(draw):
+    line = draw(st.sampled_from([32, 64, 128]))
+    fg = line // draw(st.sampled_from([1, 2, 4]))
+    ways = draw(st.sampled_from([1, 2, 4, 8]))
+    sets = draw(st.sampled_from([2, 4, 8, 16]))
+    size = sets * line * ways
+    stride = draw(
+        st.sampled_from([max(4, fg // 2), fg, 2 * fg, 3 * fg, line, 2 * line])
+    )
+    nbytes = draw(st.integers(min_value=stride, max_value=5 * size))
+    base = 4 * draw(st.integers(min_value=0, max_value=size))
+    return size, line, fg, ways, stride, strided_ring(nbytes, stride, base)
+
+
+class TestChaseCyclic:
+    @settings(max_examples=150, deadline=None)
+    @given(geometry_and_ring(), st.integers(min_value=1, max_value=900), st.booleans())
+    def test_warmed_equivalence(self, params, n_samples, hint):
+        """Warmed chase == exact loop: hits, end state and statistics."""
+        size, line, fg, ways, stride, addrs = params
+        analytic = SimCache(size, line, fg, ways)
+        exact = SimCache(size, line, fg, ways)
+        analytic.warm_cyclic(addrs, stride=stride)
+        exact.warm_cyclic(addrs, stride=stride)
+        analytic.reset_stats()
+        exact.reset_stats()
+        hits = analytic.chase_cyclic(
+            addrs, n_samples, warmed=True, stride=stride if hint else None
+        )
+        ref = chase_reference(exact, addrs, n_samples)
+        assert hits is not None
+        assert (hits == ref).all()
+        assert analytic.snapshot() == exact.snapshot()
+        assert stats(analytic) == stats(exact)
+
+    @settings(max_examples=100, deadline=None)
+    @given(geometry_and_ring(), st.integers(min_value=1, max_value=900))
+    def test_cold_equivalence(self, params, n_samples):
+        """Cold (flushed) chase == exact loop, including the first wrap."""
+        size, line, fg, ways, stride, addrs = params
+        analytic = SimCache(size, line, fg, ways)
+        exact = SimCache(size, line, fg, ways)
+        hits = analytic.chase_cyclic(addrs, n_samples, warmed=False, stride=stride)
+        ref = chase_reference(exact, addrs, n_samples)
+        assert hits is not None
+        assert (hits == ref).all()
+        assert analytic.snapshot() == exact.snapshot()
+        assert stats(analytic) == stats(exact)
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometry_and_ring(), st.integers(min_value=1, max_value=400))
+    def test_post_flush_generation(self, params, n_samples):
+        """A flushed cache behaves like a fresh one (generation stamps)."""
+        size, line, fg, ways, stride, addrs = params
+        analytic = SimCache(size, line, fg, ways)
+        exact = SimCache(size, line, fg, ways)
+        # Dirty both caches with an unrelated footprint, then flush.
+        junk = strided_ring(2 * size, line, base=8 * size + 4)
+        analytic.warm_cyclic(junk)
+        exact.warm_cyclic(junk)
+        analytic.flush()
+        exact.flush()
+        analytic.warm_cyclic(addrs, stride=stride)
+        exact.warm_cyclic(addrs, stride=stride)
+        hits = analytic.chase_cyclic(addrs, n_samples, warmed=True, stride=stride)
+        ref = chase_reference(exact, addrs, n_samples)
+        assert hits is not None
+        assert (hits == ref).all()
+        assert analytic.snapshot() == exact.snapshot()
+
+    def test_non_monotone_returns_none_without_mutating(self):
+        addrs = np.array([256, 0, 128, 64], dtype=np.int64)
+        cache = SimCache(1024, 64, 32, 2)
+        before = cache.snapshot()
+        assert cache.chase_cyclic(addrs, 10, warmed=False) is None
+        assert cache.snapshot() == before
+
+    def test_cold_mode_rejects_dirty_cache(self):
+        cache = SimCache(1024, 64, 32, 2)
+        cache.access(0)
+        assert cache.chase_cyclic(strided_ring(512, 32), 8, warmed=False) is None
+
+    def test_preserve_fixed_point(self):
+        """update_state=False leaves the warm fixed point untouched."""
+        cache = SimCache(2048, 64, 32, 2)
+        addrs = strided_ring(4096, 32)
+        cache.warm_cyclic(addrs, stride=32)
+        before = cache.snapshot()
+        cache.chase_cyclic(addrs, 100, warmed=True, stride=32, update_state=False)
+        assert cache.snapshot() == before
+
+
+class TestPassMonotone:
+    @settings(max_examples=150, deadline=None)
+    @given(geometry_and_ring(), st.integers(min_value=0, max_value=3))
+    def test_arbitrary_state_equivalence(self, params, n_prior):
+        """pass_monotone == access_many on states built from prior warms."""
+        size, line, fg, ways, stride, addrs = params
+        analytic = SimCache(size, line, fg, ways)
+        exact = SimCache(size, line, fg, ways)
+        rng = np.random.default_rng(len(addrs) * 31 + n_prior)
+        for _ in range(n_prior):
+            pr_stride = int(rng.choice([fg, line]))
+            pr = strided_ring(
+                int(rng.integers(pr_stride, 3 * size)),
+                pr_stride,
+                base=int(rng.integers(0, 4 * size)) // 4 * 4,
+            )
+            # Same state on both sides, built by the same (exact) machinery.
+            analytic.access_many(pr)
+            exact.access_many(pr)
+        analytic.reset_stats()
+        exact.reset_stats()
+        hits = analytic.pass_monotone(addrs)
+        ref = exact.access_many(addrs)
+        assert hits is not None
+        assert (hits == ref).all()
+        assert analytic.snapshot() == exact.snapshot()
+        assert stats(analytic) == stats(exact)
+
+    def test_non_monotone_returns_none(self):
+        cache = SimCache(1024, 64, 32, 2)
+        assert cache.pass_monotone(np.array([64, 0], dtype=np.int64)) is None
+
+    def test_partially_evicted_set_matches_exact(self):
+        """Mixed sets (some probed lines resident, some not) stay exact."""
+        cache = SimCache(512, 64, 64, 4)  # 2 sets, 4 ways
+        exact = SimCache(512, 64, 64, 4)
+        a = strided_ring(512, 64)  # fills both sets
+        b = strided_ring(256, 64, base=1024)  # evicts part of A
+        for c in (cache, exact):
+            c.access_many(a)
+            c.access_many(b)
+        hits = cache.pass_monotone(a)
+        ref = exact.access_many(a)
+        assert (hits == ref).all()
+        assert cache.snapshot() == exact.snapshot()
+
+
+class TestProbeMany:
+    @settings(max_examples=80, deadline=None)
+    @given(geometry_and_ring())
+    def test_matches_scalar_probe(self, params):
+        size, line, fg, ways, stride, addrs = params
+        cache = SimCache(size, line, fg, ways)
+        cache.warm_cyclic(addrs[: max(1, len(addrs) // 2)])
+        queries = np.sort(
+            np.unique(np.concatenate([addrs, addrs + line, addrs[:1] + 8 * size]))
+        )
+        got = cache.probe_many(queries)
+        ref = np.fromiter(
+            (cache.probe(int(q)) for q in queries), dtype=bool, count=len(queries)
+        )
+        assert (got == ref).all()
+
+    def test_does_not_mutate(self):
+        cache = SimCache(1024, 64, 32, 2)
+        cache.warm_cyclic(strided_ring(512, 32))
+        before = cache.snapshot()
+        cache.probe_many(strided_ring(2048, 32))
+        assert cache.snapshot() == before
+
+
+class TestOverlappingMerge:
+    @settings(max_examples=120, deadline=None)
+    @given(geometry_and_ring(), geometry_and_ring())
+    def test_warm_equals_exact_on_any_state(self, params_a, params_b):
+        """warm_cyclic == access_many on overlapping prior state.
+
+        Lines shared between the resident content and the new pass may be
+        evicted by the pass itself before being re-accessed; the merge
+        must reproduce that (hit-promote-union vs. evict-refetch) exactly.
+        """
+        size, line, fg, ways, stride_a, addrs_a = params_a
+        *_, stride_b, addrs_b = params_b
+        analytic = SimCache(size, line, fg, ways)
+        exact = SimCache(size, line, fg, ways)
+        # Same prior state on both sides; the second (overlapping) pass
+        # goes through warm_cyclic vs. the exact loop.
+        analytic.access_many(addrs_a)
+        exact.access_many(addrs_a)
+        overlap = addrs_b % (2 * max(int(addrs_a[-1]), 1) + line)
+        overlap = np.sort(overlap)
+        analytic.warm_cyclic(overlap)
+        exact.access_many(overlap)
+        assert analytic.snapshot() == exact.snapshot()
+
+    def test_evicted_before_reaccess_is_refetched(self):
+        """Reviewer scenario: a thrashing pass must not resurrect old masks."""
+        cache = SimCache(4 * 32 * 2, 32, 8, 2)  # 4 sets, 2 ways, 4 sectors
+        exact = SimCache(4 * 32 * 2, 32, 8, 2)
+        # Lines 5 and 9 (set 1) resident with full sector masks.
+        for c in (cache, exact):
+            for addr in range(5 * 32, 6 * 32, 8):
+                c.access(addr)
+            for addr in range(9 * 32, 10 * 32, 8):
+                c.access(addr)
+        # Monotone pass over lines 1, 5, 9 (k=3 > ways): line 1 evicts 5,
+        # so 5 and 9 refetch with only the accessed sector.
+        pass_addrs = np.array([1 * 32, 5 * 32, 9 * 32], dtype=np.int64)
+        cache.warm_cyclic(pass_addrs)
+        exact.access_many(pass_addrs)
+        assert cache.snapshot() == exact.snapshot()
+
+
+class TestIncrementalWarm:
+    @settings(max_examples=120, deadline=None)
+    @given(geometry_and_ring(), st.data())
+    def test_suffix_extension_reaches_fixed_point(self, params, data):
+        """warm(prefix) + warm(suffix) == warm(full ring) exactly."""
+        size, line, fg, ways, stride, addrs = params
+        if len(addrs) < 2:
+            return
+        cut = data.draw(st.integers(min_value=1, max_value=len(addrs) - 1))
+        incremental = SimCache(size, line, fg, ways)
+        full = SimCache(size, line, fg, ways)
+        incremental.warm_cyclic(addrs[:cut], stride=stride)
+        incremental.warm_cyclic(addrs[cut:], stride=stride)
+        full.warm_cyclic(addrs, stride=stride)
+        assert incremental.snapshot() == full.snapshot()
+
+    @settings(max_examples=80, deadline=None)
+    @given(geometry_and_ring(), st.data())
+    def test_deferred_extension_matches_real_warms(self, params, data):
+        """extend_fixed_point + materialization == real incremental warms."""
+        size, line, fg, ways, stride, addrs = params
+        if len(addrs) < 2:
+            return
+        cut = data.draw(st.integers(min_value=1, max_value=len(addrs) - 1))
+        base = int(addrs[0])
+        lazy = SimCache(size, line, fg, ways)
+        real = SimCache(size, line, fg, ways)
+        lazy.warm_fixed_point(base, cut * stride, stride)
+        assert lazy.extend_fixed_point(base, len(addrs) * stride, stride)
+        real.warm_cyclic(addrs, stride=stride)
+        assert lazy.snapshot() == real.snapshot()  # snapshot materializes
+
+    def test_extension_refused_on_mismatch(self):
+        cache = SimCache(1024, 64, 32, 2)
+        cache.warm_fixed_point(0, 512, 32)
+        assert not cache.extend_fixed_point(64, 1024, 32)  # different base
+        assert not cache.extend_fixed_point(0, 1024, 64)  # different stride
+        cache.warm_fixed_point(0, 512, 32)
+        assert not cache.extend_fixed_point(0, 256, 32)  # shrink
+        assert cache.extend_fixed_point(0, 2048, 32)
+
+    def test_flush_discards_pending_warms(self):
+        cache = SimCache(1024, 64, 32, 2)
+        cache.warm_cyclic_lazy(0, 512, 32)
+        cache.warm_cyclic_lazy(4096, 512, 32)
+        cache.flush()
+        assert cache.resident_lines() == 0
+
+
+class TestLazyWarmList:
+    @settings(max_examples=100, deadline=None)
+    @given(geometry_and_ring(), st.integers(min_value=1, max_value=3))
+    def test_replay_order_preserved(self, params, n_warms):
+        """Deferred warms materialise in order, equal to eager warms."""
+        size, line, fg, ways, stride, addrs = params
+        lazy = SimCache(size, line, fg, ways)
+        eager = SimCache(size, line, fg, ways)
+        for i in range(n_warms):
+            ring = addrs + i * 16 * size
+            lazy.warm_cyclic_lazy(int(ring[0]), len(ring) * stride, stride)
+            eager.warm_cyclic(ring, stride=stride)
+        assert lazy.snapshot() == eager.snapshot()
+        # ...and statistics catch up at materialisation time.
+        assert lazy.line_misses == eager.line_misses
+
+
+@pytest.mark.parametrize("stride", [16, 32, 64, 96, 128, 256])
+def test_chase_multi_wrap_exactness(stride):
+    """n_samples far beyond the ring length wraps with the steady pattern."""
+    cache = SimCache(2048, 64, 32, 2)
+    exact = SimCache(2048, 64, 32, 2)
+    addrs = strided_ring(1600, stride)
+    cache.warm_cyclic(addrs, stride=stride)
+    exact.warm_cyclic(addrs, stride=stride)
+    hits = cache.chase_cyclic(addrs, 7 * len(addrs) + 3, warmed=True, stride=stride)
+    ref = chase_reference(exact, addrs, 7 * len(addrs) + 3)
+    assert (hits == ref).all()
+    assert cache.snapshot() == exact.snapshot()

@@ -1,0 +1,168 @@
+"""Analytic vs. exact engine equivalence at the kernel and tool layers.
+
+The analytic engine (batched warms, analytic timed passes, incremental
+sweeps) must be measurement-for-measurement indistinguishable from the
+exact per-load simulator: identical latency vectors, identical hit
+vectors, identical simulated-time accounting and — end to end —
+byte-identical :class:`TopologyReport` dictionaries at a fixed seed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.gpusim.isa import LoadKind
+from repro.gpusim.kernel import pchase_addresses, probe_hits, run_pchase, warm
+from repro.pchase import PChaseConfig, PChaseRunner
+
+
+def fresh(seed: int = 7) -> SimulatedGPU:
+    return SimulatedGPU.from_preset("TestGPU-NV", seed=seed)
+
+
+PCHASE_CASES = [
+    # (kind, alloc, nbytes, stride, warmup_passes, flush)
+    (LoadKind.LD_GLOBAL_CA, 1 << 20, 2048, 32, 1, True),  # in-cache
+    (LoadKind.LD_GLOBAL_CA, 1 << 20, 300_000, 32, 1, True),  # L1 thrash
+    (LoadKind.LD_GLOBAL_CA, 1 << 20, 8 * 1024, 32, 1, True),  # boundary mix
+    (LoadKind.LD_GLOBAL_CG, 1 << 20, 64 * 1024, 256, 0, True),  # cold DRAM
+    (LoadKind.LD_CONST, 32 * 1024, 8 * 1024, 64, 2, True),  # 3-level path
+    (LoadKind.LDG, 1 << 20, 150_000, 32, 1, False),  # no flush (merge warm)
+    (LoadKind.TEX1DFETCH, 1 << 20, 4096, 16, 1, True),  # sub-sector stride
+    (LoadKind.LD_GLOBAL_CA, 1 << 20, 1024, 32, 1, True),  # n_samples > ring
+]
+
+
+class TestRunPchaseEquivalence:
+    @pytest.mark.parametrize("case", PCHASE_CASES)
+    def test_latencies_and_accounting_identical(self, case):
+        kind, alloc, nbytes, stride, warmup, flush = case
+        results = {}
+        for engine in ("analytic", "exact"):
+            device = fresh()
+            base = device.alloc(kind, alloc)
+            lat = run_pchase(
+                device,
+                kind,
+                base,
+                nbytes,
+                stride,
+                warmup_passes=warmup,
+                flush=flush,
+                engine=engine,
+            )
+            results[engine] = (lat, device.elapsed_seconds(), device.total_loads)
+        assert np.array_equal(results["analytic"][0], results["exact"][0])
+        assert results["analytic"][1] == results["exact"][1]
+        assert results["analytic"][2] == results["exact"][2]
+
+    def test_single_warm_pass_is_fixed_point(self):
+        """Satellite: one executed warm pass == many, time charged for all."""
+        lat1 = lat3 = None
+        t1 = t3 = None
+        for passes in (1, 3):
+            device = fresh()
+            base = device.alloc(LoadKind.LD_GLOBAL_CA, 1 << 20)
+            lat = run_pchase(
+                device, LoadKind.LD_GLOBAL_CA, base, 4096, 32,
+                warmup_passes=passes, flush=True,
+            )
+            if passes == 1:
+                lat1, t1 = lat, device.elapsed_seconds()
+            else:
+                lat3, t3 = lat, device.elapsed_seconds()
+        assert np.array_equal(lat1, lat3)  # measurements identical
+        assert t3 > t1  # ...but every requested pass is charged
+
+    def test_cold_warm_pass_charged_at_miss_latency(self):
+        """Satellite: the first warm pass after a flush costs a miss, not a hit."""
+        device = fresh()
+        base = device.alloc(LoadKind.LD_GLOBAL_CA, 1 << 20)
+        n_ring = 4096 // 32
+        before = device.clock.cycles
+        run_pchase(device, LoadKind.LD_GLOBAL_CA, base, 4096, 32, flush=True)
+        spent = device.clock.cycles - before
+        path = device.resolve_path(LoadKind.LD_GLOBAL_CA)
+        hit_only_warm = n_ring * path.levels[0][1]
+        # The warm portion alone must exceed a hit-latency-only estimate.
+        assert spent > hit_only_warm + n_ring * (
+            path.terminal_latency - path.levels[0][1]
+        ) * 0.99
+
+
+class TestProbeEquivalence:
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_probe_hits_identical(self, shared):
+        """Warm-A / warm-B / probe-A protocol rounds match per engine."""
+        results = {}
+        for engine in ("analytic", "exact"):
+            device = fresh()
+            a = device.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+            b = device.alloc(LoadKind.LD_GLOBAL_CA, 1 << 16)
+            addrs_a = pchase_addresses(a, 6 * 1024, 32)
+            addrs_b = pchase_addresses(b, 6 * 1024 if shared else 512, 32)
+            device.flush_caches()
+            warm(device, LoadKind.LD_GLOBAL_CA, addrs_a, stride=32, engine=engine)
+            warm(device, LoadKind.LD_GLOBAL_CA, addrs_b, stride=32, engine=engine)
+            hits, lat = probe_hits(
+                device, LoadKind.LD_GLOBAL_CA, addrs_a, engine=engine
+            )
+            results[engine] = (hits, lat, device.elapsed_seconds())
+        assert np.array_equal(results["analytic"][0], results["exact"][0])
+        assert np.array_equal(results["analytic"][1], results["exact"][1])
+        assert results["analytic"][2] == results["exact"][2]
+
+
+class TestRunnerEquivalence:
+    def test_sweep_identical_with_incremental_reuse(self):
+        """Incremental sweeps return the flush-per-size matrix exactly."""
+        matrices = {}
+        for engine in ("analytic", "exact"):
+            device = fresh(seed=3)
+            runner = PChaseRunner(device, PChaseConfig(n_samples=96, engine=engine))
+            sizes = np.array([2048, 4096, 6144, 8192, 12288, 16384])
+            matrices[engine] = (
+                runner.sweep(LoadKind.LD_GLOBAL_CA, sizes, 32),
+                device.elapsed_seconds(),
+            )
+        assert np.array_equal(matrices["analytic"][0], matrices["exact"][0])
+        assert matrices["analytic"][1] == matrices["exact"][1]
+
+    def test_descending_and_interleaved_sizes_identical(self):
+        """Non-extendable requests fall back to flush + full warm."""
+        for sizes in ([16384, 4096, 8192, 2048], [4096, 4096, 2048, 16384]):
+            results = {}
+            for engine in ("analytic", "exact"):
+                device = fresh(seed=9)
+                runner = PChaseRunner(device, PChaseConfig(n_samples=64, engine=engine))
+                results[engine] = np.vstack(
+                    [runner.latencies(LoadKind.LD_GLOBAL_CA, s, 32) for s in sizes]
+                )
+            assert np.array_equal(results["analytic"], results["exact"])
+
+    def test_foreign_op_invalidates_warm_reuse(self):
+        """A protocol op between sweep runs must not corrupt measurements."""
+        results = {}
+        for engine in ("analytic", "exact"):
+            device = fresh(seed=13)
+            runner = PChaseRunner(device, PChaseConfig(n_samples=64, engine=engine))
+            out = [runner.latencies(LoadKind.LD_GLOBAL_CA, 4096, 32)]
+            runner.warm(LoadKind.LD_GLOBAL_CG, 2048, 64)  # foreign mutation
+            out.append(runner.latencies(LoadKind.LD_GLOBAL_CA, 8192, 32))
+            results[engine] = np.vstack(out)
+        assert np.array_equal(results["analytic"], results["exact"])
+
+
+class TestDiscoveryEquivalence:
+    @pytest.mark.parametrize("preset", ["TestGPU-NV", "TestGPU-AMD"])
+    def test_reports_byte_identical(self, preset):
+        reports = {}
+        for engine in ("analytic", "exact"):
+            device = SimulatedGPU.from_preset(preset, seed=42)
+            report = MT4G(device, config=PChaseConfig(engine=engine)).discover()
+            reports[engine] = json.dumps(
+                report.as_dict(), default=str, sort_keys=True
+            )
+        assert reports["analytic"] == reports["exact"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fleet discovery with cross-validation: many GPUs, one verdict matrix.
+
+Discovers several presets concurrently (one worker process per device),
+validates every report (plausibility checks, cross-checks against the
+device's reference values, escalated re-measurements on failure) and
+prints the cross-device comparison matrix — the multi-machine view of
+the paper's Table II/III.
+
+Usage::
+
+    python examples/fleet_validation.py [preset ...]
+
+Defaults to a four-device mixed-vendor fleet.
+"""
+
+import sys
+
+from repro import available_presets
+from repro.validate import discover_fleet
+
+DEFAULT_FLEET = ("A100", "H100-80", "MI210", "MI300X")
+
+
+def main() -> None:
+    presets = tuple(sys.argv[1:]) or DEFAULT_FLEET
+    known = available_presets(include_testing=True)
+    unknown = [p for p in presets if p not in known]
+    if unknown:
+        raise SystemExit(f"unknown preset(s) {unknown}; try: {', '.join(known)}")
+
+    result = discover_fleet(presets, seed=0, validate=True)
+    print(result.to_markdown())
+
+    # Per-preset validation detail: what was checked, what escalated.
+    for entry in result.entries:
+        if not entry.ok:
+            print(f"{entry.preset}: discovery failed: {entry.error}")
+            continue
+        v = entry.report.validation
+        summary = v.as_dict()["summary"]
+        print(
+            f"{entry.preset}: verdict={v.verdict}  "
+            f"checks {summary['checks_passed']}p/{summary['checks_failed']}f"
+            f"/{summary['checks_skipped']}s  "
+            f"cross-checks {summary['cross_checks_passed']}p"
+            f"/{summary['cross_checks_failed']}f  "
+            f"escalations {summary['escalations']}"
+        )
+        for esc in v.escalations:
+            print(
+                f"  escalated {esc.element}.{esc.attribute}: "
+                f"{esc.old_value} -> {esc.new_value} ({esc.reason})"
+            )
+
+    if not result.all_passed:
+        raise SystemExit("fleet validation failed")
+    print("\nall presets validated clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,15 @@
 """Command-line interface mirroring the real ``mt4g`` binary.
 
 Artifact appendix flags reproduced: ``-j`` (JSON file), ``-p`` (Markdown
-report), ``-o`` (store raw timing data), ``-q`` (quiet: JSON to stdout
-only, the mode the paper used for its timing runs), ``--mem`` (restrict
-to one memory element, footnote 18), plus the cache-carveout option of
-footnote 17.  The simulator-specific additions are ``--gpu`` (which
-preset to analyse — the stand-in for "which machine am I running on")
-and ``--seed``.
+report), ``-o`` (store raw sweep data: the per-benchmark size grids,
+reduced latency vectors and per-run statistics), ``-q`` (quiet: JSON to
+stdout only, the mode the paper used for its timing runs), ``--mem``
+(restrict to one memory element, footnote 18), plus the cache-carveout
+option of footnote 17.  The simulator-specific additions are ``--gpu``
+(which preset to analyse — the stand-in for "which machine am I running
+on"), ``--seed``, ``--validate`` (the post-hoc validation pass), and the
+``mt4g fleet`` subcommand that discovers many presets concurrently and
+prints a cross-device comparison matrix.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ import sys
 from pathlib import Path
 
 from repro.core.output.csv_out import write_csv
-from repro.core.output.json_out import to_json, write_json
+from repro.core.output.json_out import to_json, write_json, write_raw_json
 from repro.core.output.markdown import write_markdown
 from repro.core.tool import AMD_ELEMENTS, MT4G, NVIDIA_ELEMENTS
 from repro.errors import ReproError
@@ -25,7 +28,7 @@ from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import available_presets, get_preset
 from repro.gpuspec.spec import Vendor
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_fleet_parser", "fleet_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true", help="print only the JSON report"
     )
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the post-hoc validation pass (plausibility checks, "
+        "cross-checks, confidence recalibration, escalation); "
+        "exits 2 on a failed verdict",
+    )
+    parser.add_argument(
         "--flops",
         action="store_true",
         help="extension: benchmark FLOPS per datatype incl. tensor engines",
@@ -112,6 +122,9 @@ def _default_path(arg: str | None, gpu: str, suffix: str) -> Path | None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "fleet":
+        return fleet_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -141,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
         tool = MT4G(device, targets=targets, extensions=extensions)
         if not args.quiet:
             print(f"# analysing {spec.name} ({spec.vendor.value}), seed {args.seed}", file=sys.stderr)
-        report = tool.discover()
+        report = tool.discover(validate=args.validate)
     except ReproError as exc:
         print(f"mt4g: error: {exc}", file=sys.stderr)
         return 1
@@ -166,14 +179,136 @@ def main(argv: list[str] | None = None) -> int:
     raw_path = _default_path(args.raw, spec.name, "_raw.json")
     if raw_path:
         raw = {
+            "schema": "mt4g-repro-raw/1",
+            "gpu": spec.name,
+            "seed": args.seed,
             "benchmarks_executed": report.runtime.benchmarks_executed,
             "per_benchmark_seconds": report.runtime.per_benchmark_seconds,
+            # The actual sweep artefacts the help text promises: per-
+            # benchmark size grids, reduced latency vectors, raw per-size
+            # min/mean/max and per-run statistics, keyed element.attribute.
+            "sweeps": tool.raw_data,
         }
-        raw_path.parent.mkdir(parents=True, exist_ok=True)
-        raw_path.write_text(json.dumps(raw, indent=2), encoding="utf-8")
+        write_raw_json(raw, raw_path)
         if not args.quiet:
             print(f"# raw data -> {raw_path}", file=sys.stderr)
+    # Mirror the fleet subcommand: a failed validation verdict is a
+    # non-zero exit so CI pipelines need not parse the JSON.
+    if args.validate and not report.validation.passed:
+        if not args.quiet:
+            print(
+                f"# validation FAILED: {', '.join(report.validation.failures())}",
+                file=sys.stderr,
+            )
+        return 2
     return 0
+
+
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mt4g fleet",
+        description=(
+            "Discover many GPU presets concurrently and print a "
+            "cross-device comparison matrix with validation verdicts."
+        ),
+    )
+    parser.add_argument(
+        "--gpu",
+        action="append",
+        metavar="PRESET",
+        help="preset to include (repeatable; default: the ten paper GPUs)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="include the synthetic testing presets as well",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per preset, capped by CPUs)",
+    )
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run in-process, one preset after another (the baseline)",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the per-preset validation pass",
+    )
+    parser.add_argument(
+        "-j",
+        "--json",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write the fleet JSON (matrix + all reports) to FILE "
+        "(default fleet.json)",
+    )
+    parser.add_argument(
+        "-p",
+        "--markdown",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write the comparison matrix to FILE (default fleet.md)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print only the fleet JSON",
+    )
+    return parser
+
+
+def fleet_main(argv: list[str] | None = None) -> int:
+    """``mt4g fleet``: concurrent multi-preset discovery + comparison."""
+    # Imported here so plain single-device runs never pay for the
+    # process-pool machinery.
+    from repro.validate.fleet import discover_fleet
+
+    parser = build_fleet_parser()
+    args = parser.parse_args(argv)
+    presets = args.gpu or list(available_presets(include_testing=args.all))
+    try:
+        result = discover_fleet(
+            presets,
+            seed=args.seed,
+            jobs=args.jobs,
+            validate=not args.no_validate,
+            parallel=not args.sequential,
+        )
+    except ReproError as exc:
+        print(f"mt4g fleet: error: {exc}", file=sys.stderr)
+        return 1
+    if args.quiet:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.to_markdown())
+    json_path = _default_path(args.json, "fleet", ".json")
+    if json_path:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(
+            json.dumps(result.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        if not args.quiet:
+            print(f"# fleet JSON -> {json_path}", file=sys.stderr)
+    md_path = _default_path(args.markdown, "fleet", ".md")
+    if md_path:
+        md_path.parent.mkdir(parents=True, exist_ok=True)
+        md_path.write_text(result.to_markdown(), encoding="utf-8")
+        if not args.quiet:
+            print(f"# fleet matrix -> {md_path}", file=sys.stderr)
+    # Any failed preset (error or failed validation) is a non-zero exit.
+    return 0 if all(e.verdict in ("pass", "unvalidated") for e in result.entries) else 2
 
 
 if __name__ == "__main__":  # pragma: no cover

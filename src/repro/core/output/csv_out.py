@@ -3,6 +3,8 @@
 GPUscout-GUI "currently parses the original MT4G CSV output" (paper
 Section VI-B, footnote 19), so the legacy flat format is kept: one row
 per (element, attribute) with value, unit, confidence and source.
+Validated reports append ``__validation__`` rows (verdict, per-check
+status, cross-check deltas) after the attribute rows.
 """
 
 from __future__ import annotations
@@ -19,12 +21,24 @@ __all__ = ["to_csv", "write_csv"]
 def _flatten_value(value) -> str:
     if value is None:
         return ""
-    if isinstance(value, tuple):
+    if isinstance(value, (tuple, list)):
         return ";".join(str(v) for v in value)
     if isinstance(value, dict):
-        return ";".join(f"{k}:{'|'.join(map(str, v))}" for k, v in value.items())
+        return ";".join(f"{k}:{_flatten_dict_entry(v)}" for k, v in value.items())
     if isinstance(value, float):
         return f"{value:.6g}"
+    return str(value)
+
+
+def _flatten_dict_entry(value) -> str:
+    """Dict values may be sequences (CU-sharing maps) or plain scalars.
+
+    Only real sequences are pipe-joined; a scalar is stringified whole —
+    joining its characters would mangle it ({"L2": "Shared"} must read
+    ``L2:Shared``, not ``L2:S|h|a|r|e|d``) and a non-iterable would raise.
+    """
+    if isinstance(value, (tuple, list)):
+        return "|".join(str(v) for v in value)
     return str(value)
 
 
@@ -44,6 +58,39 @@ def to_csv(report: TopologyReport) -> str:
                     f"{v.confidence:.4f}",
                     v.source.value,
                     v.note,
+                ]
+            )
+    # Validation rows ride along only when a validation pass ran, so the
+    # legacy shape GPUscout parses is untouched for plain discoveries.
+    # The sentinel element name cannot collide with a real memory element.
+    if report.validation is not None:
+        v = report.validation
+        writer.writerow(
+            ["__validation__", "verdict", v.verdict, "", "", "validation", ""]
+        )
+        for check in v.checks:
+            writer.writerow(
+                [
+                    "__validation__",
+                    check.check,
+                    check.status,
+                    "",
+                    "",
+                    "validation",
+                    check.detail,
+                ]
+            )
+        for cc in v.cross_checks:
+            writer.writerow(
+                [
+                    "__validation__",
+                    f"cross:{cc.element}.{cc.attribute}",
+                    cc.status,
+                    "",
+                    f"{cc.rel_error:.4f}",
+                    "validation",
+                    f"measured {cc.measured:.6g} vs {cc.reference:.6g} "
+                    f"({cc.reference_source})",
                 ]
             )
     return buf.getvalue()

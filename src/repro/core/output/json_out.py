@@ -1,14 +1,21 @@
-"""JSON report writer (the tool's primary machine-readable output)."""
+"""JSON report writer (the tool's primary machine-readable output).
+
+Also hosts :func:`to_jsonable`, the sanitiser the raw-data writer
+(``mt4g -o``) uses: benchmark detail payloads carry numpy scalars and
+arrays, tuples and enums that ``json.dumps`` rejects.
+"""
 
 from __future__ import annotations
 
+import enum
 import json
 from pathlib import Path
+from typing import Any
 
 from repro.core.report import TopologyReport
 from repro.errors import OutputError
 
-__all__ = ["to_json", "write_json"]
+__all__ = ["to_json", "write_json", "to_jsonable", "write_raw_json"]
 
 
 def to_json(report: TopologyReport, indent: int = 2) -> str:
@@ -24,4 +31,35 @@ def write_json(report: TopologyReport, path: str | Path, indent: int = 2) -> Pat
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(to_json(report, indent=indent) + "\n", encoding="utf-8")
+    return path
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a raw-data payload to JSON-serialisable types.
+
+    Handles numpy scalars/arrays (``item()``/``tolist()``), tuples, sets,
+    enums and non-string dict keys; unknown objects fall back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays
+        return to_jsonable(value.tolist())
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+def write_raw_json(payload: dict[str, Any], path: str | Path, indent: int = 2) -> Path:
+    """Write a raw-data payload (sanitised) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_jsonable(payload), indent=indent) + "\n", encoding="utf-8"
+    )
     return path

@@ -1,7 +1,9 @@
 """Markdown report writer (the tool's ``-p`` human-readable output).
 
 Renders the three information areas of paper Section III and a memory
-table shaped like the paper's Table I/III rows.
+table shaped like the paper's Table I/III rows, plus — when a validation
+pass ran — a Validation section with the verdict, the cross-check deltas
+and any escalated re-measurements.
 """
 
 from __future__ import annotations
@@ -77,6 +79,8 @@ def to_markdown(report: TopologyReport) -> str:
             rate = f"{av.value / 1e12:.1f} TOP/s" if av.value else "—"
             lines.append(f"| {dtype} | {rate} | {av.confidence:.2f} |")
         lines.append("")
+    if report.validation is not None:
+        lines.extend(_validation_section(report.validation))
     lines.append("## Run Time")
     lines.append("")
     r = report.runtime
@@ -85,6 +89,51 @@ def to_markdown(report: TopologyReport) -> str:
     lines.append(f"- Modeled total time: {r.modeled_total_seconds:.2f} s")
     lines.append("")
     return "\n".join(lines)
+
+
+def _validation_section(validation) -> list[str]:
+    """Render the post-hoc validation pass (checks, deltas, escalations)."""
+    summary = validation.as_dict()["summary"]
+    lines = ["## Validation", ""]
+    lines.append(
+        f"- Verdict: **{validation.verdict}** "
+        f"({summary['checks_passed']} checks passed, "
+        f"{summary['checks_failed']} failed, "
+        f"{summary['checks_skipped']} skipped; "
+        f"{summary['cross_checks_passed']}/{summary['cross_checks_passed'] + summary['cross_checks_failed']}"
+        " cross-checks passed)"
+    )
+    failed = [c for c in validation.checks if c.status == "fail"]
+    for check in failed:
+        lines.append(f"- Failed check `{check.check}`: {check.detail}")
+    if validation.cross_checks:
+        lines.append("")
+        lines.append("| Element | Attribute | Measured | Reference | Δ | Status |")
+        lines.append("|---|---|---|---|---|---|")
+        for cc in validation.cross_checks:
+            lines.append(
+                f"| {cc.element} | {cc.attribute} | {cc.measured:.6g} "
+                f"| {cc.reference:.6g} | {cc.rel_error:.1%} | {cc.status} |"
+            )
+    if validation.escalations:
+        lines.append("")
+        lines.append("Escalated re-measurements:")
+        lines.append("")
+        for e in validation.escalations:
+            outcome = (
+                f"re-measured {e.old_value} -> {e.new_value}"
+                if e.resolved
+                else "no re-measurement path; failure stands"
+            )
+            lines.append(f"- {e.element}.{e.attribute} ({e.reason}): {outcome}")
+    if validation.recalibrations:
+        lines.append("")
+        lines.append(
+            f"Confidences recalibrated from cross-check agreement: "
+            f"{len(validation.recalibrations)} attributes."
+        )
+    lines.append("")
+    return lines
 
 
 def write_markdown(report: TopologyReport, path: str | Path) -> Path:

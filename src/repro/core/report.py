@@ -232,6 +232,12 @@ class TopologyReport:
     #: (vector pipelines and tensor engines); empty unless the "flops"
     #: extension ran.
     throughput: dict[str, AttributeValue] = field(default_factory=dict)
+    #: Post-hoc validation results (a
+    #: :class:`repro.validate.ValidationReport`); None until a validation
+    #: pass runs (``MT4G.discover(validate=True)`` or
+    #: :func:`repro.validate.validate_report`).  Typed loosely to avoid a
+    #: circular import — the validator consumes this module.
+    validation: Any = None
 
     def element(self, name: str) -> MemoryElementReport:
         try:
@@ -255,4 +261,6 @@ class TopologyReport:
         }
         if self.throughput:
             out["throughput"] = {k: v.as_dict() for k, v in self.throughput.items()}
+        if self.validation is not None:
+            out["validation"] = self.validation.as_dict()
         return out

@@ -22,7 +22,8 @@ Per-element pipelines (dependencies dictate the order):
 
 from __future__ import annotations
 
-from typing import Iterable
+import dataclasses
+from typing import Any, Iterable
 
 from repro.api.hip import hip_get_device_properties
 from repro.api.hsa import hsa_cache_info
@@ -44,13 +45,14 @@ from repro.core.report import (
     RuntimeReport,
     TopologyReport,
 )
-from repro.errors import SimulationError, SpecError
+from repro.errors import ReproError, SimulationError, SpecError
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.isa import LoadKind
 from repro.gpuspec.presets.amd import CORES_PER_CU
 from repro.gpuspec.presets.nvidia import CORES_PER_SM
 from repro.gpuspec.spec import Vendor
 from repro.pchase.config import PChaseConfig
+from repro.stats.compare import median_index
 from repro.units import KiB, MiB
 
 __all__ = ["MT4G", "NVIDIA_ELEMENTS", "AMD_ELEMENTS"]
@@ -105,6 +107,16 @@ _NV_KINDS = {
 
 _CONST_BANK = 64 * KiB  # paper Section III-C / footnote 10
 
+_AMD_KINDS = {
+    "vL1": LoadKind.FLAT_LOAD,
+    "sL1d": LoadKind.S_LOAD,
+    "L2": LoadKind.FLAT_LOAD_GLC,
+}
+
+#: Seed offsets of the escalation re-measurements: three independent
+#: noise streams, far from any seed a user would pick deliberately.
+_ESCALATION_SEED_OFFSETS = (1009, 2003, 3001)
+
 
 class MT4G:
     """Vendor-agnostic GPU topology discovery against a (simulated) device.
@@ -149,13 +161,23 @@ class MT4G:
             self.targets = set(targets)
         self._measured_sizes: dict[str, int] = {}
         self._measured_fg: dict[str, int] = {}
+        #: raw benchmark artefacts (size grids, reduced latency vectors,
+        #: per-run statistics) keyed element -> attribute; the CLI's
+        #: ``--raw`` flag serialises this.
+        self.raw_data: dict[str, dict[str, Any]] = {}
 
     # ------------------------------------------------------------------ #
     # public API                                                          #
     # ------------------------------------------------------------------ #
 
-    def discover(self) -> TopologyReport:
-        """Run the full pipeline and return the unified report."""
+    def discover(self, validate: bool = False) -> TopologyReport:
+        """Run the full pipeline and return the unified report.
+
+        ``validate=True`` appends the post-hoc validation pass
+        (:mod:`repro.validate`): plausibility checks, cross-checks against
+        the device's reference values, confidence recalibration and — for
+        failing checks — re-measurement escalation.
+        """
         general, compute = self._general_and_compute()
         if self.device.vendor is Vendor.NVIDIA:
             memory = self._discover_nvidia()
@@ -175,13 +197,34 @@ class MT4G:
             modeled_cpu_seconds=self.ctx.benchmarks_run * CPU_SECONDS_PER_BENCHMARK,
             per_benchmark_seconds=self.ctx.seconds_per_benchmark(),
         )
-        return TopologyReport(
+        report = TopologyReport(
             general=general,
             compute=compute,
             memory=memory,
             runtime=runtime,
             seed=self.device.seed,
             throughput=throughput,
+        )
+        if validate:
+            self.validate(report)
+        return report
+
+    def validate(self, report: TopologyReport):
+        """Run the validation pass over ``report`` (stored on the report).
+
+        Wires this tool in as the validator's escalation backend: a
+        failing check re-measures the implicated attribute with doubled
+        sample counts across fresh seeds and keeps the median result.
+        """
+        # Imported lazily: the validate package's fleet runner imports
+        # this module, so a module-level import would be circular.
+        from repro.validate.validator import validate_report
+
+        return validate_report(
+            report,
+            spec=self.device.spec,
+            cache_config=self.device.cache_config,
+            escalate=self._escalate_measurement,
         )
 
     def _extension_lowlevel_bandwidth(
@@ -250,6 +293,12 @@ class MT4G:
 
     def _bench(self, element: MemoryElementReport, attribute: str, m: MeasurementResult) -> None:
         element.set(attribute, AttributeValue.from_measurement(m))
+        if m.detail:
+            self.raw_data.setdefault(element.name, {})[attribute] = {
+                "benchmark": m.benchmark,
+                "unit": m.unit,
+                **m.detail,
+            }
 
     def _fg(self, name: str, default: int = 32) -> int:
         return self._measured_fg.get(name, default)
@@ -271,6 +320,13 @@ class MT4G:
             cold=cold,
         )
         self._bench(element, "load_latency", m)
+
+    @property
+    def _props_struct(self) -> str:
+        """The device-properties struct the vendor's runtime exposes."""
+        return (
+            "cudaDeviceProp" if self.device.vendor is Vendor.NVIDIA else "hipDeviceProp"
+        )
 
     def _new_element(self, name: str) -> MemoryElementReport:
         el = MemoryElementReport(name)
@@ -488,7 +544,7 @@ class MT4G:
         kind = LoadKind.LD_GLOBAL_CG
         el.set(
             "size",
-            AttributeValue(api_total, "B", 1.0, Source.API, "hipDeviceProp l2CacheSize"),
+            AttributeValue(api_total, "B", 1.0, Source.API, "cudaDeviceProp l2CacheSize"),
         )
         fg = measure_fetch_granularity(self.ctx, kind, "L2")
         self._bench(el, "fetch_granularity", fg)
@@ -524,7 +580,7 @@ class MT4G:
         el = self._new_element("SharedMem")
         el.set(
             "size",
-            AttributeValue(api_size, "B", 1.0, Source.API, "hipDeviceProp sharedMemPerBlock"),
+            AttributeValue(api_size, "B", 1.0, Source.API, "cudaDeviceProp sharedMemPerBlock"),
         )
         self._latency_element(el, LoadKind.LD_SHARED, "SharedMem", array_bytes=4 * KiB)
         self._lowlevel_bandwidth_note(el)
@@ -534,7 +590,9 @@ class MT4G:
         el = self._new_element("DeviceMemory")
         el.set(
             "size",
-            AttributeValue(api_size, "B", 1.0, Source.API, "hipDeviceProp totalGlobalMem"),
+            AttributeValue(
+                api_size, "B", 1.0, Source.API, f"{self._props_struct} totalGlobalMem"
+            ),
         )
         cold_kind = (
             LoadKind.LD_GLOBAL_CG
@@ -671,3 +729,155 @@ class MT4G:
         self._latency_element(el, LoadKind.DS_READ, "LDS", array_bytes=4 * KiB)
         self._lowlevel_bandwidth_note(el)
         return el
+
+    # ------------------------------------------------------------------ #
+    # validation escalation (re-measurement backend)                      #
+    # ------------------------------------------------------------------ #
+
+    def _kind_for(self, element: str) -> LoadKind | None:
+        """The load instruction that targets ``element``, if one exists."""
+        if element == "SharedMem":
+            return LoadKind.LD_SHARED
+        if element == "LDS":
+            return LoadKind.DS_READ
+        if element == "DeviceMemory":
+            return (
+                LoadKind.LD_GLOBAL_CG
+                if self.device.vendor is Vendor.NVIDIA
+                else LoadKind.FLAT_LOAD_GLC
+            )
+        if self.device.vendor is Vendor.NVIDIA:
+            return _NV_KINDS.get(element)
+        return _AMD_KINDS.get(element)
+
+    def _escalation_context(self, seed_offset: int) -> BenchmarkContext:
+        """A fresh device (new noise stream) with doubled sample counts."""
+        device = SimulatedGPU(
+            self.device.spec,
+            seed=self.device.seed + seed_offset,
+            cache_config=self.device.cache_config,
+        )
+        config = dataclasses.replace(
+            self.ctx.config, n_samples=2 * self.ctx.config.n_samples
+        )
+        return BenchmarkContext(device, config)
+
+    def _remeasure_latency(
+        self, ctx: BenchmarkContext, element: str
+    ) -> MeasurementResult | None:
+        kind = self._kind_for(element)
+        if kind is None:
+            return None
+        if element == "DeviceMemory":
+            return measure_load_latency(
+                ctx, kind, element, fetch_granularity=256, cold=True
+            )
+        if element in ("SharedMem", "LDS"):
+            return measure_load_latency(
+                ctx, kind, element, self._fg(element), array_bytes=4 * KiB
+            )
+        stride = self._fg(element)
+        if element == "ConstL1":
+            # The pipeline probes with a ring of exactly the measured
+            # size; if that size is one sweep-stride too large (a routine
+            # overestimate, cf. Table III's 2.1 KiB), the ring thrashes
+            # and the latency reads high.  The re-measurement keeps the
+            # same 10 % in-cache margin the generic caches use.
+            measured = self._measured_sizes.get("ConstL1", 2 * KiB)
+            array = max(stride, int(measured * 0.9) // stride * stride)
+        elif element == "ConstL1.5":
+            cl1 = self._measured_sizes.get("ConstL1", 2 * KiB)
+            cl15 = self._measured_sizes.get("ConstL1.5")
+            if cl15 is not None and cl15 < _CONST_BANK:
+                array = max(
+                    2 * cl1, int(cl15 * 0.9) // stride * stride
+                )
+            else:
+                array = min(8 * cl1, _CONST_BANK)
+        else:
+            array = self._latency_array(element)
+        return measure_load_latency(
+            ctx, kind, element, stride, array_bytes=array
+        )
+
+    def _remeasure_size(
+        self, ctx: BenchmarkContext, element: str
+    ) -> MeasurementResult | None:
+        kind = self._kind_for(element)
+        # L2/L3/ConstL1.5 sizes are API values or capped lower bounds;
+        # re-sweeping them cannot produce a better answer.
+        if kind is None or element in (
+            "L2",
+            "L3",
+            "ConstL1.5",
+            "SharedMem",
+            "LDS",
+            "DeviceMemory",
+        ):
+            return None
+        if element == "ConstL1":
+            return measure_cache_size(
+                ctx, kind, element, self._fg("ConstL1", 64), lo=256, hi_cap=_CONST_BANK
+            )
+        return measure_cache_size(
+            ctx, kind, element, self._fg(element), lo=1 * KiB, hi_cap=1 * MiB
+        )
+
+    def _escalate_measurement(
+        self, element: str, attribute: str
+    ) -> MeasurementResult | None:
+        """Re-measure one attribute across fresh seeds; keep the median run.
+
+        The validator calls this when a check fails.  Returns None when
+        the attribute has no re-measurement path (API values, protocol
+        results) — the failure then stands as recorded.
+        """
+        handlers = {
+            "load_latency": self._remeasure_latency,
+            "size": self._remeasure_size,
+            "read_bandwidth": lambda ctx, el: measure_bandwidth(ctx, el, "read"),
+            "write_bandwidth": lambda ctx, el: measure_bandwidth(ctx, el, "write"),
+        }
+        handler = handlers.get(attribute)
+        if handler is None:
+            return None
+        candidates: list[MeasurementResult] = []
+        for offset in _ESCALATION_SEED_OFFSETS:
+            ctx = self._escalation_context(offset)
+            try:
+                m = handler(ctx, element)
+            except ReproError:
+                continue
+            if (
+                m is not None
+                and m.conclusive
+                and isinstance(m.value, (int, float))
+                and not isinstance(m.value, bool)
+            ):
+                candidates.append(m)
+        if not candidates:
+            return None
+        chosen = candidates[median_index([float(c.value) for c in candidates])]
+        # Bandwidth re-measurements run the stream benchmark's fixed
+        # best-of-3 loop; only the p-chase paths consume n_samples.
+        per_run = (
+            "best-of-3 stream runs each"
+            if attribute in ("read_bandwidth", "write_bandwidth")
+            else f"{2 * self.ctx.config.n_samples} samples each"
+        )
+        tag = f"escalated: median of {len(candidates)} re-measurements, {per_run}"
+        chosen.note = f"{chosen.note}; {tag}" if chosen.note else tag
+        # A corrected size recalibrates the tool: later escalations (the
+        # latency ring is sized from the measured capacity) must use it.
+        if attribute == "size":
+            self._measured_sizes[element] = int(chosen.value)
+        # Keep the -o raw artifact consistent with the validated report:
+        # the escalated run's sweep detail supersedes the original's.
+        if chosen.detail:
+            self.raw_data.setdefault(element, {})[attribute] = {
+                "benchmark": chosen.benchmark,
+                "unit": chosen.unit,
+                "escalated": True,
+                **chosen.detail,
+            }
+        return chosen

@@ -12,10 +12,20 @@ topological attributes out.  The pipeline is
    value of paper Eq. 1;
 4. :mod:`~repro.stats.heuristics` — the cache-line-size amplification
    heuristics of Section IV-E;
-5. :mod:`~repro.stats.descriptive` — latency summaries (mean, p50, p95).
+5. :mod:`~repro.stats.descriptive` — latency summaries (mean, p50, p95);
+6. :mod:`~repro.stats.compare` — agreement metrics for the post-hoc
+   cross-validation of measured attributes against reference values
+   (paper Tables I/III deltas) and the confidence-recalibration rule.
 """
 
 from repro.stats.changepoint import ChangePoint, detect_change_point
+from repro.stats.compare import (
+    agreement_score,
+    median_index,
+    recalibrated_confidence,
+    relative_error,
+    within_tolerance,
+)
 from repro.stats.descriptive import LatencyStats, summarize
 from repro.stats.kstest import KSResult, ks_2sample, ks_critical_value, ks_distance
 from repro.stats.outliers import find_outliers, near_interval_edge
@@ -33,4 +43,9 @@ __all__ = [
     "find_outliers",
     "near_interval_edge",
     "geometric_reduction",
+    "agreement_score",
+    "median_index",
+    "recalibrated_confidence",
+    "relative_error",
+    "within_tolerance",
 ]

@@ -1,0 +1,77 @@
+"""Agreement metrics for the post-hoc validation pass (paper Section V).
+
+The paper validates measured attributes against vendor specifications and
+API values and reports per-attribute deltas (Tables I/III).  These helpers
+turn such deltas into the quantities the validator needs: a symmetric
+relative error, a tolerance predicate, an agreement score in [0, 1], and
+the confidence-recalibration rule that folds agreement back into an
+attribute's confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "relative_error",
+    "within_tolerance",
+    "agreement_score",
+    "recalibrated_confidence",
+    "median_index",
+]
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| normalised by the reference magnitude.
+
+    A zero reference falls back to the measured magnitude so the error
+    stays finite (0 only when both are 0).
+    """
+    measured = float(measured)
+    reference = float(reference)
+    denom = abs(reference) if reference != 0.0 else abs(measured)
+    return abs(measured - reference) / max(denom, 1e-12)
+
+
+def within_tolerance(measured: float, reference: float, tolerance: float) -> bool:
+    """Does the measurement agree with the reference up to ``tolerance``?
+
+    ``tolerance`` is a relative bound (0.05 == 5 %); 0 demands exact
+    agreement (used for cache-line and fetch-granularity cross-checks).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    if tolerance == 0.0:
+        return float(measured) == float(reference)
+    return relative_error(measured, reference) <= tolerance
+
+
+def agreement_score(measured: float, reference: float, tolerance: float) -> float:
+    """Map a cross-check delta to [0, 1]: 1 == exact, 0 == at/over tolerance."""
+    if tolerance <= 0.0:
+        return 1.0 if float(measured) == float(reference) else 0.0
+    return max(0.0, 1.0 - relative_error(measured, reference) / tolerance)
+
+
+def recalibrated_confidence(old: float, agreement: float) -> float:
+    """Fold a cross-check agreement into a measured confidence.
+
+    An independent reference that agrees should *raise* trust, one that
+    disagrees should lower it; an inconclusive measurement (confidence 0,
+    the paper's honesty marker) is never resurrected by agreement alone.
+    """
+    if old <= 0.0:
+        return old
+    return max(0.0, min(1.0, 0.5 * old + 0.5 * agreement))
+
+
+def median_index(values: Sequence[float]) -> int:
+    """Index of the median element (lower median for even counts).
+
+    The escalation path re-measures across several seeds and keeps the
+    median run — the consensus value robust to one disturbed re-run.
+    """
+    if not values:
+        raise ValueError("median_index needs at least one value")
+    order = sorted(range(len(values)), key=lambda i: float(values[i]))
+    return order[(len(order) - 1) // 2]

@@ -1,0 +1,41 @@
+"""Cross-validation of discovery results (the paper's reliability claim).
+
+Three layers:
+
+* :mod:`repro.validate.checks` — structural plausibility checks on a
+  single report (hierarchy monotonicity, sector geometry, round sizes);
+* :mod:`repro.validate.validator` — the full validation pass:
+  plausibility + benchmark-vs-reference cross-checks + confidence
+  recalibration + re-measurement escalation, producing the report's
+  ``validation`` section;
+* :mod:`repro.validate.fleet` — concurrent multi-preset discovery with a
+  cross-device comparison matrix and per-preset verdicts.
+"""
+
+from repro.validate.checks import CheckResult, is_roundish_size, run_structural_checks
+from repro.validate.fleet import FleetEntry, FleetResult, discover_fleet
+from repro.validate.validator import (
+    DEFAULT_TOLERANCES,
+    CrossCheck,
+    EscalationRecord,
+    Recalibration,
+    ValidationReport,
+    reference_for,
+    validate_report,
+)
+
+__all__ = [
+    "CheckResult",
+    "CrossCheck",
+    "DEFAULT_TOLERANCES",
+    "EscalationRecord",
+    "FleetEntry",
+    "FleetResult",
+    "Recalibration",
+    "ValidationReport",
+    "discover_fleet",
+    "is_roundish_size",
+    "reference_for",
+    "run_structural_checks",
+    "validate_report",
+]

@@ -1,0 +1,302 @@
+"""Structural plausibility checks over a :class:`TopologyReport`.
+
+The paper's "reliable" claim rests on the discovered topology *making
+sense* as a memory hierarchy, not just on per-benchmark statistics.  The
+checks here encode the invariants any sane GPU satisfies:
+
+* capacities grow down the hierarchy (L1 <= L2 <= DeviceMemory, and the
+  constant path ConstL1 <= ConstL1.5);
+* load latencies grow down the hierarchy along the same chains;
+* achieved bandwidth shrinks down the hierarchy (an L2 stream must not be
+  slower than DRAM);
+* a cache line is never smaller than the fetch granularity and is an
+  integer number of sectors;
+* measured capacities are "round" — a small odd multiple of a power of
+  two (192 KiB = 3 * 64 KiB passes), or, for SM-level caches large
+  enough to be runtime carveouts of a shared SRAM block, a multiple of
+  the 8 KiB carveout quantum (the V100's 120 KiB PreferL1 split).
+
+Every check returns a :class:`CheckResult` with a ``pass``/``fail``/
+``skip`` status; a check whose inputs are missing (element not measured,
+attribute served by no source) *skips* rather than fails — absence of
+evidence is the honesty policy at work, not a broken topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.benchmarks.base import Source
+from repro.core.report import TopologyReport
+
+__all__ = [
+    "CheckResult",
+    "run_structural_checks",
+    "is_roundish_size",
+    "SIZE_CHAINS",
+    "LATENCY_CHAINS",
+    "BANDWIDTH_CHAINS",
+]
+
+#: (lower element, higher element) capacity orderings, per vendor.
+SIZE_CHAINS: dict[str, tuple[tuple[str, str], ...]] = {
+    "NVIDIA": (
+        ("L1", "L2"),
+        ("Texture", "L2"),
+        ("Readonly", "L2"),
+        ("ConstL1", "ConstL1.5"),
+        ("L2", "DeviceMemory"),
+    ),
+    "AMD": (
+        ("vL1", "L2"),
+        ("sL1d", "L2"),
+        ("L2", "L3"),
+        ("L2", "DeviceMemory"),
+        ("L3", "DeviceMemory"),
+    ),
+}
+
+#: Load-latency orderings; only levels on one load path are comparable
+#: (the scratchpads and the scalar path are siblings, not levels).
+LATENCY_CHAINS: dict[str, tuple[tuple[str, str], ...]] = {
+    "NVIDIA": (
+        ("L1", "L2"),
+        ("L2", "DeviceMemory"),
+        ("ConstL1", "ConstL1.5"),
+    ),
+    "AMD": (
+        ("vL1", "L2"),
+        ("L2", "DeviceMemory"),
+    ),
+}
+
+#: Achieved-bandwidth orderings (higher level >= lower level).
+BANDWIDTH_CHAINS: dict[str, tuple[tuple[str, str], ...]] = {
+    "NVIDIA": (("L2", "DeviceMemory"),),
+    "AMD": (("L2", "L3"), ("L2", "DeviceMemory"), ("L3", "DeviceMemory")),
+}
+
+#: Measured latencies carry jitter; a lower level may exceed a higher one
+#: by this relative margin before the ordering counts as violated.
+_LATENCY_SLACK = 0.02
+#: Stream-benchmark runs vary run-to-run; same idea for bandwidth.
+_BANDWIDTH_SLACK = 0.05
+#: A measured capacity must sit within this relative distance of a
+#: "round" value.  Size sweeps step by one fetch granularity, so a
+#: boundary is routinely one stride past the true capacity (the paper's
+#: Table III reports 2.1 KiB for 2 KiB constant caches) — the tolerance
+#: must absorb one stride at the smallest capacities without excusing a
+#: genuinely implausible value.
+_ROUND_TOLERANCE = 0.035
+#: NVIDIA carves the unified SM SRAM block into L1 and Shared Memory in
+#: 8 KiB steps; capacities at or above this floor may be carveouts.
+_CARVEOUT_QUANTUM = 8 * 1024
+_CARVEOUT_FLOOR = 64 * 1024
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one structural check."""
+
+    check: str
+    status: str  # "pass" | "fail" | "skip"
+    detail: str
+    elements: tuple[str, ...] = ()
+    #: benchmarked (element, attribute) pairs implicated in a failure —
+    #: the validator's escalation pass re-measures exactly these.
+    implicated: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        return self.status != "fail"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "status": self.status,
+            "detail": self.detail,
+            "elements": list(self.elements),
+        }
+
+
+def _numeric(report: TopologyReport, element: str, attribute: str) -> float | None:
+    """The attribute's value as a float, or None when absent/non-numeric.
+
+    Inconclusive lower bounds (confidence 0 with a value — the paper's
+    ">64 KiB" case) still participate: a *lower* bound on a deeper level
+    can only make orderings easier to satisfy, and treating it as absent
+    would silently drop the ConstL1 <= ConstL1.5 chain everywhere.
+    """
+    if element not in report.memory:
+        return None
+    av = report.memory[element].get(attribute)
+    if av.source in (Source.NOT_APPLICABLE, Source.UNAVAILABLE):
+        return None
+    if isinstance(av.value, bool) or not isinstance(av.value, (int, float)):
+        return None
+    return float(av.value)
+
+
+def _benchmarked(report: TopologyReport, element: str, attribute: str) -> bool:
+    if element not in report.memory:
+        return False
+    return report.memory[element].get(attribute).source is Source.BENCHMARK
+
+
+def _chain_checks(
+    report: TopologyReport,
+    name: str,
+    attribute: str,
+    chains: dict[str, tuple[tuple[str, str], ...]],
+    slack: float,
+    descending: bool = False,
+) -> Iterator[CheckResult]:
+    """One CheckResult per comparable (lower, higher) pair."""
+    vendor = report.general.vendor
+    for low, high in chains.get(vendor, ()):
+        a = _numeric(report, low, attribute)
+        b = _numeric(report, high, attribute)
+        check_id = f"{name}:{low}<={high}" if not descending else f"{name}:{low}>={high}"
+        if a is None or b is None:
+            missing = [el for el, v in ((low, a), (high, b)) if v is None]
+            yield CheckResult(
+                check=check_id,
+                status="skip",
+                detail=f"no {attribute} value for {', '.join(missing)}",
+                elements=(low, high),
+            )
+            continue
+        ok = a >= b * (1.0 - slack) if descending else a <= b * (1.0 + slack)
+        implicated = tuple(
+            (el, attribute)
+            for el in (low, high)
+            if _benchmarked(report, el, attribute)
+        )
+        yield CheckResult(
+            check=check_id,
+            status="pass" if ok else "fail",
+            detail=(
+                f"{low}.{attribute}={a:.6g} vs {high}.{attribute}={b:.6g}"
+                + ("" if ok else " violates the hierarchy ordering")
+            ),
+            elements=(low, high),
+            implicated=() if ok else implicated,
+        )
+
+
+def is_roundish_size(value: float, tolerance: float = _ROUND_TOLERANCE) -> bool:
+    """Is ``value`` plausibly a real cache capacity?
+
+    Two shapes qualify: a small odd multiple of a power of two
+    (power-of-two banks: 192 KiB = 3 * 64 KiB, 5 MiB L2 slices), or —
+    for capacities large enough to be an L1/Shared-Memory carveout — a
+    multiple of the 8 KiB carveout quantum (120 KiB, 184 KiB, 240 KiB:
+    the split points the NVIDIA runtime actually offers).
+    """
+    if value <= 0:
+        return False
+    candidate = 1
+    while candidate <= value * (1.0 + tolerance):
+        for m in (1, 3, 5, 7, 9):
+            c = m * candidate
+            if abs(value - c) <= tolerance * c:
+                return True
+        candidate *= 2
+    if value >= _CARVEOUT_FLOOR:
+        c = round(value / _CARVEOUT_QUANTUM) * _CARVEOUT_QUANTUM
+        if c > 0 and abs(value - c) <= 0.02 * c:
+            return True
+    return False
+
+
+def run_structural_checks(report: TopologyReport) -> list[CheckResult]:
+    """All plausibility checks, in a stable order."""
+    results: list[CheckResult] = []
+    results.extend(
+        _chain_checks(report, "size_monotonicity", "size", SIZE_CHAINS, slack=0.0)
+    )
+    results.extend(
+        _chain_checks(
+            report,
+            "latency_monotonicity",
+            "load_latency",
+            LATENCY_CHAINS,
+            slack=_LATENCY_SLACK,
+        )
+    )
+    for attribute in ("read_bandwidth", "write_bandwidth"):
+        # the attribute is part of the check id so a read failure and a
+        # write failure on the same pair stay distinguishable
+        results.extend(
+            _chain_checks(
+                report,
+                f"bandwidth_ordering.{attribute}",
+                attribute,
+                BANDWIDTH_CHAINS,
+                slack=_BANDWIDTH_SLACK,
+                descending=True,
+            )
+        )
+
+    # cache line >= fetch granularity, and an integer number of sectors.
+    for name in report.memory:
+        line = _numeric(report, name, "cache_line_size")
+        fg = _numeric(report, name, "fetch_granularity")
+        check_id = f"line_vs_fetch:{name}"
+        if line is None or fg is None:
+            results.append(
+                CheckResult(
+                    check=check_id,
+                    status="skip",
+                    detail="cache line or fetch granularity not available",
+                    elements=(name,),
+                )
+            )
+            continue
+        ok = line >= fg and fg > 0 and int(line) % int(fg) == 0
+        results.append(
+            CheckResult(
+                check=check_id,
+                status="pass" if ok else "fail",
+                detail=f"line={line:.6g} B, fetch granularity={fg:.6g} B",
+                elements=(name,),
+                implicated=()
+                if ok
+                else tuple(
+                    (name, attr)
+                    for attr in ("cache_line_size", "fetch_granularity")
+                    if _benchmarked(report, name, attr)
+                ),
+            )
+        )
+
+    # power-of-two-ish capacities — only for *conclusive benchmarked*
+    # sizes: API values are authoritative, lower bounds are caps.
+    for name, element in report.memory.items():
+        av = element.get("size")
+        check_id = f"round_size:{name}"
+        if av.source is not Source.BENCHMARK or not isinstance(
+            av.value, (int, float)
+        ) or av.confidence <= 0.0:
+            results.append(
+                CheckResult(
+                    check=check_id,
+                    status="skip",
+                    detail="size not conclusively benchmarked",
+                    elements=(name,),
+                )
+            )
+            continue
+        ok = is_roundish_size(float(av.value))
+        results.append(
+            CheckResult(
+                check=check_id,
+                status="pass" if ok else "fail",
+                detail=f"measured size {int(av.value)} B"
+                + ("" if ok else " is not a small odd multiple of a power of two"),
+                elements=(name,),
+                implicated=() if ok else ((name, "size"),),
+            )
+        )
+    return results

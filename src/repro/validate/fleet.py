@@ -1,0 +1,280 @@
+"""Fleet discovery: many presets, one process pool, one comparison matrix.
+
+The ROADMAP's scale goal applied to discovery itself: instead of
+analysing one device per invocation, :func:`discover_fleet` runs the full
+MT4G pipeline for many presets concurrently (one worker process per
+device — discovery is CPU-bound numpy work, so processes give real
+parallelism) and folds the results into a cross-device comparison matrix
+with a per-preset validation verdict, the multi-machine view of the
+paper's Table II/III.
+
+Every worker builds its own simulated device from (preset, seed), so a
+fleet run with ``jobs=1`` and a sequential loop produce byte-identical
+reports — parallelism never changes results, only wall-clock time
+(recorded per entry and for the whole fleet).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.report import TopologyReport
+from repro.core.tool import MT4G
+from repro.errors import ReproError
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.presets import available_presets, get_preset
+from repro.pchase.config import PChaseConfig
+from repro.units import format_bandwidth, format_size
+
+__all__ = ["FleetEntry", "FleetResult", "discover_fleet"]
+
+
+@dataclass
+class FleetEntry:
+    """One preset's outcome inside a fleet run."""
+
+    preset: str
+    seed: int
+    report: TopologyReport | None
+    wall_seconds: float
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None and not self.error
+
+    @property
+    def verdict(self) -> str:
+        if not self.ok:
+            return "error"
+        if self.report.validation is None:
+            return "unvalidated"
+        return self.report.validation.verdict
+
+
+@dataclass
+class FleetResult:
+    """All fleet entries plus run-level accounting."""
+
+    entries: list[FleetEntry]
+    jobs: int
+    total_wall_seconds: float
+    seed: int
+
+    def entry(self, preset: str) -> FleetEntry:
+        for e in self.entries:
+            if e.preset == preset:
+                return e
+        raise KeyError(f"no fleet entry for preset {preset!r}")
+
+    def verdicts(self) -> dict[str, str]:
+        return {e.preset: e.verdict for e in self.entries}
+
+    @property
+    def all_passed(self) -> bool:
+        return all(e.verdict == "pass" for e in self.entries)
+
+    # ------------------------------------------------------------------ #
+    # comparison matrix                                                   #
+    # ------------------------------------------------------------------ #
+
+    def comparison_matrix(self) -> list[dict[str, Any]]:
+        """One row per preset: the cross-device attribute summary."""
+        rows: list[dict[str, Any]] = []
+        for e in self.entries:
+            row: dict[str, Any] = {
+                "preset": e.preset,
+                "verdict": e.verdict,
+                "wall_seconds": round(e.wall_seconds, 3),
+            }
+            if not e.ok:
+                row.update(
+                    vendor="?",
+                    first_level_size=None,
+                    l2_size=None,
+                    dram_latency_cycles=None,
+                    dram_read_bandwidth=None,
+                    error=e.error,
+                )
+                rows.append(row)
+                continue
+            report = e.report
+            vendor = report.general.vendor
+            first = "L1" if vendor == "NVIDIA" else "vL1"
+
+            def value(element: str, attribute: str) -> Any:
+                if element not in report.memory:
+                    return None
+                return report.memory[element].get(attribute).value
+
+            row.update(
+                vendor=vendor,
+                first_level_size=value(first, "size"),
+                l2_size=value("L2", "size"),
+                dram_latency_cycles=value("DeviceMemory", "load_latency"),
+                dram_read_bandwidth=value("DeviceMemory", "read_bandwidth"),
+                benchmarks_executed=report.runtime.benchmarks_executed,
+            )
+            rows.append(row)
+        return rows
+
+    def to_markdown(self) -> str:
+        """The comparison matrix as a Markdown table (CLI output)."""
+        lines = [
+            f"# MT4G Fleet Report — {len(self.entries)} presets, "
+            f"{self.jobs} workers, seed {self.seed}",
+            "",
+            f"Total wall time: {self.total_wall_seconds:.2f} s "
+            f"(sum of per-preset walls: "
+            f"{sum(e.wall_seconds for e in self.entries):.2f} s)",
+            "",
+            "| Preset | Vendor | L1/vL1 Size | L2 Size | DRAM Latency "
+            "| DRAM Read BW | Verdict | Wall [s] |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for row in self.comparison_matrix():
+            if row.get("error"):
+                lines.append(
+                    f"| {row['preset']} | ? | — | — | — | — "
+                    f"| error: {row['error']} | {row['wall_seconds']:.2f} |"
+                )
+                continue
+            first = row["first_level_size"]
+            l2 = row["l2_size"]
+            lat = row["dram_latency_cycles"]
+            bw = row["dram_read_bandwidth"]
+            lines.append(
+                "| {preset} | {vendor} | {first} | {l2} | {lat} | {bw} "
+                "| {verdict} | {wall:.2f} |".format(
+                    preset=row["preset"],
+                    vendor=row["vendor"],
+                    first=format_size(first) if first else "—",
+                    l2=format_size(l2) if l2 else "—",
+                    lat=f"{float(lat):.0f} cyc" if lat else "—",
+                    bw=format_bandwidth(bw) if bw else "—",
+                    verdict=row["verdict"],
+                    wall=row["wall_seconds"],
+                )
+            )
+        lines.append("")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "mt4g-repro-fleet/1",
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "total_wall_seconds": round(self.total_wall_seconds, 3),
+            "matrix": self.comparison_matrix(),
+            "reports": {
+                e.preset: e.report.as_dict() for e in self.entries if e.ok
+            },
+            "errors": {e.preset: e.error for e in self.entries if e.error},
+        }
+
+
+# ---------------------------------------------------------------------- #
+# workers                                                                 #
+# ---------------------------------------------------------------------- #
+
+
+def _discover_one(
+    preset: str,
+    seed: int,
+    cache_config: str,
+    engine: str,
+    validate: bool,
+) -> tuple[str, TopologyReport | None, float, str]:
+    """Worker body: one full discovery (+ validation) for one preset.
+
+    Failures are returned as data (report ``None`` + error string) with
+    the real elapsed wall, so sequential and concurrent runs account for
+    a failed preset identically.
+    """
+    start = time.perf_counter()
+    try:
+        device = SimulatedGPU(get_preset(preset), seed=seed, cache_config=cache_config)
+        tool = MT4G(device, config=PChaseConfig(engine=engine))
+        report = tool.discover(validate=validate)
+        return preset, report, time.perf_counter() - start, ""
+    except Exception as exc:
+        return preset, None, time.perf_counter() - start, str(exc)
+
+
+def discover_fleet(
+    presets: Sequence[str] | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    validate: bool = True,
+    engine: str = "analytic",
+    cache_config: str = "PreferL1",
+    parallel: bool = True,
+) -> FleetResult:
+    """Discover many presets concurrently and compare the results.
+
+    ``presets`` defaults to the ten paper machines; ``jobs`` defaults to
+    one worker per preset, capped by the CPU count.  ``parallel=False``
+    runs the same pipeline sequentially in-process (the baseline the
+    fleet benchmark measures against, and the fallback for environments
+    without working multiprocessing).  A preset whose discovery raises is
+    recorded as an error entry; it never sinks the rest of the fleet.
+    """
+    names = list(presets) if presets is not None else list(available_presets())
+    if not names:
+        raise ReproError("discover_fleet needs at least one preset")
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        # results are keyed by preset name; a duplicate would silently
+        # pay for two discoveries and keep one
+        raise ReproError(f"duplicate preset(s) in fleet: {duplicates}")
+    for name in names:
+        get_preset(name)  # fail fast on unknown presets, before forking
+    if jobs is None:
+        jobs = max(1, min(len(names), os.cpu_count() or 1))
+    jobs = max(1, min(jobs, len(names)))
+
+    start = time.perf_counter()
+    by_name: dict[str, FleetEntry] = {}
+    if not parallel or jobs == 1:
+        for name in names:
+            t0 = time.perf_counter()
+            try:
+                _, report, wall, error = _discover_one(
+                    name, seed, cache_config, engine, validate
+                )
+                by_name[name] = FleetEntry(name, seed, report, wall, error=error)
+            except Exception as exc:  # the worker body itself failed
+                by_name[name] = FleetEntry(
+                    name, seed, None, time.perf_counter() - t0, error=str(exc)
+                )
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _discover_one, name, seed, cache_config, engine, validate
+                ): name
+                for name in names
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    name = futures[fut]
+                    try:
+                        _, report, wall, error = fut.result()
+                        by_name[name] = FleetEntry(
+                            name, seed, report, wall, error=error
+                        )
+                    except Exception as exc:  # pool infrastructure failure
+                        by_name[name] = FleetEntry(name, seed, None, 0.0, error=str(exc))
+
+    return FleetResult(
+        entries=[by_name[name] for name in names],  # stable input order
+        jobs=jobs if parallel else 1,
+        total_wall_seconds=time.perf_counter() - start,
+        seed=seed,
+    )

@@ -1,10 +1,12 @@
 """Tests for the mt4g command-line interface."""
 
+import csv
 import json
 
 import pytest
 
-from repro.core.cli import build_parser, main
+from repro.core.cli import build_fleet_parser, build_parser, fleet_main, main
+from repro.core.report import ATTRIBUTES
 
 
 class TestParser:
@@ -71,3 +73,137 @@ class TestMain:
         rc = main(["--gpu", "TestGPU-NV", "--mem", "SharedMem", "-q", "-j"])
         assert rc == 0
         assert (tmp_path / "TestGPU-NV.json").exists()
+
+
+class TestOutputRoundTrips:
+    """main() artifacts parsed back: each writer's output is consistent."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli_roundtrip")
+        import contextlib
+        import io
+        import os
+
+        stdout = io.StringIO()
+        cwd = os.getcwd()
+        os.chdir(tmp)
+        try:
+            with contextlib.redirect_stdout(stdout):
+                rc = main([
+                    "--gpu", "TestGPU-NV", "--mem", "L1", "--mem", "SharedMem",
+                    "--seed", "7", "-q",
+                    "-j", "r.json", "-p", "r.md", "--csv", "r.csv", "-o", "r_raw.json",
+                ])
+        finally:
+            os.chdir(cwd)
+        assert rc == 0
+        return tmp, stdout.getvalue()
+
+    def test_stdout_json_matches_file(self, artifacts):
+        tmp, stdout = artifacts
+        from_stdout = json.loads(stdout)
+        from_file = json.loads((tmp / "r.json").read_text())
+        assert from_stdout == from_file
+        assert from_stdout["seed"] == 7
+
+    def test_mem_filtering_round_trip(self, artifacts):
+        tmp, _ = artifacts
+        report = json.loads((tmp / "r.json").read_text())
+        assert set(report["memory"]) == {"L1", "SharedMem"}
+
+    def test_markdown_round_trip(self, artifacts):
+        tmp, _ = artifacts
+        md = (tmp / "r.md").read_text()
+        assert md.startswith("# MT4G Topology Report")
+        for element in ("| L1 |", "| SharedMem |"):
+            assert element in md
+
+    def test_csv_round_trip(self, artifacts):
+        tmp, _ = artifacts
+        rows = list(csv.DictReader((tmp / "r.csv").read_text().splitlines()))
+        assert len(rows) == 2 * len(ATTRIBUTES)
+        report = json.loads((tmp / "r.json").read_text())
+        l1_size_csv = next(
+            r for r in rows if r["element"] == "L1" and r["attribute"] == "size"
+        )
+        assert int(l1_size_csv["value"]) == report["memory"]["L1"]["attributes"]["size"]["value"]
+
+    def test_raw_contains_sweep_artifacts(self, artifacts):
+        tmp, _ = artifacts
+        raw = json.loads((tmp / "r_raw.json").read_text())
+        assert raw["schema"] == "mt4g-repro-raw/1"
+        assert raw["gpu"] == "TestGPU-NV" and raw["seed"] == 7
+        assert raw["benchmarks_executed"] >= 1
+        # the promised artefacts: the size benchmark's grid and reduced
+        # latency vector, and the latency benchmark's per-run statistics
+        size_raw = raw["sweeps"]["L1"]["size"]
+        assert len(size_raw["sizes"]) == len(size_raw["reduced"]) > 0
+        assert all(isinstance(s, int) for s in size_raw["sizes"])
+        assert "stats" in raw["sweeps"]["L1"]["load_latency"]
+
+    def test_quiet_emits_json_only(self, capsys):
+        rc = main(["--gpu", "TestGPU-AMD", "--mem", "LDS", "-q"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # the whole stdout is one JSON document
+        assert captured.err == ""
+
+    def test_validate_flag_adds_section(self, capsys):
+        rc = main(["--gpu", "TestGPU-AMD", "--validate", "-q"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["validation"]["verdict"] == "pass"
+
+    def test_validate_failure_exits_2(self, capsys, monkeypatch):
+        from repro.core import cli as cli_mod
+        from repro.validate import ValidationReport
+
+        real_discover = cli_mod.MT4G.discover
+
+        def failing_discover(self, validate=False):
+            report = real_discover(self)
+            report.validation = ValidationReport(verdict="fail")
+            return report
+
+        monkeypatch.setattr(cli_mod.MT4G, "discover", failing_discover)
+        rc = main(["--gpu", "TestGPU-AMD", "--mem", "LDS", "--validate", "-q"])
+        assert rc == 2
+
+
+class TestFleetCLI:
+    def test_fleet_parser_defaults(self):
+        args = build_fleet_parser().parse_args([])
+        assert args.gpu is None and args.seed == 0 and args.jobs is None
+
+    def test_fleet_quiet_json(self, capsys):
+        rc = main([
+            "fleet", "--gpu", "TestGPU-AMD", "--gpu", "TestGPU-AMD-L3",
+            "--sequential", "-q",
+        ])
+        assert rc == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["schema"] == "mt4g-repro-fleet/1"
+        assert [r["preset"] for r in fleet["matrix"]] == [
+            "TestGPU-AMD", "TestGPU-AMD-L3",
+        ]
+        assert all(r["verdict"] == "pass" for r in fleet["matrix"])
+
+    def test_fleet_concurrent_via_cli(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = fleet_main([
+            "--gpu", "TestGPU-AMD", "--gpu", "TestGPU-AMD-L3",
+            "--jobs", "2", "-j", "-p",
+        ])
+        assert rc == 0
+        fleet = json.loads((tmp_path / "fleet.json").read_text())
+        assert set(fleet["reports"]) == {"TestGPU-AMD", "TestGPU-AMD-L3"}
+        md = (tmp_path / "fleet.md").read_text()
+        assert "# MT4G Fleet Report" in md
+        out = capsys.readouterr().out
+        assert "| TestGPU-AMD |" in out
+
+    def test_fleet_unknown_preset(self, capsys):
+        rc = main(["fleet", "--gpu", "NoSuchGPU", "--sequential", "-q"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

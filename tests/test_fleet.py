@@ -1,0 +1,117 @@
+"""Tests for the fleet runner (repro.validate.fleet)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.validate import discover_fleet
+from repro.validate.fleet import FleetEntry, _discover_one
+
+PRESETS = ("TestGPU-AMD", "TestGPU-AMD-L3")
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return discover_fleet(PRESETS, seed=0, parallel=False)
+
+
+@pytest.fixture(scope="module")
+def concurrent():
+    return discover_fleet(PRESETS, seed=0, jobs=2)
+
+
+class TestDiscoverFleet:
+    def test_entries_in_input_order(self, concurrent):
+        assert [e.preset for e in concurrent.entries] == list(PRESETS)
+        assert concurrent.jobs == 2
+
+    def test_all_verdicts_pass(self, concurrent):
+        assert concurrent.verdicts() == {p: "pass" for p in PRESETS}
+        assert concurrent.all_passed
+
+    def test_parallel_matches_sequential_byte_for_byte(self, sequential, concurrent):
+        a = json.dumps(sequential.as_dict()["reports"], default=str, sort_keys=True)
+        b = json.dumps(concurrent.as_dict()["reports"], default=str, sort_keys=True)
+        assert a == b
+
+    def test_unknown_preset_fails_fast(self):
+        with pytest.raises(ReproError):
+            discover_fleet(["NoSuchGPU"], parallel=False)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ReproError):
+            discover_fleet([])
+
+    def test_duplicate_presets_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            discover_fleet(["TestGPU-AMD", "TestGPU-AMD"])
+
+    def test_unvalidated_fleet(self):
+        result = discover_fleet(["TestGPU-AMD"], seed=0, validate=False, parallel=False)
+        assert result.verdicts() == {"TestGPU-AMD": "unvalidated"}
+        assert not result.all_passed
+
+    def test_worker_failure_becomes_error_entry(self, monkeypatch):
+        import repro.validate.fleet as fleet_mod
+
+        def boom(preset, seed, cache_config, engine, validate):
+            raise RuntimeError(f"{preset} exploded")
+
+        monkeypatch.setattr(fleet_mod, "_discover_one", boom)
+        result = discover_fleet(PRESETS, seed=0, parallel=False)
+        assert all(e.verdict == "error" for e in result.entries)
+        assert "exploded" in result.entry("TestGPU-AMD").error
+
+    def test_worker_function_is_self_contained(self):
+        name, report, wall, error = _discover_one(
+            "TestGPU-AMD", 0, "PreferL1", "analytic", True
+        )
+        assert name == "TestGPU-AMD"
+        assert report.validation is not None and wall > 0 and error == ""
+
+    def test_worker_returns_failure_as_data_with_real_wall(self):
+        # unknown preset inside the worker: error carried as data, not an
+        # exception, with the actual elapsed wall (same accounting as a
+        # successful run, in both sequential and concurrent modes)
+        name, report, wall, error = _discover_one(
+            "NoSuchGPU", 0, "PreferL1", "analytic", True
+        )
+        assert name == "NoSuchGPU" and report is None
+        assert wall > 0 and "NoSuchGPU" in error
+
+
+class TestFleetResult:
+    def test_comparison_matrix_fields(self, concurrent):
+        rows = concurrent.comparison_matrix()
+        assert len(rows) == len(PRESETS)
+        first = rows[0]
+        assert first["preset"] == "TestGPU-AMD"
+        assert first["vendor"] == "AMD"
+        assert first["first_level_size"] == 4096
+        assert first["verdict"] == "pass"
+        assert first["benchmarks_executed"] > 0
+
+    def test_markdown_matrix(self, concurrent):
+        md = concurrent.to_markdown()
+        assert "# MT4G Fleet Report" in md
+        for preset in PRESETS:
+            assert f"| {preset} |" in md
+        assert "| pass |" in md
+
+    def test_as_dict_serialisable(self, concurrent):
+        d = concurrent.as_dict()
+        assert d["schema"] == "mt4g-repro-fleet/1"
+        assert set(d["reports"]) == set(PRESETS)
+        json.dumps(d, default=str)
+
+    def test_error_entry_rendering(self):
+        result = discover_fleet(["TestGPU-AMD"], seed=0, validate=False, parallel=False)
+        result.entries.append(
+            FleetEntry("BrokenGPU", 0, None, 0.1, error="sim crashed")
+        )
+        row = result.comparison_matrix()[-1]
+        assert row["error"] == "sim crashed"
+        assert "error: sim crashed" in result.to_markdown()
+        with pytest.raises(KeyError):
+            result.entry("NeverRan")

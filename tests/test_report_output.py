@@ -1,14 +1,15 @@
 """Tests for the report model and the three output writers."""
 
 import csv
+import dataclasses
 import io
 import json
 
 import pytest
 
 from repro.core.benchmarks.base import MeasurementResult, Source
-from repro.core.output.csv_out import to_csv, write_csv
-from repro.core.output.json_out import to_json, write_json
+from repro.core.output.csv_out import _flatten_value, to_csv, write_csv
+from repro.core.output.json_out import to_json, to_jsonable, write_json
 from repro.core.output.markdown import to_markdown, write_markdown
 from repro.core.report import ATTRIBUTES, AttributeValue, MemoryElementReport
 
@@ -134,3 +135,89 @@ class TestCSVOutput:
     def test_write(self, nv_report, tmp_path):
         path = write_csv(nv_report, tmp_path / "r.csv")
         assert path.exists() and path.read_text().startswith("element,")
+
+
+class TestFlattenValue:
+    """Regression tests for the CSV value flattener (dict handling)."""
+
+    def test_dict_with_scalar_values_not_mangled(self):
+        # the old code iterated the scalar character by character
+        assert _flatten_value({"L2": "Shared"}) == "L2:Shared"
+
+    def test_dict_with_non_iterable_values(self):
+        # the old code raised TypeError on ints
+        assert _flatten_value({0: 1, 1: 0}) == "0:1;1:0"
+
+    def test_dict_with_sequence_values_pipe_joined(self):
+        assert _flatten_value({0: (1, 2), 1: [3]}) == "0:1|2;1:3"
+
+    def test_scalars_and_sequences(self):
+        assert _flatten_value(None) == ""
+        assert _flatten_value((1, 2)) == "1;2"
+        assert _flatten_value([1, 2]) == "1;2"
+        assert _flatten_value(0.1234567891) == "0.123457"
+        assert _flatten_value("plain") == "plain"
+
+
+class TestValidationRendering:
+    """A validated report's validation section reaches all three writers."""
+
+    @pytest.fixture(scope="class")
+    def validated(self, nv_report, nv_device):
+        from repro.gpuspec.presets import get_preset
+        from repro.validate import validate_report
+
+        # deep-copy the elements: recalibration mutates AttributeValue
+        # confidences in place and must not touch the shared fixture
+        report = dataclasses.replace(nv_report)
+        report.memory = {
+            name: MemoryElementReport(
+                name,
+                {a: dataclasses.replace(av) for a, av in el.attributes.items()},
+            )
+            for name, el in nv_report.memory.items()
+        }
+        validate_report(report, spec=get_preset("TestGPU-NV"))
+        return report
+
+    def test_fixture_report_untouched(self, nv_report, validated):
+        assert nv_report.validation is None
+
+    def test_json_contains_validation(self, validated):
+        parsed = json.loads(to_json(validated))
+        assert "verdict" in parsed["validation"]
+        assert parsed["validation"]["checks"]
+
+    def test_markdown_contains_validation(self, validated):
+        md = to_markdown(validated)
+        assert "## Validation" in md
+        assert f"Verdict: **{validated.validation.verdict}**" in md
+
+    def test_csv_appends_validation_rows(self, validated, nv_report):
+        plain_rows = list(csv.DictReader(io.StringIO(to_csv(nv_report))))
+        rows = list(csv.DictReader(io.StringIO(to_csv(validated))))
+        extra = [r for r in rows if r["element"] == "__validation__"]
+        # the legacy attribute rows keep their exact shape and count
+        assert len(rows) - len(extra) == len(plain_rows)
+        assert extra[0]["attribute"] == "verdict"
+        assert all(r["source"] == "validation" for r in extra)
+
+
+class TestToJsonable:
+    def test_numpy_and_tuples(self):
+        import numpy as np
+
+        payload = {
+            "arr": np.arange(3),
+            "scalar": np.float64(1.5),
+            "tup": (1, 2),
+            5: "int key",
+            "enum": Source.BENCHMARK,
+        }
+        out = to_jsonable(payload)
+        json.dumps(out)
+        assert out["arr"] == [0, 1, 2]
+        assert out["scalar"] == 1.5
+        assert out["tup"] == [1, 2]
+        assert out["5"] == "int key"
+        assert out["enum"] == "benchmark"

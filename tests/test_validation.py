@@ -1,0 +1,451 @@
+"""Tests for the validation subsystem (repro.validate + stats.compare)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import MT4G, SimulatedGPU, available_presets
+from repro.core.benchmarks.base import MeasurementResult, Source
+from repro.core.report import (
+    AttributeValue,
+    ComputeReport,
+    GeneralReport,
+    MemoryElementReport,
+    RuntimeReport,
+    TopologyReport,
+)
+from repro.gpuspec.presets import get_preset
+from repro.pchase.config import PChaseConfig
+from repro.stats.compare import (
+    agreement_score,
+    median_index,
+    recalibrated_confidence,
+    relative_error,
+    within_tolerance,
+)
+from repro.validate import (
+    is_roundish_size,
+    reference_for,
+    run_structural_checks,
+    validate_report,
+)
+from repro.validate.validator import run_cross_checks
+
+
+# ---------------------------------------------------------------------- #
+# helpers                                                                 #
+# ---------------------------------------------------------------------- #
+
+
+def _attr(value, unit="B", confidence=0.9, source=Source.BENCHMARK):
+    return AttributeValue(value, unit, confidence, source)
+
+
+def make_report(vendor="NVIDIA", memory=None) -> TopologyReport:
+    """A minimal hand-built report for check unit tests."""
+    elements = {}
+    for name, attrs in (memory or {}).items():
+        el = MemoryElementReport(name)
+        for attr, av in attrs.items():
+            el.set(attr, av)
+        elements[name] = el
+    return TopologyReport(
+        general=GeneralReport(
+            vendor=vendor,
+            model="synthetic",
+            microarchitecture="Test",
+            compute_capability="0.0",
+            clock_rate_hz=1e9,
+            memory_clock_rate_hz=1e9,
+            memory_bus_width_bits=256,
+        ),
+        compute=ComputeReport(
+            num_sms=1,
+            cores_per_sm=64,
+            warp_size=32,
+            max_blocks_per_sm=1,
+            max_threads_per_block=32,
+            max_threads_per_sm=32,
+            registers_per_block=1,
+            registers_per_sm=1,
+            warps_per_sm=2,
+            simds_per_sm=0,
+        ),
+        memory=elements,
+        runtime=RuntimeReport(0, 0.0, 0.0),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# stats.compare                                                           #
+# ---------------------------------------------------------------------- #
+
+
+class TestCompare:
+    def test_relative_error(self):
+        assert relative_error(105.0, 100.0) == pytest.approx(0.05)
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_within_tolerance(self):
+        assert within_tolerance(105, 100, 0.05)
+        assert not within_tolerance(106, 100, 0.05)
+
+    def test_exact_tolerance(self):
+        assert within_tolerance(64, 64, 0.0)
+        assert not within_tolerance(64, 63.9, 0.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            within_tolerance(1, 1, -0.1)
+
+    def test_agreement_score_bounds(self):
+        assert agreement_score(100, 100, 0.1) == 1.0
+        assert agreement_score(120, 100, 0.1) == 0.0
+        assert 0.0 < agreement_score(105, 100, 0.1) < 1.0
+
+    def test_recalibration_never_resurrects_zero(self):
+        assert recalibrated_confidence(0.0, 1.0) == 0.0
+
+    def test_recalibration_raises_on_agreement(self):
+        assert recalibrated_confidence(0.6, 1.0) > 0.6
+
+    def test_recalibration_lowers_on_disagreement(self):
+        assert recalibrated_confidence(0.9, 0.0) < 0.9
+
+    def test_median_index(self):
+        assert median_index([3.0]) == 0
+        assert median_index([9.0, 1.0, 5.0]) == 2
+        with pytest.raises(ValueError):
+            median_index([])
+
+
+# ---------------------------------------------------------------------- #
+# structural checks                                                       #
+# ---------------------------------------------------------------------- #
+
+
+class TestRoundishSize:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            1024,
+            4096,
+            3 * 64 * 1024,  # 192 KiB: odd multiple of a power of two
+            5 * 1024 * 1024,
+            120 * 1024,  # V100 PreferL1 carveout: 15 * 8 KiB
+            184 * 1024,  # A100 carveout: 23 * 8 KiB
+            2112,  # one 64 B stride past 2 KiB (Table III's "2.1 KiB")
+        ],
+    )
+    def test_accepts_real_capacities(self, value):
+        assert is_roundish_size(value)
+
+    @pytest.mark.parametrize("value", [0, -4096, 11111, 1088, 53000])
+    def test_rejects_junk(self, value):
+        assert not is_roundish_size(value)
+
+
+class TestStructuralChecks:
+    def test_monotonic_hierarchy_passes(self):
+        report = make_report(
+            memory={
+                "L1": {"size": _attr(128 * 1024), "load_latency": _attr(34, "cycles")},
+                "L2": {
+                    "size": _attr(40 << 20, source=Source.API, confidence=1.0),
+                    "load_latency": _attr(200, "cycles"),
+                    "read_bandwidth": _attr(2e12, "B/s"),
+                },
+                "DeviceMemory": {
+                    "size": _attr(80 << 30, source=Source.API, confidence=1.0),
+                    "load_latency": _attr(600, "cycles"),
+                    "read_bandwidth": _attr(1e12, "B/s"),
+                },
+            }
+        )
+        results = run_structural_checks(report)
+        assert all(c.status != "fail" for c in results)
+        assert any(
+            c.check == "size_monotonicity:L1<=L2" and c.status == "pass"
+            for c in results
+        )
+
+    def test_size_inversion_fails(self):
+        report = make_report(
+            memory={
+                "L1": {"size": _attr(64 << 20)},
+                "L2": {"size": _attr(1 << 20, source=Source.API, confidence=1.0)},
+            }
+        )
+        failed = [c for c in run_structural_checks(report) if c.status == "fail"]
+        assert any(c.check == "size_monotonicity:L1<=L2" for c in failed)
+        # only the benchmarked side is implicated for escalation
+        assert failed[0].implicated == (("L1", "size"),)
+
+    def test_latency_inversion_fails(self):
+        report = make_report(
+            memory={
+                "L1": {"load_latency": _attr(300, "cycles")},
+                "L2": {"load_latency": _attr(100, "cycles")},
+            }
+        )
+        assert any(
+            c.check == "latency_monotonicity:L1<=L2" and c.status == "fail"
+            for c in run_structural_checks(report)
+        )
+
+    def test_bandwidth_inversion_fails(self):
+        report = make_report(
+            memory={
+                "L2": {"read_bandwidth": _attr(1e11, "B/s")},
+                "DeviceMemory": {"read_bandwidth": _attr(2e12, "B/s")},
+            }
+        )
+        results = run_structural_checks(report)
+        assert any(
+            c.check == "bandwidth_ordering.read_bandwidth:L2>=DeviceMemory"
+            and c.status == "fail"
+            for c in results
+        )
+        # the write direction (absent here) skips under its own id
+        assert any(
+            c.check == "bandwidth_ordering.write_bandwidth:L2>=DeviceMemory"
+            and c.status == "skip"
+            for c in results
+        )
+
+    def test_line_smaller_than_fetch_fails(self):
+        report = make_report(
+            memory={
+                "L1": {
+                    "cache_line_size": _attr(32),
+                    "fetch_granularity": _attr(64),
+                }
+            }
+        )
+        assert any(
+            c.check == "line_vs_fetch:L1" and c.status == "fail"
+            for c in run_structural_checks(report)
+        )
+
+    def test_missing_inputs_skip(self):
+        report = make_report(memory={"L1": {}})
+        results = run_structural_checks(report)
+        assert results and all(c.status == "skip" for c in results)
+
+    def test_inconclusive_size_skips_round_check(self):
+        report = make_report(
+            memory={"ConstL1.5": {"size": _attr(65536, confidence=0.0)}}
+        )
+        round_checks = [
+            c for c in run_structural_checks(report) if c.check.startswith("round_size")
+        ]
+        assert round_checks[0].status == "skip"
+
+    def test_unround_benchmarked_size_fails(self):
+        report = make_report(memory={"L1": {"size": _attr(53000)}})
+        assert any(
+            c.check == "round_size:L1" and c.status == "fail"
+            for c in run_structural_checks(report)
+        )
+
+
+# ---------------------------------------------------------------------- #
+# cross-checks                                                            #
+# ---------------------------------------------------------------------- #
+
+
+class TestCrossChecks:
+    def test_reference_values(self):
+        spec = get_preset("TestGPU-NV")
+        size_ref = reference_for(spec, "L1", "size")
+        assert size_ref is not None and size_ref[0] == 4096.0
+        lat_ref = reference_for(spec, "ConstL1", "load_latency")
+        assert lat_ref is not None
+        assert lat_ref[0] == pytest.approx(20.0 + spec.noise.measurement_overhead)
+        dram = reference_for(spec, "DeviceMemory", "read_bandwidth")
+        assert dram is not None and dram[0] == spec.memory.read_bandwidth
+        assert reference_for(spec, "NoSuchCache", "size") is None
+
+    def test_l1_reference_respects_carveout(self):
+        spec = get_preset("A100")
+        ref = reference_for(spec, "L1", "size", cache_config="PreferShared")
+        assert ref is not None and ref[0] == spec.l1_carveout["PreferShared"]
+
+    def test_l1tex_siblings_follow_the_carveout(self):
+        # Texture/Readonly share the l1tex silicon: their reference size
+        # is the carveout, not the nominal spec capacity
+        spec = get_preset("A100")
+        for element in ("Texture", "Readonly"):
+            ref = reference_for(spec, element, "size", cache_config="PreferShared")
+            assert ref is not None and ref[0] == spec.l1_carveout["PreferShared"]
+
+    def test_agreeing_value_passes_and_disagreeing_fails(self):
+        spec = get_preset("TestGPU-NV")
+        report = make_report(
+            memory={
+                "L1": {"size": _attr(4096)},
+                "Texture": {"size": _attr(6000)},
+            }
+        )
+        crosses = {
+            (c.element, c.attribute): c for c in run_cross_checks(report, spec)
+        }
+        assert crosses[("L1", "size")].passed
+        assert not crosses[("Texture", "size")].passed
+
+    def test_api_and_inconclusive_values_not_cross_checked(self):
+        spec = get_preset("TestGPU-NV")
+        report = make_report(
+            memory={
+                "L2": {"size": _attr(1, source=Source.API, confidence=1.0)},
+                "ConstL1.5": {"size": _attr(65536, confidence=0.0)},
+            }
+        )
+        assert run_cross_checks(report, spec) == []
+
+
+# ---------------------------------------------------------------------- #
+# the full validation pass                                                #
+# ---------------------------------------------------------------------- #
+
+
+class TestValidatePass:
+    def _corrupt_report(self):
+        spec = get_preset("TestGPU-NV")
+        return spec, make_report(
+            memory={"L1": {"size": _attr(6000)}}  # ~46% off the 4 KiB truth
+        )
+
+    def test_failing_without_escalation(self):
+        spec, report = self._corrupt_report()
+        v = validate_report(report, spec=spec)
+        assert not v.passed
+        assert "L1.size" in v.failures()
+        assert report.validation is v
+
+    def test_escalation_repairs_and_repasses(self):
+        spec, report = self._corrupt_report()
+        calls = []
+
+        def escalate(element, attribute):
+            calls.append((element, attribute))
+            return MeasurementResult("size", element, 4096, "B", 0.95)
+
+        v = validate_report(report, spec=spec, escalate=escalate)
+        assert calls == [("L1", "size")]
+        assert v.passed
+        assert v.escalations[0].resolved
+        assert v.escalations[0].old_value == 6000
+        assert v.escalations[0].new_value == 4096
+        assert report.attribute("L1", "size").value == 4096
+
+    def test_unresolvable_escalation_keeps_failure(self):
+        spec, report = self._corrupt_report()
+        v = validate_report(report, spec=spec, escalate=lambda e, a: None)
+        assert not v.passed
+        assert v.escalations and not v.escalations[0].resolved
+        assert report.attribute("L1", "size").value == 6000
+
+    def test_inconclusive_escalation_cannot_launder_verdict(self):
+        # a confidence-0 re-measurement is a bound, not a claim: if it
+        # replaced the conclusive value, the failing checks would merely
+        # *skip* on the re-run and the verdict would flip to "pass"
+        spec, report = self._corrupt_report()
+
+        def escalate(element, attribute):
+            return MeasurementResult(
+                "size", element, 65536, "B", 0.0, note="lower bound"
+            )
+
+        v = validate_report(report, spec=spec, escalate=escalate)
+        assert not v.passed
+        assert not v.escalations[0].resolved
+        assert report.attribute("L1", "size").value == 6000
+
+    def test_raising_escalator_is_contained(self):
+        spec, report = self._corrupt_report()
+
+        def escalate(element, attribute):
+            raise RuntimeError("worker died")
+
+        v = validate_report(report, spec=spec, escalate=escalate)
+        assert not v.passed and not v.escalations[0].resolved
+
+    def test_recalibration_folds_agreement_into_confidence(self):
+        spec = get_preset("TestGPU-NV")
+        report = make_report(memory={"L1": {"size": _attr(4096, confidence=0.6)}})
+        v = validate_report(report, spec=spec)
+        assert report.attribute("L1", "size").confidence > 0.6
+        assert v.recalibrations and v.recalibrations[0].before == 0.6
+
+    def test_as_dict_shape(self):
+        spec, report = self._corrupt_report()
+        d = validate_report(report, spec=spec).as_dict()
+        assert d["verdict"] == "fail"
+        assert set(d) == {
+            "verdict",
+            "summary",
+            "checks",
+            "cross_checks",
+            "escalations",
+            "recalibrations",
+        }
+        json.dumps(d)  # must be serialisable as-is
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: every preset validates clean at seed 0                      #
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("preset", available_presets(include_testing=True))
+def test_all_presets_validate_clean_at_seed_0(preset):
+    tool = MT4G(SimulatedGPU.from_preset(preset, seed=0))
+    report = tool.discover(validate=True)
+    v = report.validation
+    assert v is not None and v.passed, (
+        f"{preset}: validation failed: {v.failures()}"
+    )
+    # the section serialises into the JSON report
+    d = report.as_dict()
+    assert d["validation"]["verdict"] == "pass"
+    json.dumps(d, default=str)
+
+
+def test_non_default_carveout_validates_clean():
+    """The carveout config flows into the cross-check references."""
+    device = SimulatedGPU.from_preset("A100", seed=0, cache_config="PreferShared")
+    report = MT4G(device).discover(validate=True)
+    assert report.validation.passed, report.validation.failures()
+    assert report.attribute("L1", "size").value < 64 * 1024
+
+
+def test_validated_reports_identical_across_engines():
+    """The PR-1 invariant extends through validation and escalation."""
+    reports = {}
+    for engine in ("analytic", "exact"):
+        device = SimulatedGPU.from_preset("TestGPU-NV", seed=0)
+        tool = MT4G(device, config=PChaseConfig(engine=engine))
+        reports[engine] = tool.discover(validate=True).as_dict()
+    a = json.dumps(reports["analytic"], default=str, sort_keys=True)
+    b = json.dumps(reports["exact"], default=str, sort_keys=True)
+    assert a == b
+
+
+def test_validation_is_opt_in():
+    """Plain discover() must stay byte-identical to the seed behaviour."""
+    report = MT4G(SimulatedGPU.from_preset("TestGPU-AMD", seed=3)).discover()
+    assert report.validation is None
+    assert "validation" not in report.as_dict()
+
+
+def test_escalation_seeds_do_not_touch_primary_device():
+    device = SimulatedGPU.from_preset("TestGPU-NV", seed=0)
+    tool = MT4G(device)
+    report = tool.discover()
+    elapsed_before = device.elapsed_seconds()
+    tool.validate(report)
+    # escalation re-measures on *fresh* devices; the Section V-A run-time
+    # accounting of the primary device must not change
+    assert device.elapsed_seconds() == elapsed_before

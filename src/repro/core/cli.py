@@ -15,12 +15,17 @@ prints a cross-device comparison matrix.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 from repro.core.output.csv_out import write_csv
-from repro.core.output.json_out import to_json, write_json, write_raw_json
+from repro.core.output.json_out import (
+    to_fleet_json,
+    to_json,
+    write_fleet_json,
+    write_json,
+    write_raw_json,
+)
 from repro.core.output.markdown import write_markdown
 from repro.core.tool import AMD_ELEMENTS, MT4G, NVIDIA_ELEMENTS
 from repro.errors import ReproError
@@ -290,15 +295,12 @@ def fleet_main(argv: list[str] | None = None) -> int:
         print(f"mt4g fleet: error: {exc}", file=sys.stderr)
         return 1
     if args.quiet:
-        print(json.dumps(result.as_dict(), indent=2))
+        print(to_fleet_json(result))
     else:
         print(result.to_markdown())
     json_path = _default_path(args.json, "fleet", ".json")
     if json_path:
-        json_path.parent.mkdir(parents=True, exist_ok=True)
-        json_path.write_text(
-            json.dumps(result.as_dict(), indent=2) + "\n", encoding="utf-8"
-        )
+        write_fleet_json(result, json_path)
         if not args.quiet:
             print(f"# fleet JSON -> {json_path}", file=sys.stderr)
     md_path = _default_path(args.markdown, "fleet", ".md")
@@ -307,8 +309,17 @@ def fleet_main(argv: list[str] | None = None) -> int:
         md_path.write_text(result.to_markdown(), encoding="utf-8")
         if not args.quiet:
             print(f"# fleet matrix -> {md_path}", file=sys.stderr)
-    # Any failed preset (error or failed validation) is a non-zero exit.
-    return 0 if all(e.verdict in ("pass", "unvalidated") for e in result.entries) else 2
+    # Any failed preset (error or failed validation) or any cross-device
+    # disagreement (the fleet judge's verdict) is a non-zero exit.
+    entries_ok = all(e.verdict in ("pass", "unvalidated") for e in result.entries)
+    fleet_ok = result.validation is None or result.validation.passed
+    if not fleet_ok and not args.quiet:
+        print(
+            "# fleet validation FAILED: "
+            + ", ".join(result.validation.failures()),
+            file=sys.stderr,
+        )
+    return 0 if entries_ok and fleet_ok else 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -89,8 +89,8 @@ def to_csv(report: TopologyReport) -> str:
                     "",
                     f"{cc.rel_error:.4f}",
                     "validation",
-                    f"measured {cc.measured:.6g} vs {cc.reference:.6g} "
-                    f"({cc.reference_source})",
+                    f"measured {_flatten_value(cc.measured) or 'none'} vs "
+                    f"{_flatten_value(cc.reference) or 'none'} ({cc.reference_source})",
                 ]
             )
     return buf.getvalue()

@@ -15,7 +15,14 @@ from typing import Any
 from repro.core.report import TopologyReport
 from repro.errors import OutputError
 
-__all__ = ["to_json", "write_json", "to_jsonable", "write_raw_json"]
+__all__ = [
+    "to_json",
+    "write_json",
+    "to_jsonable",
+    "write_raw_json",
+    "to_fleet_json",
+    "write_fleet_json",
+]
 
 
 def to_json(report: TopologyReport, indent: int = 2) -> str:
@@ -62,4 +69,24 @@ def write_raw_json(payload: dict[str, Any], path: str | Path, indent: int = 2) -
     path.write_text(
         json.dumps(to_jsonable(payload), indent=indent) + "\n", encoding="utf-8"
     )
+    return path
+
+
+def to_fleet_json(result, indent: int = 2) -> str:
+    """Serialize a :class:`~repro.validate.fleet.FleetResult` to JSON.
+
+    The fleet payload (matrix + per-preset reports + ``fleet_validation``
+    section) is sanitised first: protocol values carry tuples.
+    """
+    try:
+        return json.dumps(to_jsonable(result.as_dict()), indent=indent)
+    except (TypeError, ValueError) as exc:
+        raise OutputError(f"fleet result not JSON-serialisable: {exc}") from exc
+
+
+def write_fleet_json(result, path: str | Path, indent: int = 2) -> Path:
+    """Write the fleet JSON report to ``path`` (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_fleet_json(result, indent=indent) + "\n", encoding="utf-8")
     return path

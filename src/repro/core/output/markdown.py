@@ -91,6 +91,15 @@ def to_markdown(report: TopologyReport) -> str:
     return "\n".join(lines)
 
 
+def _fmt_checked(value) -> str:
+    """A cross-check operand: numeric delta values or protocol tuples."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value:.6g}"
+    if isinstance(value, (tuple, list)):
+        return ",".join(str(v) for v in value) or "none"
+    return str(value)
+
+
 def _validation_section(validation) -> list[str]:
     """Render the post-hoc validation pass (checks, deltas, escalations)."""
     summary = validation.as_dict()["summary"]
@@ -112,8 +121,8 @@ def _validation_section(validation) -> list[str]:
         lines.append("|---|---|---|---|---|---|")
         for cc in validation.cross_checks:
             lines.append(
-                f"| {cc.element} | {cc.attribute} | {cc.measured:.6g} "
-                f"| {cc.reference:.6g} | {cc.rel_error:.1%} | {cc.status} |"
+                f"| {cc.element} | {cc.attribute} | {_fmt_checked(cc.measured)} "
+                f"| {_fmt_checked(cc.reference)} | {cc.rel_error:.1%} | {cc.status} |"
             )
     if validation.escalations:
         lines.append("")

@@ -52,7 +52,7 @@ from repro.gpuspec.presets.amd import CORES_PER_CU
 from repro.gpuspec.presets.nvidia import CORES_PER_SM
 from repro.gpuspec.spec import Vendor
 from repro.pchase.config import PChaseConfig
-from repro.stats.compare import median_index
+from repro.stats.compare import majority_index, median_index
 from repro.units import KiB, MiB
 
 __all__ = ["MT4G", "NVIDIA_ELEMENTS", "AMD_ELEMENTS"]
@@ -165,6 +165,11 @@ class MT4G:
         #: per-run statistics) keyed element -> attribute; the CLI's
         #: ``--raw`` flag serialises this.
         self.raw_data: dict[str, dict[str, Any]] = {}
+        #: The NVIDIA sharing protocol measures the *whole* pairwise
+        #: matrix at once; when several shared_with checks escalate in
+        #: one pass, the per-(seed, targets) matrix is computed once and
+        #: each element takes its row from it.
+        self._sharing_remeasure_cache: dict[tuple, dict[str, MeasurementResult]] = {}
 
     # ------------------------------------------------------------------ #
     # public API                                                          #
@@ -823,20 +828,105 @@ class MT4G:
             ctx, kind, element, self._fg(element), lo=1 * KiB, hi_cap=1 * MiB
         )
 
+    def _remeasure_amount(
+        self, ctx: BenchmarkContext, element: str
+    ) -> MeasurementResult | None:
+        """Protocol re-measurement: re-run the eviction amount protocol.
+
+        The L2 special case replays the segment-size sweep and realigns
+        it to the API total (Section IV-F.1); elements whose amount is an
+        API value or structurally unmeasurable return None.
+        """
+        kind = self._kind_for(element)
+        if kind is None:
+            return None
+        if element == "L2":
+            if self.device.vendor is not Vendor.NVIDIA:
+                return None  # AMD L2/L3 segment counts are API values
+            api_total = hip_get_device_properties(self.device).l2CacheSize
+            l1_size = self._measured_sizes.get("L1", 256 * KiB)
+            segment = measure_cache_size(
+                ctx,
+                kind,
+                "L2",
+                self._fg("L2"),
+                lo=max(4 * l1_size, 16 * KiB),
+                hi_cap=2 * api_total,
+            )
+            if not segment.conclusive:
+                return None
+            return resolve_l2_segments(ctx, int(segment.value), api_total)
+        if element in ("ConstL1.5", "sL1d", "L3", "SharedMem", "LDS", "DeviceMemory"):
+            return None  # no eviction protocol exists for these (Section III-C)
+        size = self._measured_sizes.get(element)
+        if size is None:
+            return None
+        default_fg = 64 if element in ("ConstL1", "vL1") else 32
+        return measure_amount(
+            ctx,
+            kind,
+            element,
+            size,
+            self._fg(element, default_fg),
+            spans_all_warps=(element == "L1"),
+        )
+
+    def _remeasure_sharing(
+        self, ctx: BenchmarkContext, element: str
+    ) -> MeasurementResult | None:
+        """Protocol re-measurement: re-run the physical-sharing protocol.
+
+        NVIDIA re-runs the full pairwise eviction matrix over the same
+        targets the pipeline used (the protocol is pairwise — a single
+        element cannot be re-measured in isolation) and returns the
+        requested element's row; AMD re-runs the sL1d CU-pair sweep.
+        """
+        if self.device.vendor is Vendor.NVIDIA:
+            targets = {
+                name: (_NV_KINDS[name], self._measured_sizes[name], self._fg(name))
+                for name in ("L1", "Texture", "Readonly", "ConstL1")
+                if self._measured_sizes.get(name)
+            }
+            if element not in targets or len(targets) < 2:
+                return None
+            # One matrix per (escalation seed, target geometry): other
+            # elements escalated in the same pass reuse their row rather
+            # than re-running the identical full pairwise protocol.
+            key = (
+                ctx.device.seed,
+                tuple(sorted((n, s, f) for n, (_, s, f) in targets.items())),
+            )
+            matrix = self._sharing_remeasure_cache.get(key)
+            if matrix is None:
+                matrix = measure_sharing_nvidia(ctx, targets)
+                self._sharing_remeasure_cache[key] = matrix
+            # A copy, so the escalation note never mutates the cached row.
+            return dataclasses.replace(matrix[element])
+        if element == "sL1d":
+            size = self._measured_sizes.get("sL1d", 16 * KiB)
+            return measure_sl1d_sharing(ctx, size, self._fg("sL1d", 64))
+        return None
+
     def _escalate_measurement(
         self, element: str, attribute: str
     ) -> MeasurementResult | None:
-        """Re-measure one attribute across fresh seeds; keep the median run.
+        """Re-measure one attribute across fresh seeds and keep one run.
 
-        The validator calls this when a check fails.  Returns None when
-        the attribute has no re-measurement path (API values, protocol
-        results) — the failure then stands as recorded.
+        The validator calls this when a check fails.  Numeric results
+        (latency, size, bandwidth, and the integer amount — re-run via
+        its full eviction protocol) keep the median run; ``shared_with``
+        re-runs the sharing protocol and keeps the majority outcome —
+        a partner tuple has no meaningful median.  Returns None when the
+        attribute has no re-measurement path (API values) — the failure
+        then stands as recorded.
         """
         handlers = {
             "load_latency": self._remeasure_latency,
             "size": self._remeasure_size,
             "read_bandwidth": lambda ctx, el: measure_bandwidth(ctx, el, "read"),
             "write_bandwidth": lambda ctx, el: measure_bandwidth(ctx, el, "write"),
+            "amount": self._remeasure_amount,
+            "shared_with": self._remeasure_sharing,
         }
         handler = handlers.get(attribute)
         if handler is None:
@@ -848,24 +938,35 @@ class MT4G:
                 m = handler(ctx, element)
             except ReproError:
                 continue
-            if (
-                m is not None
-                and m.conclusive
-                and isinstance(m.value, (int, float))
-                and not isinstance(m.value, bool)
+            if m is None or not m.conclusive:
+                continue
+            if attribute != "shared_with" and (
+                isinstance(m.value, bool) or not isinstance(m.value, (int, float))
             ):
-                candidates.append(m)
+                continue
+            candidates.append(m)
         if not candidates:
             return None
-        chosen = candidates[median_index([float(c.value) for c in candidates])]
-        # Bandwidth re-measurements run the stream benchmark's fixed
-        # best-of-3 loop; only the p-chase paths consume n_samples.
-        per_run = (
-            "best-of-3 stream runs each"
-            if attribute in ("read_bandwidth", "write_bandwidth")
-            else f"{2 * self.ctx.config.n_samples} samples each"
-        )
-        tag = f"escalated: median of {len(candidates)} re-measurements, {per_run}"
+        if attribute == "shared_with":
+            # Majority vote over canonical forms; ties keep the earliest
+            # seed so the outcome is deterministic.
+            chosen = candidates[majority_index([repr(c.value) for c in candidates])]
+            tag = (
+                f"escalated: majority of {len(candidates)} protocol re-runs "
+                "across fresh seeds"
+            )
+        else:
+            chosen = candidates[median_index([float(c.value) for c in candidates])]
+            # Bandwidth re-measurements run the stream benchmark's fixed
+            # best-of-3 loop, amount re-runs the full eviction protocol;
+            # only the p-chase paths consume n_samples.
+            if attribute in ("read_bandwidth", "write_bandwidth"):
+                per_run = "best-of-3 stream runs each"
+            elif attribute == "amount":
+                per_run = "full eviction protocol each"
+            else:
+                per_run = f"{2 * self.ctx.config.n_samples} samples each"
+            tag = f"escalated: median of {len(candidates)} re-measurements, {per_run}"
         chosen.note = f"{chosen.note}; {tag}" if chosen.note else tag
         # A corrected size recalibrates the tool: later escalations (the
         # latency ring is sized from the measured capacity) must use it.

@@ -10,7 +10,7 @@ attribute's confidence.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
 __all__ = [
     "relative_error",
@@ -18,6 +18,7 @@ __all__ = [
     "agreement_score",
     "recalibrated_confidence",
     "median_index",
+    "majority_index",
 ]
 
 
@@ -75,3 +76,22 @@ def median_index(values: Sequence[float]) -> int:
         raise ValueError("median_index needs at least one value")
     order = sorted(range(len(values)), key=lambda i: float(values[i]))
     return order[(len(order) - 1) // 2]
+
+
+def majority_index(keys: Sequence[Hashable]) -> int:
+    """Index of the first element whose key wins the plurality vote.
+
+    Protocol re-measurements (sharing partner tuples, CU maps) have no
+    meaningful median, so escalation keeps the *modal* outcome across
+    seeds instead.  Ties are broken toward the earliest-seen key, keeping
+    the choice deterministic.
+    """
+    if not keys:
+        raise ValueError("majority_index needs at least one key")
+    counts: dict[Hashable, int] = {}
+    first: dict[Hashable, int] = {}
+    for i, key in enumerate(keys):
+        counts[key] = counts.get(key, 0) + 1
+        first.setdefault(key, i)
+    winner = max(counts, key=lambda k: (counts[k], -first[k]))
+    return first[winner]

@@ -80,8 +80,15 @@ def parse_size(text: str | int | float) -> int:
 def format_size(num_bytes: int | float) -> str:
     """Render bytes with a binary suffix, trimming trailing zeros.
 
+    Fractional byte counts (averages, confidence-weighted consensus
+    values) keep their decimals instead of being silently truncated.
+
     >>> format_size(243712)
     '238 KiB'
+    >>> format_size(512.5)
+    '512.50 B'
+    >>> format_size(0)
+    '0 B'
     """
     num_bytes = float(num_bytes)
     for factor, suffix in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
@@ -90,16 +97,42 @@ def format_size(num_bytes: int | float) -> str:
             if abs(value - round(value)) < 1e-9:
                 return f"{int(round(value))} {suffix}"
             return f"{value:.2f} {suffix}"
-    return f"{int(num_bytes)} B"
+    if abs(num_bytes - round(num_bytes)) < 1e-9:
+        return f"{int(round(num_bytes))} B"
+    return f"{num_bytes:.2f} B"
 
 
 def format_bandwidth(bytes_per_second: float) -> str:
-    """Render a bandwidth in binary TiB/s / GiB/s as the paper's Table III does."""
+    """Render a bandwidth in binary units, TiB/s down to B/s.
+
+    The paper's Table III uses TiB/s and GiB/s; sub-GiB/s rates (small
+    synthetic devices, throttled links) fall through to MiB/s and KiB/s
+    instead of rendering as a misleading ``"0.0 GiB/s"``.
+
+    >>> format_bandwidth(2.5 * 1024.0**4)
+    '2.50 TiB/s'
+    >>> format_bandwidth(100 * 1024.0**3)
+    '100.0 GiB/s'
+    >>> format_bandwidth(512 * 1024.0**2)
+    '512.0 MiB/s'
+    >>> format_bandwidth(8 * 1024.0)
+    '8.0 KiB/s'
+    >>> format_bandwidth(42.0)
+    '42 B/s'
+    """
     tib = 1024.0**4
     gib = 1024.0**3
+    mib = 1024.0**2
+    kib = 1024.0
     if bytes_per_second >= tib:
         return f"{bytes_per_second / tib:.2f} TiB/s"
-    return f"{bytes_per_second / gib:.1f} GiB/s"
+    if bytes_per_second >= gib:
+        return f"{bytes_per_second / gib:.1f} GiB/s"
+    if bytes_per_second >= mib:
+        return f"{bytes_per_second / mib:.1f} MiB/s"
+    if bytes_per_second >= kib:
+        return f"{bytes_per_second / kib:.1f} KiB/s"
+    return f"{bytes_per_second:.0f} B/s"
 
 
 def format_latency_cycles(cycles: float) -> str:

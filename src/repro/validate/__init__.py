@@ -9,11 +9,23 @@ Three layers:
   recalibration + re-measurement escalation, producing the report's
   ``validation`` section;
 * :mod:`repro.validate.fleet` — concurrent multi-preset discovery with a
-  cross-device comparison matrix and per-preset verdicts.
+  cross-device comparison matrix and per-preset verdicts;
+* :mod:`repro.validate.fleet_checks` — the fleet-level *judge*:
+  cross-device invariants (line size, fetch granularity, warp size,
+  hierarchy orderings) per (vendor, microarchitecture) group, with
+  confidence-weighted consensus and dissent recalibration.
 """
 
 from repro.validate.checks import CheckResult, is_roundish_size, run_structural_checks
 from repro.validate.fleet import FleetEntry, FleetResult, discover_fleet
+from repro.validate.fleet_checks import (
+    FLEET_TOLERANCES,
+    FleetCheck,
+    FleetConsensus,
+    FleetRecalibration,
+    FleetValidation,
+    run_fleet_checks,
+)
 from repro.validate.validator import (
     DEFAULT_TOLERANCES,
     CrossCheck,
@@ -29,13 +41,19 @@ __all__ = [
     "CrossCheck",
     "DEFAULT_TOLERANCES",
     "EscalationRecord",
+    "FLEET_TOLERANCES",
+    "FleetCheck",
+    "FleetConsensus",
     "FleetEntry",
+    "FleetRecalibration",
     "FleetResult",
+    "FleetValidation",
     "Recalibration",
     "ValidationReport",
     "discover_fleet",
     "is_roundish_size",
     "reference_for",
+    "run_fleet_checks",
     "run_structural_checks",
     "validate_report",
 ]

@@ -12,6 +12,11 @@ Every worker builds its own simulated device from (preset, seed), so a
 fleet run with ``jobs=1`` and a sequential loop produce byte-identical
 reports — parallelism never changes results, only wall-clock time
 (recorded per entry and for the whole fleet).
+
+A validated fleet is also *judged*: after the entries are collected the
+cross-device checks of :mod:`repro.validate.fleet_checks` group them by
+(vendor, microarchitecture) and verify the invariants real silicon
+obeys, attaching a :class:`FleetValidation` to the result.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import available_presets, get_preset
 from repro.pchase.config import PChaseConfig
 from repro.units import format_bandwidth, format_size
+from repro.validate.fleet_checks import FleetValidation, run_fleet_checks
 
 __all__ = ["FleetEntry", "FleetResult", "discover_fleet"]
 
@@ -64,6 +70,9 @@ class FleetResult:
     jobs: int
     total_wall_seconds: float
     seed: int
+    #: Cross-device judgement (:func:`repro.validate.run_fleet_checks`);
+    #: None until a fleet validation pass runs.
+    validation: FleetValidation | None = None
 
     def entry(self, preset: str) -> FleetEntry:
         for e in self.entries:
@@ -76,7 +85,14 @@ class FleetResult:
 
     @property
     def all_passed(self) -> bool:
-        return all(e.verdict == "pass" for e in self.entries)
+        """Every per-preset verdict passed AND no cross-device disagreement."""
+        if not all(e.verdict == "pass" for e in self.entries):
+            return False
+        return self.validation is None or self.validation.passed
+
+    def validate(self) -> FleetValidation:
+        """Run the cross-device judge over the collected entries."""
+        return run_fleet_checks(self)
 
     # ------------------------------------------------------------------ #
     # comparison matrix                                                   #
@@ -137,34 +153,42 @@ class FleetResult:
             "|---|---|---|---|---|---|---|---|",
         ]
         for row in self.comparison_matrix():
-            if row.get("error"):
+            if "error" in row:
+                # An exception with an empty message must still render a
+                # readable cell (the worker falls back to the exception
+                # type, but entries can also be built by hand).
+                error = row["error"] or "unknown error"
                 lines.append(
                     f"| {row['preset']} | ? | — | — | — | — "
-                    f"| error: {row['error']} | {row['wall_seconds']:.2f} |"
+                    f"| error: {error} | {row['wall_seconds']:.2f} |"
                 )
                 continue
             first = row["first_level_size"]
             l2 = row["l2_size"]
             lat = row["dram_latency_cycles"]
             bw = row["dram_read_bandwidth"]
+            # "is not None" — a legitimately-zero measurement is a value,
+            # not a missing cell.
             lines.append(
                 "| {preset} | {vendor} | {first} | {l2} | {lat} | {bw} "
                 "| {verdict} | {wall:.2f} |".format(
                     preset=row["preset"],
                     vendor=row["vendor"],
-                    first=format_size(first) if first else "—",
-                    l2=format_size(l2) if l2 else "—",
-                    lat=f"{float(lat):.0f} cyc" if lat else "—",
-                    bw=format_bandwidth(bw) if bw else "—",
+                    first=format_size(first) if first is not None else "—",
+                    l2=format_size(l2) if l2 is not None else "—",
+                    lat=f"{float(lat):.0f} cyc" if lat is not None else "—",
+                    bw=format_bandwidth(bw) if bw is not None else "—",
                     verdict=row["verdict"],
                     wall=row["wall_seconds"],
                 )
             )
         lines.append("")
+        if self.validation is not None:
+            lines.extend(self.validation.to_markdown_lines())
         return "\n".join(lines)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "schema": "mt4g-repro-fleet/1",
             "seed": self.seed,
             "jobs": self.jobs,
@@ -175,6 +199,9 @@ class FleetResult:
             },
             "errors": {e.preset: e.error for e in self.entries if e.error},
         }
+        if self.validation is not None:
+            out["fleet_validation"] = self.validation.as_dict()
+        return out
 
 
 # ---------------------------------------------------------------------- #
@@ -202,7 +229,14 @@ def _discover_one(
         report = tool.discover(validate=validate)
         return preset, report, time.perf_counter() - start, ""
     except Exception as exc:
-        return preset, None, time.perf_counter() - start, str(exc)
+        # An exception with an empty message (``raise ValueError()``)
+        # must not yield an error entry that renders as blank text.
+        return preset, None, time.perf_counter() - start, _describe(exc)
+
+
+def _describe(exc: BaseException) -> str:
+    """A never-empty error string: the message, or the exception type."""
+    return str(exc) or type(exc).__name__
 
 
 def discover_fleet(
@@ -249,7 +283,7 @@ def discover_fleet(
                 by_name[name] = FleetEntry(name, seed, report, wall, error=error)
             except Exception as exc:  # the worker body itself failed
                 by_name[name] = FleetEntry(
-                    name, seed, None, time.perf_counter() - t0, error=str(exc)
+                    name, seed, None, time.perf_counter() - t0, error=_describe(exc)
                 )
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -270,11 +304,19 @@ def discover_fleet(
                             name, seed, report, wall, error=error
                         )
                     except Exception as exc:  # pool infrastructure failure
-                        by_name[name] = FleetEntry(name, seed, None, 0.0, error=str(exc))
+                        by_name[name] = FleetEntry(
+                            name, seed, None, 0.0, error=_describe(exc)
+                        )
 
-    return FleetResult(
+    result = FleetResult(
         entries=[by_name[name] for name in names],  # stable input order
         jobs=jobs if parallel else 1,
         total_wall_seconds=time.perf_counter() - start,
         seed=seed,
     )
+    if validate:
+        # The cross-device judge runs in the parent over the collected
+        # entries, so it is deterministic and identical for sequential
+        # and concurrent runs (parallelism never changes results).
+        result.validate()
+    return result

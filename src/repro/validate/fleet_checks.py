@@ -1,0 +1,528 @@
+"""Fleet-level cross-device consistency checks (the fleet *judge*).
+
+PR 2's fleet runner renders a comparison matrix but never judges it.
+This module closes that gap: presets are grouped by (vendor,
+microarchitecture) and each group is held to the invariants real silicon
+obeys — Jia et al.'s Turing dissection shows cache line sizes and fetch
+granularities are per-architecture constants, and two devices of one
+microarchitecture cannot disagree on their warp size or on the *relative*
+ordering of their hierarchy levels (an L1 faster than the L2 on one H100
+and slower on another is a measurement failure, not a hardware feature).
+
+Three layers of judgement:
+
+* **invariant consensus** — per (element, attribute) for the exact
+  per-architecture constants (cache line size, fetch granularity), a
+  confidence-weighted majority picks the consensus value; presets that
+  dissent fail the check and get their attribute confidence recalibrated
+  through :mod:`repro.stats.compare` (the same rule the single-device
+  cross-checks use);
+* **compute invariants** — the warp/wavefront size must be identical
+  across the group;
+* **ordering agreement** — for sizes, latencies and bandwidths the
+  *relative* order of any two memory elements must agree across the
+  group, with per-attribute tolerances so near-ties (values within
+  measurement spread) can never flip a verdict.
+
+The result is a :class:`FleetValidation` carried on the
+:class:`~repro.validate.fleet.FleetResult`, rendered by ``mt4g fleet``
+(Markdown + JSON) and folded into its exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.benchmarks.base import Source
+from repro.stats.compare import (
+    agreement_score,
+    recalibrated_confidence,
+    within_tolerance,
+)
+from repro.units import format_size
+
+if TYPE_CHECKING:  # pragma: no cover - the fleet module imports us
+    from repro.validate.fleet import FleetEntry, FleetResult
+
+__all__ = [
+    "FLEET_TOLERANCES",
+    "INVARIANT_ATTRIBUTES",
+    "ORDERING_ATTRIBUTES",
+    "FleetCheck",
+    "FleetConsensus",
+    "FleetRecalibration",
+    "FleetValidation",
+    "run_fleet_checks",
+]
+
+#: Relative tolerance per attribute.  The exact-by-nature architecture
+#: constants demand perfect agreement; sizes/latencies/bandwidths only
+#: need *orderings* to agree, and the tolerance decides when two values
+#: are too close to call (a tie can never conflict with an ordering).
+FLEET_TOLERANCES: dict[str, float] = {
+    "cache_line_size": 0.0,
+    "fetch_granularity": 0.0,
+    "warp_size": 0.0,
+    "size": 0.05,
+    "load_latency": 0.15,
+    "read_bandwidth": 0.10,
+    "write_bandwidth": 0.10,
+}
+
+#: Per-microarchitecture constants: every device of one architecture must
+#: report the same value (Jia et al., cited by the paper).
+INVARIANT_ATTRIBUTES = ("cache_line_size", "fetch_granularity")
+
+#: Attributes whose cross-element *orderings* must agree across devices.
+ORDERING_ATTRIBUTES = ("size", "load_latency", "read_bandwidth", "write_bandwidth")
+
+
+@dataclass
+class FleetCheck:
+    """One cross-device check over a (vendor, microarchitecture) group."""
+
+    check: str
+    group: str
+    status: str  # "pass" | "fail" | "skip"
+    detail: str
+    presets: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return self.status != "fail"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "group": self.group,
+            "status": self.status,
+            "detail": self.detail,
+            "presets": list(self.presets),
+        }
+
+
+@dataclass
+class FleetConsensus:
+    """Confidence-weighted majority over one invariant attribute."""
+
+    group: str
+    element: str
+    attribute: str
+    consensus: float
+    weight: float  # total confidence behind the consensus value
+    agreeing: tuple[str, ...]
+    dissenting: tuple[str, ...]
+
+    @property
+    def status(self) -> str:
+        return "pass" if not self.dissenting else "fail"
+
+    @property
+    def passed(self) -> bool:
+        return not self.dissenting
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "group": self.group,
+            "element": self.element,
+            "attribute": self.attribute,
+            "consensus": self.consensus,
+            "weight": round(self.weight, 4),
+            "agreeing": list(self.agreeing),
+            "dissenting": list(self.dissenting),
+            "status": self.status,
+        }
+
+
+@dataclass
+class FleetRecalibration:
+    """A dissenting preset's attribute confidence, recalibrated."""
+
+    preset: str
+    element: str
+    attribute: str
+    before: float
+    after: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "preset": self.preset,
+            "element": self.element,
+            "attribute": self.attribute,
+            "before": round(self.before, 4),
+            "after": round(self.after, 4),
+        }
+
+
+@dataclass
+class FleetValidation:
+    """The ``fleet_validation`` section of a fleet report."""
+
+    verdict: str  # "pass" | "fail"
+    groups: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    checks: list[FleetCheck] = field(default_factory=list)
+    consensus: list[FleetConsensus] = field(default_factory=list)
+    recalibrations: list[FleetRecalibration] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == "pass"
+
+    def failures(self) -> list[str]:
+        """Human-readable identifiers of every cross-device disagreement."""
+        out = [c.check for c in self.checks if c.status == "fail"]
+        out.extend(
+            f"{c.group}:{c.element}.{c.attribute}"
+            for c in self.consensus
+            if not c.passed
+        )
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        statuses = [c.status for c in self.checks]
+        return {
+            "verdict": self.verdict,
+            "summary": {
+                "groups": len(self.groups),
+                "checks_passed": statuses.count("pass"),
+                "checks_failed": statuses.count("fail"),
+                "checks_skipped": statuses.count("skip"),
+                "consensus_attributes": len(self.consensus),
+                "dissents": sum(1 for c in self.consensus if not c.passed),
+                "recalibrations": len(self.recalibrations),
+            },
+            "groups": {k: list(v) for k, v in self.groups.items()},
+            "checks": [c.as_dict() for c in self.checks],
+            "consensus": [c.as_dict() for c in self.consensus],
+            "recalibrations": [r.as_dict() for r in self.recalibrations],
+        }
+
+    def to_markdown_lines(self) -> list[str]:
+        """The ``## Fleet Validation`` section of the fleet Markdown."""
+        s = self.as_dict()["summary"]
+        lines = ["## Fleet Validation", ""]
+        lines.append(
+            f"- Verdict: **{self.verdict}** "
+            f"({s['checks_passed']} cross-device checks passed, "
+            f"{s['checks_failed']} failed, {s['checks_skipped']} skipped; "
+            f"{s['consensus_attributes']} consensus attributes, "
+            f"{s['dissents']} dissenting)"
+        )
+        for key, presets in self.groups.items():
+            lines.append(f"- Group `{key}`: {', '.join(presets)}")
+        for check in self.checks:
+            if check.status == "fail":
+                lines.append(f"- Failed check `{check.check}`: {check.detail}")
+        if self.consensus:
+            lines.append("")
+            lines.append(
+                "| Group | Element | Attribute | Consensus | Agreeing | Dissenting |"
+            )
+            lines.append("|---|---|---|---|---|---|")
+            for c in self.consensus:
+                value = (
+                    format_size(c.consensus)
+                    if c.attribute in ("cache_line_size", "fetch_granularity", "size")
+                    else f"{c.consensus:.6g}"
+                )
+                lines.append(
+                    f"| {c.group} | {c.element} | {c.attribute} | {value} "
+                    f"| {', '.join(c.agreeing) or '—'} "
+                    f"| {', '.join(c.dissenting) or '—'} |"
+                )
+        if self.recalibrations:
+            lines.append("")
+            lines.append("Dissenting confidences recalibrated:")
+            lines.append("")
+            for r in self.recalibrations:
+                lines.append(
+                    f"- {r.preset}: {r.element}.{r.attribute} "
+                    f"{r.before:.2f} -> {r.after:.2f}"
+                )
+        lines.append("")
+        return lines
+
+
+# ---------------------------------------------------------------------- #
+# value extraction                                                        #
+# ---------------------------------------------------------------------- #
+
+
+def _conclusive_numeric(av) -> float | None:
+    """A trustworthy numeric value (benchmarked or API), else None.
+
+    Inconclusive results (confidence 0 — bounds, honest non-claims) are
+    not claims and cannot vote; neither can absent or non-numeric values.
+    """
+    if av.source not in (Source.BENCHMARK, Source.API):
+        return None
+    if av.confidence <= 0.0 or av.value is None:
+        return None
+    if isinstance(av.value, bool) or not isinstance(av.value, (int, float)):
+        return None
+    return float(av.value)
+
+
+# ---------------------------------------------------------------------- #
+# per-group checks                                                        #
+# ---------------------------------------------------------------------- #
+
+
+def _warp_size_check(
+    key: str, entries: list["FleetEntry"], tolerance: float
+) -> FleetCheck:
+    presets = tuple(e.preset for e in entries)
+    warps = {e.preset: e.report.compute.warp_size for e in entries}
+    values = list(warps.values())
+    # The default tolerance is 0 (exact equality); an override widens the
+    # allowed spread between the smallest and largest reported warp.
+    if within_tolerance(float(min(values)), float(max(values)), tolerance):
+        return FleetCheck(
+            check=f"warp_size:{key}",
+            group=key,
+            status="pass",
+            detail=f"warp size {values[0]} across {len(entries)} presets",
+            presets=presets,
+        )
+    return FleetCheck(
+        check=f"warp_size:{key}",
+        group=key,
+        status="fail",
+        detail="; ".join(f"{p}: {w}" for p, w in sorted(warps.items())),
+        presets=presets,
+    )
+
+
+def _invariant_consensus(
+    key: str,
+    entries: list["FleetEntry"],
+    tolerances: dict[str, float],
+) -> tuple[list[FleetConsensus], list[FleetRecalibration]]:
+    """Confidence-weighted majority per invariant (element, attribute)."""
+    consensus_out: list[FleetConsensus] = []
+    recalibrations: list[FleetRecalibration] = []
+    elements = sorted({name for e in entries for name in e.report.memory})
+    for element in elements:
+        for attribute in INVARIANT_ATTRIBUTES:
+            tol = tolerances[attribute]
+            votes: list[tuple[str, float, Any]] = []  # (preset, value, av)
+            for e in entries:
+                if element not in e.report.memory:
+                    continue
+                av = e.report.memory[element].get(attribute)
+                value = _conclusive_numeric(av)
+                if value is not None:
+                    votes.append((e.preset, value, av))
+            if len(votes) < 2:
+                continue  # nothing to compare across devices
+            weights: dict[float, float] = {}
+            for _, value, av in votes:
+                weights[value] = weights.get(value, 0.0) + av.confidence
+            # Highest total confidence wins; ties go to the smaller value
+            # so the outcome never depends on dict iteration order.
+            winner = max(sorted(weights), key=lambda v: weights[v])
+            agreeing = tuple(
+                p for p, v, _ in votes if within_tolerance(v, winner, tol)
+            )
+            dissenting = tuple(
+                p for p, v, _ in votes if not within_tolerance(v, winner, tol)
+            )
+            consensus_out.append(
+                FleetConsensus(
+                    group=key,
+                    element=element,
+                    attribute=attribute,
+                    consensus=winner,
+                    weight=weights[winner],
+                    agreeing=agreeing,
+                    dissenting=dissenting,
+                )
+            )
+            for preset, value, av in votes:
+                if preset not in dissenting:
+                    continue
+                if av.source is not Source.BENCHMARK:
+                    continue  # API values are authoritative; never demoted
+                before = av.confidence
+                after = recalibrated_confidence(
+                    before, agreement_score(value, winner, tol)
+                )
+                if after != before:
+                    av.confidence = after
+                    recalibrations.append(
+                        FleetRecalibration(
+                            preset=preset,
+                            element=element,
+                            attribute=attribute,
+                            before=before,
+                            after=after,
+                        )
+                    )
+    return consensus_out, recalibrations
+
+
+def _ordering_checks(
+    key: str,
+    entries: list["FleetEntry"],
+    tolerances: dict[str, float],
+) -> list[FleetCheck]:
+    """Relative orderings of elements must agree across the group.
+
+    For every pair of memory elements every preset reports, each preset
+    classifies the pair as ``<``, ``>`` or a tie (values within the
+    attribute tolerance of each other).  A tie is compatible with either
+    ordering; only a hard ``<`` vs ``>`` contradiction fails.
+    """
+    checks: list[FleetCheck] = []
+    presets = tuple(e.preset for e in entries)
+    for attribute in ORDERING_ATTRIBUTES:
+        tol = tolerances[attribute]
+        per_preset: dict[str, dict[str, float]] = {}
+        for e in entries:
+            values = {}
+            for name, element in e.report.memory.items():
+                v = _conclusive_numeric(element.get(attribute))
+                if v is not None:
+                    values[name] = v
+            per_preset[e.preset] = values
+        common = sorted(set.intersection(*(set(v) for v in per_preset.values())))
+        check_id = f"ordering.{attribute}:{key}"
+        pairs_checked = 0
+        conflicts: list[tuple[str, str, dict[str, str]]] = []
+        for i, a in enumerate(common):
+            for b in common[i + 1 :]:
+                relations: dict[str, str] = {}
+                for preset, values in per_preset.items():
+                    va, vb = values[a], values[b]
+                    if within_tolerance(va, vb, tol):
+                        relations[preset] = "~"
+                    else:
+                        relations[preset] = "<" if va < vb else ">"
+                pairs_checked += 1
+                signs = set(relations.values())
+                if "<" in signs and ">" in signs:
+                    conflicts.append((a, b, relations))
+        if pairs_checked == 0:
+            checks.append(
+                FleetCheck(
+                    check=check_id,
+                    group=key,
+                    status="skip",
+                    detail=f"no common {attribute} values to order",
+                    presets=presets,
+                )
+            )
+        elif conflicts:
+            for a, b, relations in conflicts:
+                detail = "; ".join(
+                    f"{p}: {a} {r} {b}" for p, r in sorted(relations.items())
+                )
+                checks.append(
+                    FleetCheck(
+                        check=f"{check_id}:{a}-vs-{b}",
+                        group=key,
+                        status="fail",
+                        detail=detail,
+                        presets=presets,
+                    )
+                )
+        else:
+            checks.append(
+                FleetCheck(
+                    check=check_id,
+                    group=key,
+                    status="pass",
+                    detail=(
+                        f"{pairs_checked} element pairs consistently ordered "
+                        f"across {len(entries)} presets"
+                    ),
+                    presets=presets,
+                )
+            )
+    return checks
+
+
+def _revert_recalibrations(result: "FleetResult") -> None:
+    """Undo the previous judgement's confidence demotions.
+
+    Only confidences still carrying the recorded ``after`` value are
+    restored — a value touched since (e.g. by a re-measurement) is left
+    alone rather than clobbered with a stale ``before``.
+    """
+    for r in result.validation.recalibrations:
+        try:
+            entry = result.entry(r.preset)
+        except KeyError:
+            continue
+        if not entry.ok or r.element not in entry.report.memory:
+            continue
+        av = entry.report.memory[r.element].get(r.attribute)
+        if av.confidence == r.after:
+            av.confidence = r.before
+
+
+# ---------------------------------------------------------------------- #
+# the fleet judgement pass                                                #
+# ---------------------------------------------------------------------- #
+
+
+def run_fleet_checks(
+    result: "FleetResult",
+    tolerances: dict[str, float] | None = None,
+) -> FleetValidation:
+    """Judge a fleet: group by (vendor, microarchitecture) and compare.
+
+    Only successful entries participate (error entries already fail the
+    fleet through their own verdict); a group with a single member has
+    nothing to compare and records a skip.  Dissenting presets have their
+    attribute confidences recalibrated in place (mutating their reports,
+    exactly like the single-device validator does).  The returned
+    :class:`FleetValidation` is also stored on ``result.validation``.
+
+    Re-judging an already-judged fleet is idempotent: the previous
+    pass's recalibrations are reverted first, so repeated calls cannot
+    compound a dissenter's demotion or shift the consensus weights.
+    """
+    tol = {**FLEET_TOLERANCES, **(tolerances or {})}
+    if result.validation is not None:
+        _revert_recalibrations(result)
+    entries = [e for e in result.entries if e.ok]
+    grouped: dict[str, list] = {}
+    for e in entries:
+        key = f"{e.report.general.vendor}/{e.report.general.microarchitecture}"
+        grouped.setdefault(key, []).append(e)
+
+    checks: list[FleetCheck] = []
+    consensus: list[FleetConsensus] = []
+    recalibrations: list[FleetRecalibration] = []
+    for key in sorted(grouped):
+        members = grouped[key]
+        presets = tuple(e.preset for e in members)
+        if len(members) < 2:
+            checks.append(
+                FleetCheck(
+                    check=f"group:{key}",
+                    group=key,
+                    status="skip",
+                    detail="single preset in group; nothing to compare",
+                    presets=presets,
+                )
+            )
+            continue
+        checks.append(_warp_size_check(key, members, tol["warp_size"]))
+        group_consensus, group_recals = _invariant_consensus(key, members, tol)
+        consensus.extend(group_consensus)
+        recalibrations.extend(group_recals)
+        checks.extend(_ordering_checks(key, members, tol))
+
+    ok = all(c.passed for c in checks) and all(c.passed for c in consensus)
+    validation = FleetValidation(
+        verdict="pass" if ok else "fail",
+        groups={k: tuple(e.preset for e in grouped[k]) for k in sorted(grouped)},
+        checks=checks,
+        consensus=consensus,
+        recalibrations=recalibrations,
+    )
+    result.validation = validation
+    return validation

@@ -40,7 +40,7 @@ __all__ = [
 
 #: Relative tolerance per cross-checked attribute (paper Table III shows
 #: single-digit-percent deltas for sizes, wider spreads for latency and
-#: bandwidth; line/granularity/amount values are exact by nature).
+#: bandwidth; line/granularity/amount/sharing values are exact by nature).
 DEFAULT_TOLERANCES: dict[str, float] = {
     "size": 0.05,
     "load_latency": 0.15,
@@ -49,6 +49,7 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     "read_bandwidth": 0.10,
     "write_bandwidth": 0.10,
     "amount": 0.0,
+    "shared_with": 0.0,
 }
 
 #: Re-measurements triggered per validation pass are bounded: escalation
@@ -60,12 +61,17 @@ Escalator = Callable[[str, str], "MeasurementResult | None"]
 
 @dataclass
 class CrossCheck:
-    """One benchmark-vs-reference comparison (a Table I/III delta)."""
+    """One benchmark-vs-reference comparison (a Table I/III delta).
+
+    ``measured``/``reference`` are floats for value checks; *protocol*
+    checks (``shared_with``) carry partner tuples instead, with a 0/1
+    ``rel_error`` standing in for match/mismatch.
+    """
 
     element: str
     attribute: str
-    measured: float
-    reference: float
+    measured: Any
+    reference: Any
     reference_source: str
     rel_error: float
     tolerance: float
@@ -76,11 +82,14 @@ class CrossCheck:
         return self.status == "pass"
 
     def as_dict(self) -> dict[str, Any]:
+        def plain(v: Any) -> Any:
+            return list(v) if isinstance(v, tuple) else v
+
         return {
             "element": self.element,
             "attribute": self.attribute,
-            "measured": self.measured,
-            "reference": self.reference,
+            "measured": plain(self.measured),
+            "reference": plain(self.reference),
             "reference_source": self.reference_source,
             "rel_error": round(self.rel_error, 6),
             "tolerance": self.tolerance,
@@ -247,6 +256,40 @@ def reference_for(
     return None
 
 
+def _sharing_cross_check(
+    report: TopologyReport, spec: GPUSpec, element: str, measured: tuple
+) -> CrossCheck | None:
+    """Protocol check: measured physical-sharing partners vs spec groups.
+
+    The spec's physical-id groups are the reference (the paper validates
+    sharing against whitepaper block diagrams).  Expected partners are
+    restricted to elements that actually ran the sharing protocol —
+    an element excluded from the benchmark cannot appear as a partner.
+    """
+    if not spec.has_cache(element):
+        return None
+    participants = {
+        name
+        for name, el in report.memory.items()
+        if el.get("shared_with").source is Source.BENCHMARK
+        and isinstance(el.get("shared_with").value, (tuple, list))
+    }
+    group = spec.sharing_groups()[spec.cache(element).effective_physical_id]
+    expected = tuple(sorted((set(group) - {element}) & participants))
+    got = tuple(sorted(str(v) for v in measured))
+    ok = got == expected
+    return CrossCheck(
+        element=element,
+        attribute="shared_with",
+        measured=got,
+        reference=expected,
+        reference_source="spec: physical sharing groups",
+        rel_error=0.0 if ok else 1.0,
+        tolerance=0.0,
+        status="pass" if ok else "fail",
+    )
+
+
 def run_cross_checks(
     report: TopologyReport,
     spec: GPUSpec,
@@ -264,6 +307,14 @@ def run_cross_checks(
             if av.confidence <= 0.0:
                 # Inconclusive values (lower bounds, paper's honesty
                 # marker) are not claims; there is nothing to cross-check.
+                continue
+            if attribute == "shared_with":
+                # Protocol result: a partner tuple on NVIDIA (the AMD
+                # CU-map has no spec-side reference and is skipped).
+                if isinstance(av.value, (tuple, list)):
+                    cc = _sharing_cross_check(report, spec, name, tuple(av.value))
+                    if cc is not None:
+                        out.append(cc)
                 continue
             if isinstance(av.value, bool) or not isinstance(av.value, (int, float)):
                 continue
@@ -293,28 +344,51 @@ def run_cross_checks(
 # ---------------------------------------------------------------------- #
 
 
+#: Attributes whose cross-check is a protocol match, not a numeric delta.
+_PROTOCOL_ATTRIBUTES = ("amount", "shared_with")
+
+
 def _escalation_targets(
     checks: list[CheckResult], crosses: list[CrossCheck]
 ) -> list[tuple[str, str, str]]:
-    """Ordered unique (element, attribute, reason) triples to re-measure."""
+    """Ordered unique (element, attribute, reason) triples to re-measure.
+
+    Value checks (size, latency, bandwidth) come first: repairing an
+    upstream value (a corrected size un-thrashes the dependent latency
+    ring) is worth more of the bounded escalation budget than a protocol
+    re-run.  Failing *protocol* checks (amount, shared_with) follow with
+    a protocol-specific reason, then structurally implicated attributes.
+    """
     targets: list[tuple[str, str, str]] = []
     seen: set[tuple[str, str]] = set()
-    for cc in crosses:
-        if cc.passed:
-            continue
-        key = (cc.element, cc.attribute)
+
+    def add(element: str, attribute: str, reason: str) -> None:
+        key = (element, attribute)
         if key not in seen:
             seen.add(key)
-            targets.append(
-                (*key, f"cross-check delta {cc.rel_error:.1%} > {cc.tolerance:.0%}")
-            )
+            targets.append((element, attribute, reason))
+
+    for cc in crosses:
+        if cc.passed or cc.attribute in _PROTOCOL_ATTRIBUTES:
+            continue
+        add(
+            cc.element,
+            cc.attribute,
+            f"cross-check delta {cc.rel_error:.1%} > {cc.tolerance:.0%}",
+        )
+    for cc in crosses:
+        if cc.passed or cc.attribute not in _PROTOCOL_ATTRIBUTES:
+            continue
+        add(
+            cc.element,
+            cc.attribute,
+            f"protocol check disagrees with {cc.reference_source}",
+        )
     for check in checks:
         if check.status != "fail":
             continue
-        for key in check.implicated:
-            if key not in seen:
-                seen.add(key)
-                targets.append((*key, f"structural check {check.check} failed"))
+        for element, attribute in check.implicated:
+            add(element, attribute, f"structural check {check.check} failed")
     return targets
 
 
@@ -391,9 +465,12 @@ def validate_report(
     for cc in crosses:
         av = report.memory[cc.element].get(cc.attribute)
         before = av.confidence
-        after = recalibrated_confidence(
-            before, agreement_score(cc.measured, cc.reference, cc.tolerance)
-        )
+        if isinstance(cc.measured, (int, float)):
+            agreement = agreement_score(cc.measured, cc.reference, cc.tolerance)
+        else:
+            # Protocol results have no numeric delta: agreement is binary.
+            agreement = 1.0 if cc.passed else 0.0
+        after = recalibrated_confidence(before, agreement)
         if after != before:
             av.confidence = after
             recalibrations.append(

@@ -207,3 +207,41 @@ class TestFleetCLI:
         rc = main(["fleet", "--gpu", "NoSuchGPU", "--sequential", "-q"])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+    def test_fleet_json_includes_fleet_validation(self, capsys):
+        rc = main([
+            "fleet", "--gpu", "TestGPU-NV", "--gpu", "TestGPU-NV-2SEG",
+            "--sequential", "-q",
+        ])
+        assert rc == 0
+        fleet = json.loads(capsys.readouterr().out)
+        assert fleet["fleet_validation"]["verdict"] == "pass"
+        assert fleet["fleet_validation"]["groups"] == {
+            "NVIDIA/Hopper": ["TestGPU-NV", "TestGPU-NV-2SEG"]
+        }
+
+    def test_fleet_exit_2_on_cross_device_disagreement(self, capsys, monkeypatch):
+        import repro.validate.fleet as fleet_mod
+
+        real = fleet_mod.discover_fleet
+
+        def rigged(*args, **kwargs):
+            result = real(*args, **kwargs)
+            # forge a cross-device disagreement: one preset's measured
+            # cache line dissents from the microarchitecture consensus
+            entry = result.entry("TestGPU-NV-2SEG")
+            entry.report.memory["L1"].get("cache_line_size").value = 128
+            result.validate()
+            return result
+
+        monkeypatch.setattr(fleet_mod, "discover_fleet", rigged)
+        rc = fleet_main([
+            "--gpu", "TestGPU-NV", "--gpu", "TestGPU-NV-2SEG", "--sequential",
+        ])
+        assert rc == 2
+        captured = capsys.readouterr()
+        # every per-preset verdict still passes: the non-zero exit comes
+        # from the fleet-level judge alone
+        assert "fleet validation FAILED" in captured.err
+        assert "NVIDIA/Hopper:L1.cache_line_size" in captured.err
+        assert "Verdict: **fail**" in captured.out

@@ -115,3 +115,61 @@ class TestFleetResult:
         assert "error: sim crashed" in result.to_markdown()
         with pytest.raises(KeyError):
             result.entry("NeverRan")
+
+    def test_empty_error_entry_still_renders_text(self):
+        # an entry built with an empty error string (ok is False either
+        # way) must not print a blank "error: " cell
+        result = discover_fleet(["TestGPU-AMD"], seed=0, validate=False, parallel=False)
+        result.entries.append(FleetEntry("BrokenGPU", 0, None, 0.1, error=""))
+        assert "error: unknown error" in result.to_markdown()
+
+    def test_zero_values_render_as_values_not_missing(self):
+        # a legitimately-zero attribute is a value, not a missing cell
+        result = discover_fleet(["TestGPU-AMD"], seed=0, validate=False, parallel=False)
+        report = result.entry("TestGPU-AMD").report
+        report.memory["vL1"].get("size").value = 0
+        report.memory["DeviceMemory"].get("load_latency").value = 0.0
+        report.memory["DeviceMemory"].get("read_bandwidth").value = 0.0
+        row = result.comparison_matrix()[0]
+        assert row["first_level_size"] == 0
+        assert row["dram_latency_cycles"] == 0.0
+        md_row = next(
+            line for line in result.to_markdown().splitlines()
+            if line.startswith("| TestGPU-AMD |")
+        )
+        assert "| 0 B |" in md_row
+        assert "| 0 cyc |" in md_row
+        assert "| 0 B/s |" in md_row
+        assert "| — |" not in md_row
+
+    def test_fleet_validation_attached_when_validating(self, concurrent):
+        assert concurrent.validation is not None
+        assert concurrent.validation.verdict == "pass"
+        assert "fleet_validation" in concurrent.as_dict()
+        assert "## Fleet Validation" in concurrent.to_markdown()
+
+
+class TestErrorFallback:
+    def test_worker_empty_exception_message_falls_back_to_type(self, monkeypatch):
+        import repro.validate.fleet as fleet_mod
+
+        class ExplodingGPU:
+            def __init__(self, *a, **k):
+                raise ValueError()  # deliberately message-less
+
+        monkeypatch.setattr(fleet_mod, "SimulatedGPU", ExplodingGPU)
+        name, report, wall, error = _discover_one(
+            "TestGPU-AMD", 0, "PreferL1", "analytic", False
+        )
+        assert report is None and error == "ValueError"
+
+    def test_sequential_loop_empty_message_falls_back_to_type(self, monkeypatch):
+        import repro.validate.fleet as fleet_mod
+
+        def boom(preset, seed, cache_config, engine, validate):
+            raise RuntimeError()  # deliberately message-less
+
+        monkeypatch.setattr(fleet_mod, "_discover_one", boom)
+        result = discover_fleet(["TestGPU-AMD"], seed=0, parallel=False)
+        assert result.entry("TestGPU-AMD").error == "RuntimeError"
+        assert "error: RuntimeError" in result.to_markdown()

@@ -147,6 +147,32 @@ class TestOutliers:
     def test_short_series_no_outliers(self):
         assert not find_outliers(np.array([1.0, 99.0])).any()
 
+    def test_series_shorter_than_five_never_flags(self):
+        # below 5 points median/MAD is meaningless; even a blatant spike
+        # must not be flagged (and scrubbing must be the identity)
+        series = np.array([1.0, 1.0, 500.0, 1.0])
+        assert not find_outliers(series).any()
+        assert (scrub_outliers(series) == series).all()
+
+    def test_adjacent_spikes_are_not_isolated(self):
+        # two hot neighbours are a level feature (a cache cliff), not a
+        # disturbance: neither may be flagged or scrubbed
+        series = np.ones(50)
+        series[20] = 100.0
+        series[21] = 100.0
+        assert not find_outliers(series).any()
+        assert (scrub_outliers(series) == series).all()
+
+    def test_adjacent_spike_pair_with_isolated_spike(self):
+        # the isolated spike is flagged, the adjacent pair survives
+        series = np.ones(60)
+        series[10] = 100.0  # isolated
+        series[30] = 100.0  # adjacent pair
+        series[31] = 100.0
+        mask = find_outliers(series)
+        assert mask[10] and not mask[30] and not mask[31]
+        assert mask.sum() == 1
+
     def test_constant_series(self):
         assert not find_outliers(np.full(20, 7.0)).any()
 
@@ -162,6 +188,19 @@ class TestOutliers:
             near_interval_edge(5, 0)
         with pytest.raises(ValueError):
             near_interval_edge(100, 100)
+
+    def test_short_sweep_is_all_edge(self):
+        # the minimum 2-index margin covers a <=4 point sweep entirely:
+        # every change point there means "widen the interval"
+        for length in (1, 2, 3, 4):
+            assert all(
+                near_interval_edge(i, length) for i in range(length)
+            ), f"length {length}"
+
+    def test_five_point_sweep_has_one_interior_index(self):
+        assert [near_interval_edge(i, 5) for i in range(5)] == [
+            True, True, False, True, True,
+        ]
 
 
 class TestDescriptive:

@@ -60,6 +60,17 @@ class TestFormatSize:
     def test_bytes(self):
         assert format_size(512) == "512 B"
 
+    def test_zero(self):
+        assert format_size(0) == "0 B"
+
+    def test_fractional_bytes_not_truncated(self):
+        # the B fallback used to floor 512.5 down to "512 B"
+        assert format_size(512.5) == "512.50 B"
+        assert format_size(0.25) == "0.25 B"
+
+    def test_near_integral_bytes_stay_integral(self):
+        assert format_size(512.0) == "512 B"
+
     def test_gib(self):
         assert format_size(80 * GiB) == "80 GiB"
 
@@ -74,8 +85,33 @@ class TestFormatters:
     def test_bandwidth_gib(self):
         assert format_bandwidth(100 * 1024**3) == "100.0 GiB/s"
 
+    def test_bandwidth_mib(self):
+        # used to render as a misleading "0.0 GiB/s"
+        assert format_bandwidth(512 * 1024**2) == "512.0 MiB/s"
+
+    def test_bandwidth_kib(self):
+        assert format_bandwidth(8 * 1024) == "8.0 KiB/s"
+
+    def test_bandwidth_bytes(self):
+        assert format_bandwidth(42.0) == "42 B/s"
+        assert format_bandwidth(0.0) == "0 B/s"
+
+    def test_bandwidth_tier_boundaries(self):
+        assert format_bandwidth(1024.0**3) == "1.0 GiB/s"
+        assert format_bandwidth(1024.0**3 - 1) == "1024.0 MiB/s"
+        assert format_bandwidth(1024.0**2 - 1) == "1024.0 KiB/s"
+
     def test_latency(self):
         assert format_latency_cycles(37.6) == "38 cyc"
+
+
+def test_units_doctests():
+    import doctest
+
+    import repro.units
+
+    failures, tested = doctest.testmod(repro.units)
+    assert failures == 0 and tested > 0
 
 
 class TestPowerOfTwo:

@@ -19,6 +19,7 @@ from repro.gpuspec.presets import get_preset
 from repro.pchase.config import PChaseConfig
 from repro.stats.compare import (
     agreement_score,
+    majority_index,
     median_index,
     recalibrated_confidence,
     relative_error,
@@ -118,6 +119,15 @@ class TestCompare:
         assert median_index([9.0, 1.0, 5.0]) == 2
         with pytest.raises(ValueError):
             median_index([])
+
+    def test_majority_index(self):
+        assert majority_index(["a"]) == 0
+        assert majority_index(["a", "b", "b"]) == 1
+        # ties go to the earliest-seen key
+        assert majority_index(["a", "b"]) == 0
+        assert majority_index(["b", "a", "b", "a"]) == 0
+        with pytest.raises(ValueError):
+            majority_index([])
 
 
 # ---------------------------------------------------------------------- #
@@ -304,6 +314,53 @@ class TestCrossChecks:
         )
         assert run_cross_checks(report, spec) == []
 
+    def test_sharing_protocol_cross_check(self):
+        # L1/Texture share the l1tex silicon, ConstL1 has its own cache:
+        # the measured partner tuples are judged against the spec groups
+        spec = get_preset("TestGPU-NV")
+        report = make_report(
+            memory={
+                "L1": {"shared_with": _attr(("Texture",), "elements")},
+                "Texture": {"shared_with": _attr(("L1",), "elements")},
+                "ConstL1": {"shared_with": _attr(("L1",), "elements")},
+            }
+        )
+        crosses = {
+            (c.element, c.attribute): c for c in run_cross_checks(report, spec)
+        }
+        assert crosses[("L1", "shared_with")].passed
+        assert crosses[("Texture", "shared_with")].passed
+        bad = crosses[("ConstL1", "shared_with")]
+        assert not bad.passed and bad.rel_error == 1.0
+        assert bad.reference == ()  # ConstL1 shares with nobody
+        assert bad.reference_source == "spec: physical sharing groups"
+
+    def test_sharing_reference_restricted_to_participants(self):
+        # Readonly never ran the protocol here, so it cannot be expected
+        # as a partner even though the spec routes it through l1tex
+        spec = get_preset("TestGPU-NV")
+        report = make_report(
+            memory={
+                "L1": {"shared_with": _attr(("Texture",), "elements")},
+                "Texture": {"shared_with": _attr(("L1",), "elements")},
+                "Readonly": {"size": _attr(4096)},
+            }
+        )
+        crosses = {
+            (c.element, c.attribute): c for c in run_cross_checks(report, spec)
+        }
+        assert crosses[("L1", "shared_with")].passed
+
+    def test_flaky_sharing_result_is_not_cross_checked(self):
+        # confidence 0 (split repetition votes) is not a claim
+        spec = get_preset("TestGPU-NV")
+        report = make_report(
+            memory={
+                "L1": {"shared_with": _attr(("ConstL1",), "elements", confidence=0.0)},
+            }
+        )
+        assert run_cross_checks(report, spec) == []
+
 
 # ---------------------------------------------------------------------- #
 # the full validation pass                                                #
@@ -392,6 +449,117 @@ class TestValidatePass:
             "recalibrations",
         }
         json.dumps(d)  # must be serialisable as-is
+
+
+# ---------------------------------------------------------------------- #
+# protocol re-measurement escalation (amount, shared_with)                 #
+# ---------------------------------------------------------------------- #
+
+
+class TestProtocolEscalation:
+    def _discovered(self, preset="TestGPU-NV"):
+        tool = MT4G(SimulatedGPU.from_preset(preset, seed=0))
+        return tool, tool.discover()
+
+    def test_seeded_amount_failure_is_remeasured(self):
+        tool, report = self._discovered()
+        report.memory["L1"].set(
+            "amount", AttributeValue(3, "count", 0.9, Source.BENCHMARK)
+        )
+        v = tool.validate(report)
+        rec = next(
+            e for e in v.escalations if (e.element, e.attribute) == ("L1", "amount")
+        )
+        assert rec.resolved and rec.old_value == 3 and rec.new_value == 1
+        assert v.passed
+        av = report.attribute("L1", "amount")
+        assert av.value == 1
+        assert "full eviction protocol" in av.note
+
+    def test_seeded_sharing_failure_is_remeasured(self):
+        tool, report = self._discovered()
+        report.memory["L1"].set(
+            "shared_with",
+            AttributeValue(("ConstL1",), "elements", 0.9, Source.BENCHMARK),
+        )
+        v = tool.validate(report)
+        rec = next(
+            e
+            for e in v.escalations
+            if (e.element, e.attribute) == ("L1", "shared_with")
+        )
+        assert rec.resolved
+        assert rec.old_value == ("ConstL1",)
+        assert rec.new_value == ("Readonly", "Texture")
+        assert v.passed
+        assert "majority" in report.attribute("L1", "shared_with").note
+        assert "protocol check disagrees" in rec.reason
+
+    def test_l2_segment_miscount_is_remeasured(self):
+        # TestGPU-NV-2SEG has two L2 segments; a seeded miscount must be
+        # repaired by replaying the segment sweep + API alignment
+        tool, report = self._discovered("TestGPU-NV-2SEG")
+        old = report.attribute("L2", "amount")
+        assert old.value == 2
+        report.memory["L2"].set(
+            "amount", AttributeValue(5, "count", 0.9, Source.BENCHMARK)
+        )
+        v = tool.validate(report)
+        rec = next(
+            e for e in v.escalations if (e.element, e.attribute) == ("L2", "amount")
+        )
+        assert rec.resolved and rec.new_value == 2
+        assert v.passed
+
+    def test_sharing_matrix_reused_across_escalated_elements(self, monkeypatch):
+        # the pairwise protocol measures the whole matrix at once: two
+        # escalated elements must share one matrix per seed, not re-run it
+        import repro.core.tool as tool_mod
+
+        tool, report = self._discovered()
+        for el in ("L1", "Texture"):
+            report.memory[el].set(
+                "shared_with",
+                AttributeValue(("ConstL1",), "elements", 0.9, Source.BENCHMARK),
+            )
+        calls = []
+        real = tool_mod.measure_sharing_nvidia
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(tool_mod, "measure_sharing_nvidia", counting)
+        v = tool.validate(report)
+        resolved = [e for e in v.escalations if e.attribute == "shared_with"]
+        assert len(resolved) == 2 and all(e.resolved for e in resolved)
+        assert v.passed
+        # 3 escalation seeds x 2 elements, but only 3 matrix runs
+        assert len(calls) == 3
+
+    def test_amd_sl1d_sharing_has_remeasurement_path(self):
+        device = SimulatedGPU.from_preset("TestGPU-AMD", seed=0)
+        tool = MT4G(device)
+        tool.discover()
+        ctx = tool._escalation_context(1009)
+        m = tool._remeasure_sharing(ctx, "sL1d")
+        assert m is not None and m.unit == "cu-map" and m.conclusive
+
+    def test_protocol_paths_refuse_unmeasurable_elements(self):
+        device = SimulatedGPU.from_preset("TestGPU-NV", seed=0)
+        tool = MT4G(device)
+        tool.discover()
+        ctx = tool._escalation_context(1009)
+        # the constant bank caps eviction probing (paper Section III-C)
+        assert tool._remeasure_amount(ctx, "ConstL1.5") is None
+        assert tool._remeasure_sharing(ctx, "L2") is None
+
+    def test_amd_l2_amount_is_api_and_not_remeasured(self):
+        device = SimulatedGPU.from_preset("TestGPU-AMD", seed=0)
+        tool = MT4G(device)
+        tool.discover()
+        ctx = tool._escalation_context(1009)
+        assert tool._remeasure_amount(ctx, "L2") is None
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,96 @@
+"""Cold vs. warm-cache discovery walls (the cache subsystem's record).
+
+Runs a full discovery per paper preset against a fresh content-addressed
+store (cold: measure + store), repeats it (warm: served from the store),
+and records both walls to ``BENCH_cache.json`` at the repository root:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cache.py -q -s
+
+Asserted invariants (the acceptance bar of the caching work):
+
+* warm-cache rediscovery is at least 10x faster than cold on every
+  preset (in practice it is a hash lookup + unpickle, thousands of x);
+* the cached, cold, analytic and exact reports are byte-identical
+  (provenance meta aside — a hit legitimately knows it was a hit).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import MT4G, DiscoveryCache, SimulatedGPU
+from repro.pchase.config import PChaseConfig
+
+SEED = 42
+PRESETS = ("A100", "H100-80", "MI210")
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+#: Warm-cache rediscovery must beat cold discovery at least this much.
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _content(report) -> str:
+    return json.dumps(report.content_dict(), default=str, sort_keys=True)
+
+
+def _discover(preset: str, engine: str, store: DiscoveryCache | None):
+    device = SimulatedGPU.from_preset(preset, seed=SEED)
+    tool = MT4G(device, config=PChaseConfig(engine=engine), cache=store)
+    start = time.perf_counter()
+    report = tool.discover()
+    return report, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def results():
+    out: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for preset in PRESETS:
+            store = DiscoveryCache(Path(tmp) / preset)
+            cold_report, cold_wall = _discover(preset, "analytic", store)
+            warm_report, warm_wall = _discover(preset, "analytic", store)
+            plain_report, _ = _discover(preset, "analytic", None)
+            exact_report, _ = _discover(preset, "exact", None)
+            reference = _content(plain_report)
+            out[preset] = {
+                "seed": SEED,
+                "cold_wall_seconds": round(cold_wall, 4),
+                "warm_wall_seconds": round(warm_wall, 6),
+                "warm_speedup": round(cold_wall / warm_wall, 1),
+                "cold_cache_status": cold_report.meta["cache"]["status"],
+                "warm_cache_status": warm_report.meta["cache"]["status"],
+                "reports_identical": (
+                    _content(cold_report) == reference
+                    and _content(warm_report) == reference
+                    and _content(exact_report) == reference
+                ),
+            }
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    return out
+
+
+def test_cached_cold_analytic_exact_reports_identical(results):
+    for preset, r in results.items():
+        assert r["reports_identical"], f"{preset}: cached/cold/analytic/exact differ"
+        assert r["cold_cache_status"] == "miss"
+        assert r["warm_cache_status"] == "hit"
+
+
+def test_warm_cache_rediscovery_speedup(results):
+    print(f"\n=== cold vs warm-cache discovery (seed {SEED}) -> {OUT_PATH.name} ===")
+    for preset, r in results.items():
+        print(
+            f"{preset:>8}: cold {r['cold_wall_seconds']:6.2f}s"
+            f"  warm {r['warm_wall_seconds']:8.4f}s"
+            f"  speedup {r['warm_speedup']:8.1f}x"
+        )
+    for preset, r in results.items():
+        assert r["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+            f"{preset}: warm cache only {r['warm_speedup']}x faster "
+            f"(floor {MIN_WARM_SPEEDUP}x)"
+        )

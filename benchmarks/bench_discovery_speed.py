@@ -8,9 +8,12 @@ the results to ``BENCH_discovery.json`` at the repository root:
     PYTHONPATH=src python -m pytest benchmarks/bench_discovery_speed.py -q -s
 
 The JSON carries, per preset: wall seconds for both engines, the
-speedup, the simulated GPU seconds of the Section V-A run-time model and
+speedup, the simulated GPU seconds of the Section V-A run-time model,
 the equivalence verdict — the before/after record the ROADMAP's
-performance section points at.
+performance section points at — and the warm-reuse accounting of the
+fresh p-chase probes: how many executed a real flush + full warm versus
+extending (growing probe) or truncating (binary-descent probe) the
+previous fixed point, with and without the descent (shrink) reuse path.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import pytest
 
 from repro import MT4G, SimulatedGPU
 from repro.pchase.config import PChaseConfig
+from repro.pchase.runner import PChaseRunner
 
 SEED = 42
 PRESETS = ("A100", "H100-80", "MI210")
@@ -41,21 +45,41 @@ MIN_SPEEDUP = 3.0
 SEED_BASELINE_WALL = {"A100": 10.95, "H100-80": 11.93, "MI210": 26.42}
 
 
-def _timed_discovery(preset: str, engine: str) -> tuple[dict, float, float]:
+def _timed_discovery(preset: str, engine: str) -> tuple[dict, float, float, dict]:
     device = SimulatedGPU.from_preset(preset, seed=SEED)
     tool = MT4G(device, config=PChaseConfig(engine=engine))
     start = time.perf_counter()
     report = tool.discover()
     wall = time.perf_counter() - start
-    return report.as_dict(), wall, device.elapsed_seconds()
+    return report.as_dict(), wall, device.elapsed_seconds(), dict(tool.ctx.runner.stats)
+
+
+def _descent_stats_without_shrink_reuse(preset: str) -> dict:
+    """Warm-reuse accounting with the descent path disabled (the
+    pre-truncation behaviour: a shrinking probe falls back to flush +
+    full warm) — the "before" half of the before/after record."""
+    original = PChaseRunner._incremental_from
+
+    def legacy(self, key, nbytes):
+        warmed = original(self, key, nbytes)
+        if warmed is not None and warmed > nbytes:
+            return None
+        return warmed
+
+    PChaseRunner._incremental_from = legacy
+    try:
+        *_, stats = _timed_discovery(preset, "analytic")
+    finally:
+        PChaseRunner._incremental_from = original
+    return stats
 
 
 @pytest.fixture(scope="module")
 def results():
     out: dict[str, dict] = {}
     for preset in PRESETS:
-        exact_report, exact_wall, exact_sim = _timed_discovery(preset, "exact")
-        analytic_report, analytic_wall, analytic_sim = _timed_discovery(
+        exact_report, exact_wall, exact_sim, _ = _timed_discovery(preset, "exact")
+        analytic_report, analytic_wall, analytic_sim, probe_stats = _timed_discovery(
             preset, "analytic"
         )
         identical = json.dumps(analytic_report, default=str, sort_keys=True) == (
@@ -74,6 +98,10 @@ def results():
             else None,
             "simulated_gpu_seconds": analytic_sim,
             "reports_identical": identical,
+            "probe_warms": probe_stats,
+            "probe_warms_without_shrink_reuse": _descent_stats_without_shrink_reuse(
+                preset
+            ),
         }
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     return out
@@ -108,3 +136,32 @@ def test_simulated_runtime_model_recorded(results):
     """
     for preset, r in results.items():
         assert r["simulated_gpu_seconds"] > 0
+
+
+def test_descent_probes_reuse_warm_state(results):
+    """Binary-descent probes no longer trigger flush + full warm.
+
+    With the shrink path on, descending probes truncate the warmed fixed
+    point; with it off (the pre-truncation behaviour) every one of those
+    probes pays a flush + full re-warm instead.
+    """
+    print("\n=== fresh-probe warm accounting (full/suffix/shrink) ===")
+    for preset, r in results.items():
+        now, before = r["probe_warms"], r["probe_warms_without_shrink_reuse"]
+        print(
+            f"{preset:>8}: with reuse {now['full_warms']}/{now['suffix_warms']}"
+            f"/{now['shrink_warms']}"
+            f"   without shrink reuse {before['full_warms']}"
+            f"/{before['suffix_warms']}/{before['shrink_warms']}"
+        )
+    for preset, r in results.items():
+        now, before = r["probe_warms"], r["probe_warms_without_shrink_reuse"]
+        assert now["shrink_warms"] > 0, f"{preset}: descent never reused warm state"
+        assert before["shrink_warms"] == 0
+        assert now["full_warms"] < before["full_warms"], (
+            f"{preset}: shrink reuse did not reduce flush + full warms "
+            f"({now['full_warms']} vs {before['full_warms']})"
+        )
+        # Identical probe population either way — reuse only changes how
+        # the warm state is reached, never how many probes run.
+        assert now["fresh_runs"] == before["fresh_runs"]

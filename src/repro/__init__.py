@@ -17,6 +17,7 @@ Quickstart::
     print(report.attribute("L1", "size").rendered())
 """
 
+from repro.cache.store import DiscoveryCache
 from repro.core.report import TopologyReport
 from repro.core.tool import MT4G
 from repro.gpusim.device import SimulatedGPU
@@ -26,6 +27,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "MT4G",
+    "DiscoveryCache",
     "SimulatedGPU",
     "TopologyReport",
     "available_presets",

@@ -1,0 +1,76 @@
+"""Spec-derived discovery-cost estimates and LPT scheduling.
+
+A fleet pool's makespan is governed by when the *longest* job starts:
+submitting presets in input order can strand a 3-second MI210 discovery
+behind an already-drained queue.  Ordering jobs longest-first
+(longest-processing-time-first, the classic 4/3-approximation for
+minimum makespan on identical machines) fixes that.
+
+Job lengths come from the cache's ``stats.json`` sidecar when previous
+runs recorded them; presets never seen before fall back to a spec-derived
+estimate.  The estimate is *relative* (arbitrary units): benchmark count
+scales with the number of cache levels, sweep work scales with the log
+of each capacity (doubling ascent + bounded binary descent + a
+budget-capped sweep), and the NVIDIA pipeline adds the constant-cache
+pair and the pairwise sharing matrix.  When both sources appear in one
+schedule the estimates are calibrated onto the recorded scale via the
+median recorded-wall/estimate ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import median
+from typing import Mapping, Sequence
+
+__all__ = ["estimate_discovery_cost", "schedule_order"]
+
+
+def estimate_discovery_cost(spec) -> float:
+    """Relative cost of one full discovery of ``spec`` (arbitrary units)."""
+    # Fixed overhead: API reads, DRAM latency/bandwidth, report assembly.
+    cost = 5.0
+    for cache in spec.caches:
+        # FG + size + latency + line + amount per level; sweep work grows
+        # with the capacity's magnitude, eviction work with segmentation.
+        cost += math.log2(max(cache.size, 2.0)) + 0.5 * cache.segments
+    cost += 0.5 * math.log2(max(spec.memory.size, 2.0))
+    if spec.vendor.value == "NVIDIA":
+        # Constant pair (latency bands + two size sweeps) and the
+        # pairwise physical-sharing matrix.
+        cost += 12.0
+    return cost
+
+
+def schedule_order(
+    names: Sequence[str],
+    recorded_walls: Mapping[str, float],
+    estimates: Mapping[str, float],
+) -> list[str]:
+    """``names`` reordered longest-first (LPT), deterministically.
+
+    Recorded walls win over estimates; estimates are calibrated onto the
+    recorded scale when both kinds appear.  Ties (and equal costs) keep
+    the input order, so the schedule is stable run to run.
+    """
+    usable = {
+        n: float(w)
+        for n, w in recorded_walls.items()
+        if isinstance(w, (int, float)) and w > 0
+    }
+    scale = 1.0
+    ratios = [
+        usable[n] / estimates[n]
+        for n in names
+        if n in usable and estimates.get(n, 0) > 0
+    ]
+    if ratios:
+        scale = median(ratios)
+
+    def cost(name: str) -> float:
+        if name in usable:
+            return usable[name]
+        return float(estimates.get(name, 0.0)) * scale
+
+    index = {name: i for i, name in enumerate(names)}
+    return sorted(names, key=lambda n: (-cost(n), index[n]))

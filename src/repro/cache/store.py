@@ -1,0 +1,272 @@
+"""The on-disk content-addressed store.
+
+Layout under the cache root (default ``~/.cache/mt4g``)::
+
+    <root>/entries/<key[:2]>/<key>.pkl   # immutable pickled payloads
+    <root>/stats.json                    # per-preset wall-time sidecar
+
+Design constraints, in order:
+
+* **a cache must never sink a run** — every filesystem or
+  deserialisation failure degrades to a miss (reads) or a no-op
+  (writes); the tool then simply measures;
+* **concurrent fleet workers share one store** — entries land via
+  write-to-temp + atomic ``os.replace``; two workers computing the same
+  key write byte-identical payloads, so last-rename-wins is correct, and
+  readers never observe a partially-written entry;
+* **corruption is a miss, not an error** — a truncated or garbage entry
+  fails to unpickle (or fails the embedded key/schema check) and is
+  best-effort deleted so the next run re-measures and heals it.
+
+Payloads are pickled: the report/measurement dataclasses round-trip
+exactly (types included), which is what makes a cache-hit report
+byte-identical to the cold one.  Cross-version safety comes from the
+schema salt in the key plus the embedded schema check, not from trusting
+old pickles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.cache import keys as _keys
+
+__all__ = ["DiscoveryCache", "DEFAULT_PRUNE_BYTES"]
+
+#: Store budget the CLI applies opportunistically after each run
+#: (override with ``$MT4G_CACHE_LIMIT_BYTES``).  Without a bound a
+#: default-on cache sweeping seeds or configs would grow forever.
+DEFAULT_PRUNE_BYTES = 2 << 30  # 2 GiB
+
+
+class DiscoveryCache:
+    """Content-addressed persistent cache of discovery results.
+
+    >>> store = DiscoveryCache("/tmp/mt4g-cache-doctest")
+    >>> store.put("a" * 64, {"x": 1})
+    True
+    >>> store.get("a" * 64)
+    {'x': 1}
+    >>> store.get("b" * 64) is None
+    True
+    """
+
+    def __init__(self, root: str | Path, version: int = _keys.SCHEMA_VERSION) -> None:
+        self.root = Path(root).expanduser()
+        self.version = int(version)
+        #: in-process accounting (benchmarks and tests read these).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ #
+    # key derivation (schema salt applied)                                #
+    # ------------------------------------------------------------------ #
+
+    def report_key(
+        self,
+        device: Any,
+        config: Any,
+        targets,
+        extensions,
+        validate: bool,
+    ) -> str:
+        return _keys.report_key(
+            device, config, targets, extensions, validate, version=self.version
+        )
+
+    def measurement_key(
+        self,
+        device: Any,
+        config: Any,
+        element: str,
+        attribute: str,
+        seed_offset: int,
+        context: Any = None,
+    ) -> str:
+        return _keys.measurement_key(
+            device,
+            config,
+            element,
+            attribute,
+            seed_offset,
+            context,
+            version=self.version,
+        )
+
+    # ------------------------------------------------------------------ #
+    # entries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / "entries" / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """The payload stored under ``key``, or None (miss).
+
+        Any failure — missing file, truncation, garbage bytes, a payload
+        whose embedded key or schema does not match — is a silent miss;
+        unreadable entries are best-effort deleted so they heal.
+        """
+        try:
+            path = self._entry_path(key)
+            blob = path.read_bytes()
+        except (OSError, TypeError):
+            self.misses += 1
+            return None
+        try:
+            wrapped = pickle.loads(blob)
+            if (
+                not isinstance(wrapped, dict)
+                or wrapped.get("schema") != self.version
+                or wrapped.get("key") != key
+            ):
+                raise ValueError("cache entry does not match its address")
+            payload = wrapped["payload"]
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        try:
+            # Refresh the entry's mtime so pruning approximates LRU
+            # (least-recently-*used*, not least-recently-written).
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> bool:
+        """Store ``payload`` under ``key`` (atomic; failures are no-ops).
+
+        The payload is serialised eagerly, so later mutation of the
+        in-memory object never leaks into the store.
+        """
+        tmp = None
+        try:
+            path = self._entry_path(key)
+            blob = pickle.dumps(
+                {"schema": self.version, "key": key, "payload": payload},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{key}.{os.getpid()}.{os.urandom(4).hex()}.tmp")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except Exception:
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            return False
+        self.stores += 1
+        return True
+
+    def prune(self, max_bytes: int = DEFAULT_PRUNE_BYTES) -> int:
+        """Delete least-recently-used entries until the store fits.
+
+        Entries are ranked by mtime (refreshed on every hit, so this is
+        LRU, not FIFO); oldest go first until the total entry size drops
+        to ``max_bytes``.  Version-salt bumps leave orphaned files with
+        unreachable keys — pruning is what eventually reclaims them.
+        Returns the number of entries removed; failures are no-ops.
+        """
+        removed = 0
+        try:
+            # Crash-orphaned temp files first: a kill between write and
+            # rename leaves a full-size .tmp no key can ever reach.  The
+            # age floor keeps a concurrent writer's in-flight temp safe.
+            now = time.time()
+            for tmp in (self.root / "entries").glob("*/.*.tmp"):
+                try:
+                    if now - tmp.stat().st_mtime > 3600.0:
+                        tmp.unlink()
+                except OSError:
+                    continue
+            entries: list[tuple[float, int, Path]] = []
+            total = 0
+            for path in (self.root / "entries").glob("*/*.pkl"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+                total += st.st_size
+            if total <= max_bytes:
+                return 0
+            entries.sort()
+            for _, size, path in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+        except Exception:
+            pass
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # wall-time sidecar (cost-aware fleet scheduling)                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    def _read_stats(self) -> dict[str, Any]:
+        try:
+            data = json.loads(self._stats_path.read_text(encoding="utf-8"))
+        except Exception:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def record_wall(self, label: str, seconds: float) -> None:
+        """Record one measured discovery wall for ``label`` (a preset).
+
+        Kept as an exponentially-smoothed value so a one-off slow run
+        (cold page cache, noisy host) does not dominate the schedule.
+        Only the single-writer fleet parent calls this; a lost update
+        under a concurrent-parents race merely costs schedule quality.
+        """
+        if seconds <= 0:
+            return
+        stats = self._read_stats()
+        walls = stats.setdefault("walls", {})
+        prev = walls.get(label)
+        if isinstance(prev, dict) and isinstance(prev.get("seconds"), (int, float)):
+            seconds = 0.5 * float(prev["seconds"]) + 0.5 * float(seconds)
+            runs = int(prev.get("runs", 0)) + 1
+        else:
+            runs = 1
+        walls[label] = {"seconds": round(float(seconds), 6), "runs": runs}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._stats_path.with_name(
+                f".stats.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+            )
+            tmp.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, self._stats_path)
+        except Exception:
+            pass
+
+    def recorded_walls(self) -> dict[str, float]:
+        """label -> smoothed wall seconds, from the sidecar (may be {})."""
+        out: dict[str, float] = {}
+        for label, entry in self._read_stats().get("walls", {}).items():
+            if isinstance(entry, dict) and isinstance(
+                entry.get("seconds"), (int, float)
+            ):
+                out[str(label)] = float(entry["seconds"])
+        return out

@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.benchmarks.base import BenchmarkContext, MeasurementResult
 from repro.pchase.arrays import linear_sizes
 from repro.stats.changepoint import detect_change_point
-from repro.stats.outliers import near_interval_edge, scrub_outliers
+from repro.stats.outliers import near_interval_edge, scrub_outliers, scrub_outliers_matrix
 from repro.stats.reduction import geometric_reduction
 from repro.gpusim.isa import LoadKind
 
@@ -45,8 +45,8 @@ class SizeSweepData(dict):
     """Raw sweep artefacts kept for plots (Fig. 2) and debugging."""
 
 
-def _reduced_value(latencies: np.ndarray, floor: float) -> float:
-    """Single-run reduction used by the bound-finding predicate.
+def _reduced_values(matrix: np.ndarray, floor: float) -> np.ndarray:
+    """Per-run reduction of a whole latency matrix — one batched call.
 
     ``floor`` is the hit-level latency floor of the baseline run — the
     paper's Eq. 2 anchors the reduction at the *global* minimum, so a
@@ -55,10 +55,19 @@ def _reduced_value(latencies: np.ndarray, floor: float) -> float:
     first so a single disturbed load cannot fake a capacity jump; genuine
     misses are immune to the scrub because a thrashed cache line produces
     a *contiguous* group of slow loads (one per sector), which the
-    isolation test preserves.
+    isolation test preserves.  Scrub and reduction both operate on the
+    full matrix at once (:func:`scrub_outliers_matrix` +
+    :func:`geometric_reduction`): the bound-finding predicate routes
+    single runs through it, and the sweep computes its per-run
+    ``reduced_per_run`` artefact in one batched call.
     """
-    cleaned = scrub_outliers(latencies, z_threshold=8.0)
-    return float(geometric_reduction(cleaned[np.newaxis, :], global_min=floor)[0])
+    cleaned = scrub_outliers_matrix(matrix, z_threshold=8.0)
+    return geometric_reduction(cleaned, global_min=floor)
+
+
+def _reduced_value(latencies: np.ndarray, floor: float) -> float:
+    """Single-run reduction used by the bound-finding predicate."""
+    return float(_reduced_values(latencies[np.newaxis, :], floor)[0])
 
 
 def _exceeds(
@@ -99,8 +108,10 @@ def find_capacity_bounds(
 
     The doubling ascent issues monotonically growing probes against one
     buffer, which the runner serves incrementally (suffix warms on the
-    previous fixed point); the binary descent's shrinking probes cannot
-    be served that way and fall back to flush + full warm per probe.
+    previous fixed point); the binary descent's shrinking probes are
+    served by *truncating* the deferred fixed point in place (the same
+    provable-fixed-point argument, O(1) per probe) — neither direction
+    triggers a flush + full re-warm.
     """
     baseline_lat = ctx.runner.latencies(kind, lo, stride, sm=sm)
     floor = float(np.min(baseline_lat))
@@ -206,6 +217,14 @@ def measure_cache_size(
             data = SizeSweepData(
                 sizes=sizes.tolist(),
                 reduced=reduced.tolist(),
+                # The bound-finding predicate's signal, computed for the
+                # whole sweep in one batched call (row-scrub + Eq. 2):
+                # lets the raw artefact explain a bound-vs-sweep
+                # disagreement.  Diagnostic only — the change point above
+                # is detected on the unscrubbed-row reduction.
+                reduced_per_run=_reduced_values(
+                    matrix, float(matrix.min())
+                ).tolist(),
                 raw_min=matrix.min(axis=1).tolist(),
                 raw_mean=matrix.mean(axis=1).tolist(),
                 raw_max=matrix.max(axis=1).tolist(),

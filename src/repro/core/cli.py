@@ -7,17 +7,22 @@ stdout only, the mode the paper used for its timing runs), ``--mem``
 (restrict to one memory element, footnote 18), plus the cache-carveout
 option of footnote 17.  The simulator-specific additions are ``--gpu``
 (which preset to analyse — the stand-in for "which machine am I running
-on"), ``--seed``, ``--validate`` (the post-hoc validation pass), and the
+on"), ``--seed``, ``--validate`` (the post-hoc validation pass), the
 ``mt4g fleet`` subcommand that discovers many presets concurrently and
-prints a cross-device comparison matrix.
+prints a cross-device comparison matrix, and the discovery cache flags
+``--cache-dir`` (default ``~/.cache/mt4g``) / ``--no-cache`` — repeat
+runs with identical inputs are served from the content-addressed store
+byte-identically instead of re-measured.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
+from repro.cache.store import DEFAULT_PRUNE_BYTES, DiscoveryCache
 from repro.core.output.csv_out import write_csv
 from repro.core.output.json_out import (
     to_fleet_json,
@@ -100,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="print only the JSON report"
     )
+    _add_cache_args(parser)
     parser.add_argument(
         "--validate",
         action="store_true",
@@ -118,6 +124,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="extension: benchmark first-level cache bandwidth",
     )
     return parser
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("MT4G_CACHE_DIR", "~/.cache/mt4g"),
+        metavar="DIR",
+        help="content-addressed discovery cache directory; re-runs with "
+        "identical inputs are served from here byte-identically "
+        "($MT4G_CACHE_DIR overrides; default: ~/.cache/mt4g)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the discovery cache (always measure)",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace) -> DiscoveryCache | None:
+    if args.no_cache:
+        return None
+    return DiscoveryCache(Path(args.cache_dir).expanduser())
+
+
+def _prune_cache(store: DiscoveryCache | None) -> None:
+    """Opportunistic LRU prune after a run: the default-on cache must
+    not grow without bound under seed/config sweeps."""
+    if store is None:
+        return
+    try:
+        budget = int(os.environ.get("MT4G_CACHE_LIMIT_BYTES", DEFAULT_PRUNE_BYTES))
+    except ValueError:
+        budget = DEFAULT_PRUNE_BYTES
+    store.prune(budget)
 
 
 def _default_path(arg: str | None, gpu: str, suffix: str) -> Path | None:
@@ -156,13 +196,22 @@ def main(argv: list[str] | None = None) -> int:
             extensions.add("flops")
         if args.lowlevel_bandwidth:
             extensions.add("lowlevel_bandwidth")
-        tool = MT4G(device, targets=targets, extensions=extensions)
+        cache = _cache_from_args(args)
+        tool = MT4G(device, targets=targets, extensions=extensions, cache=cache)
         if not args.quiet:
             print(f"# analysing {spec.name} ({spec.vendor.value}), seed {args.seed}", file=sys.stderr)
         report = tool.discover(validate=args.validate)
+        cache_meta = report.meta.get("cache")
+        if cache_meta and not args.quiet:
+            print(
+                f"# cache {cache_meta['status']} "
+                f"(key {cache_meta['key'][:12]}…, store {cache_meta['store']})",
+                file=sys.stderr,
+            )
     except ReproError as exc:
         print(f"mt4g: error: {exc}", file=sys.stderr)
         return 1
+    _prune_cache(cache)
 
     print(to_json(report))
 
@@ -271,6 +320,7 @@ def build_fleet_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the fleet JSON",
     )
+    _add_cache_args(parser)
     return parser
 
 
@@ -290,10 +340,15 @@ def fleet_main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             validate=not args.no_validate,
             parallel=not args.sequential,
+            cache_dir=None
+            if args.no_cache
+            else Path(args.cache_dir).expanduser(),
         )
     except ReproError as exc:
         print(f"mt4g fleet: error: {exc}", file=sys.stderr)
         return 1
+    if not args.no_cache:
+        _prune_cache(DiscoveryCache(Path(args.cache_dir).expanduser()))
     if args.quiet:
         print(to_fleet_json(result))
     else:

@@ -93,6 +93,21 @@ def to_csv(report: TopologyReport) -> str:
                     f"{_flatten_value(cc.reference) or 'none'} ({cc.reference_source})",
                 ]
             )
+    # Cache provenance rides along the same way: a sentinel element that
+    # cannot collide with a real memory element, absent for uncached runs.
+    cache_meta = report.meta.get("cache") if report.meta else None
+    if cache_meta:
+        writer.writerow(
+            [
+                "__meta__",
+                "cache",
+                cache_meta.get("status", ""),
+                "",
+                "",
+                "meta",
+                f"key {cache_meta.get('key', '')} store {cache_meta.get('store', '')}",
+            ]
+        )
     return buf.getvalue()
 
 

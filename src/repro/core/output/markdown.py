@@ -88,6 +88,16 @@ def to_markdown(report: TopologyReport) -> str:
     lines.append(f"- Simulated GPU time: {r.simulated_gpu_seconds:.2f} s")
     lines.append(f"- Modeled total time: {r.modeled_total_seconds:.2f} s")
     lines.append("")
+    cache_meta = report.meta.get("cache") if report.meta else None
+    if cache_meta:
+        lines.append("## Provenance")
+        lines.append("")
+        lines.append(
+            f"- Discovery cache: **{cache_meta.get('status', '?')}** "
+            f"(key `{str(cache_meta.get('key', ''))[:16]}…`, "
+            f"store `{cache_meta.get('store', '?')}`)"
+        )
+        lines.append("")
     return "\n".join(lines)
 
 

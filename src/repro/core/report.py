@@ -238,6 +238,13 @@ class TopologyReport:
     #: :func:`repro.validate.validate_report`).  Typed loosely to avoid a
     #: circular import — the validator consumes this module.
     validation: Any = None
+    #: Run provenance that is *not* topology content — e.g. the discovery
+    #: cache's ``{"cache": {"status": "hit"|"miss", "key": ..., "store":
+    #: ...}}``.  Serialised only when non-empty; identity comparisons
+    #: (engine equivalence, cache-hit-vs-cold) strip it, because a cached
+    #: and a cold run legitimately differ in how the result was obtained
+    #: while agreeing byte-for-byte on what was discovered.
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def element(self, name: str) -> MemoryElementReport:
         try:
@@ -263,4 +270,12 @@ class TopologyReport:
             out["throughput"] = {k: v.as_dict() for k, v in self.throughput.items()}
         if self.validation is not None:
             out["validation"] = self.validation.as_dict()
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    def content_dict(self) -> dict[str, Any]:
+        """``as_dict`` without run provenance — the identity-comparison view."""
+        out = self.as_dict()
+        out.pop("meta", None)
         return out

@@ -23,7 +23,7 @@ Per-element pipelines (dependencies dictate the order):
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.api.hip import hip_get_device_properties
 from repro.api.hsa import hsa_cache_info
@@ -54,6 +54,9 @@ from repro.gpuspec.spec import Vendor
 from repro.pchase.config import PChaseConfig
 from repro.stats.compare import majority_index, median_index
 from repro.units import KiB, MiB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache pkg is leaf)
+    from repro.cache.store import DiscoveryCache
 
 __all__ = ["MT4G", "NVIDIA_ELEMENTS", "AMD_ELEMENTS"]
 
@@ -136,9 +139,14 @@ class MT4G:
         config: PChaseConfig | None = None,
         targets: Iterable[str] | None = None,
         extensions: Iterable[str] = (),
+        cache: "DiscoveryCache | None" = None,
     ) -> None:
         self.device = device
         self.ctx = BenchmarkContext(device, config)
+        #: Optional :class:`repro.cache.DiscoveryCache`: whole-report
+        #: discoveries and per-seed escalation re-measurements are
+        #: memoised under content-addressed keys; None measures always.
+        self.cache = cache
         self.extensions = frozenset(extensions)
         unknown_ext = self.extensions - self.EXTENSIONS
         if unknown_ext:
@@ -182,7 +190,34 @@ class MT4G:
         (:mod:`repro.validate`): plausibility checks, cross-checks against
         the device's reference values, confidence recalibration and — for
         failing checks — re-measurement escalation.
+
+        With a :class:`~repro.cache.DiscoveryCache` attached, a previous
+        run with identical inputs (device spec + seed + carveout + MIG,
+        p-chase config, targets, extensions, validate flag, schema salt)
+        is returned from the store instead of re-measured — byte-identical
+        to the cold report, with the raw sweep artefacts and the measured
+        sizes the escalation path depends on restored alongside.  The
+        report's ``meta["cache"]`` records hit/miss provenance.
         """
+        key = None
+        if self.cache is not None:
+            # A cache must never sink a run: an unkeyable input (e.g. an
+            # exotic spec field the canonicaliser refuses) degrades this
+            # discovery to uncached measurement.
+            try:
+                key = self.cache.report_key(
+                    self.device,
+                    self.ctx.config,
+                    self.targets,
+                    self.extensions,
+                    validate,
+                )
+            except Exception:
+                key = None
+            if key is not None:
+                report = self._restore_cached_discovery(self.cache.get(key), key)
+                if report is not None:
+                    return report
         general, compute = self._general_and_compute()
         if self.device.vendor is Vendor.NVIDIA:
             memory = self._discover_nvidia()
@@ -212,6 +247,51 @@ class MT4G:
         )
         if validate:
             self.validate(report)
+        if self.cache is not None and key is not None:
+            # Serialised before meta is attached: the stored payload must
+            # not claim to be its own cache miss.
+            self.cache.put(
+                key,
+                {
+                    "report": report,
+                    "raw_data": self.raw_data,
+                    "measured_sizes": self._measured_sizes,
+                    "measured_fg": self._measured_fg,
+                },
+            )
+            report.meta["cache"] = self._cache_provenance("miss", key)
+        return report
+
+    def _cache_provenance(self, status: str, key: str) -> dict[str, Any]:
+        return {"status": status, "key": key, "store": str(self.cache.root)}
+
+    def _restore_cached_discovery(
+        self, payload: Any, key: str
+    ) -> TopologyReport | None:
+        """Rehydrate a cached discovery, or None when the payload is unusable.
+
+        Restores the tool state a later validation pass depends on
+        (measured sizes/granularities shape the escalation probe rings)
+        and the raw sweep artefacts the CLI's ``--raw`` flag serialises.
+        """
+        if not isinstance(payload, dict):
+            return None
+        report = payload.get("report")
+        if not isinstance(report, TopologyReport):
+            return None
+        try:
+            # Parsed fully before any assignment: a payload rejected
+            # half-way must not leave stale cached state merged into the
+            # fresh measurement that follows.
+            raw_data = dict(payload["raw_data"])
+            measured_sizes = dict(payload["measured_sizes"])
+            measured_fg = dict(payload["measured_fg"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.raw_data = raw_data
+        self._measured_sizes = measured_sizes
+        self._measured_fg = measured_fg
+        report.meta["cache"] = self._cache_provenance("hit", key)
         return report
 
     def validate(self, report: TopologyReport):
@@ -933,6 +1013,33 @@ class MT4G:
             return None
         candidates: list[MeasurementResult] = []
         for offset in _ESCALATION_SEED_OFFSETS:
+            # Each (seed offset, element, attribute) re-measurement is
+            # cached individually: re-validating a fleet replays the
+            # escalation verdicts from the store instead of re-running
+            # three fresh-seed measurement campaigns per failing check.
+            # The key carries the measured-size/granularity state because
+            # it shapes the probe rings the handlers build.
+            mkey = None
+            if self.cache is not None:
+                try:
+                    mkey = self.cache.measurement_key(
+                        self.device,
+                        self.ctx.config,
+                        element,
+                        attribute,
+                        offset,
+                        context={
+                            "sizes": self._measured_sizes,
+                            "fg": self._measured_fg,
+                        },
+                    )
+                except Exception:  # unkeyable input: measure uncached
+                    mkey = None
+            if mkey is not None:
+                cached = self.cache.get(mkey)
+                if isinstance(cached, MeasurementResult):
+                    candidates.append(cached)
+                    continue
             ctx = self._escalation_context(offset)
             try:
                 m = handler(ctx, element)
@@ -944,6 +1051,12 @@ class MT4G:
                 isinstance(m.value, bool) or not isinstance(m.value, (int, float))
             ):
                 continue
+            if mkey is not None:
+                # Only results that passed the filters above are stored —
+                # a cache hit re-enters the candidate list directly.  The
+                # put serialises eagerly, so the median/majority winner's
+                # note mutation below never leaks into the store.
+                self.cache.put(mkey, m)
             candidates.append(m)
         if not candidates:
             return None

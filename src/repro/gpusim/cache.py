@@ -226,6 +226,25 @@ class SimCache:
             return True
         return False
 
+    def truncate_fixed_point(self, base: int, nbytes: int, stride: int) -> bool:
+        """Shrink a deferred warm ring in place (binary-descent probes).
+
+        Valid only when the cache currently holds the *deferred* fixed
+        point of a ring with the same base and stride and at least this
+        size.  The logical state then becomes flush + warm of the
+        truncated prefix ring — exactly what a fresh probe would install
+        — without touching any rows: the descriptor swap alone is the
+        whole operation, so a shrinking probe against a warmed superset
+        costs O(1) instead of flush + O(size) re-warm (property-tested).
+        Returns False when the current state offers no such proof (e.g.
+        something materialised the rows in between).
+        """
+        ring = self._fixed_point_ring()
+        if ring is not None and ring[0] == base and ring[2] == stride and ring[1] >= nbytes:
+            self._virtual = (True, [(int(base), int(nbytes), int(stride))])
+            return True
+        return False
+
     def _materialize(self) -> None:
         """Install the rows of the deferred warm list."""
         v = self._virtual

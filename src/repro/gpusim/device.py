@@ -93,6 +93,11 @@ class SimulatedGPU:
         # every flush: lets drivers prove "nothing touched the caches in
         # between" when reusing warm state across p-chase runs.
         self.op_serial = 0
+        # Executed device-wide flushes.  Warm-state reuse (suffix warms,
+        # descent truncations) skips the flush entirely; this counter is
+        # how the benchmarks and tests observe that no flush + full
+        # re-warm happened on the hot path.
+        self.flush_count = 0
 
     @classmethod
     def from_preset(cls, name: str, **kwargs) -> "SimulatedGPU":
@@ -239,6 +244,7 @@ class SimulatedGPU:
     def flush_caches(self) -> None:
         """Invalidate every instantiated cache (between benchmark runs)."""
         self.op_serial += 1
+        self.flush_count += 1
         for sm in self._sms.values():
             sm.flush_caches()
         for cache in self._gpu_caches.values():

@@ -146,14 +146,35 @@ def _walk_many(
 
     Returns ``(latencies, first_level_hits, preserved)`` where
     ``preserved`` reports whether every touched cache was left at the
-    warm fixed point (only possible with ``preserve_warm_state``; a
-    filtered or fallback level always mutates).
+    warm fixed point.  A *fresh* warmed pass (``warmed=True``, uniform
+    stride) may route a level through the filtered batch walker — its
+    hit results are computed exactly on the materialised state — and
+    then re-declare the ring's deferred fixed point: the next fresh run
+    flushes + re-warms in the real tool anyway, so starting it from the
+    declared fixed point is exactly equivalent (the incremental-sweep
+    invariant).  On unknown prior state (``warmed=None``) a filtered or
+    fallback level still forfeits preservation.
     """
     n = int(n_samples)
     lat = np.full(n, path.terminal_latency, dtype=np.float64)
     pending = np.ones(n, dtype=bool)
     first_hits: np.ndarray | None = None
     preserved = preserve_warm_state
+    ring_nbytes = len(addrs) * stride if stride is not None else 0
+    restorable = (
+        preserve_warm_state and warmed is True and stride is not None and len(addrs) > 0
+    )
+
+    def filtered(cache, mask: np.ndarray) -> np.ndarray | None:
+        h = _pass_filtered(cache, addrs, n, mask)
+        nonlocal preserved
+        if h is not None:
+            if restorable:
+                cache.warm_fixed_point(int(addrs[0]), ring_nbytes, stride)
+            else:
+                preserved = False
+        return h
+
     for level_idx, (cache, level_lat) in enumerate(path.levels):
         hits = None
         if pending.all() and warmed is not None:
@@ -168,10 +189,9 @@ def _walk_many(
             if not pending.any():
                 hits = np.zeros(n, dtype=bool)
             else:
-                hits = _pass_filtered(cache, addrs, n, pending)
+                hits = filtered(cache, pending)
                 if hits is None:
                     return None, None, False
-                preserved = False
         if level_idx == 0:
             first_hits = hits.copy()
         lat[pending & hits] = level_lat
@@ -188,9 +208,8 @@ def _walk_many(
                 update_state=not preserve_warm_state,
             )
         if h is None:
-            if _pass_filtered(cache, addrs, n, full) is None:
+            if filtered(cache, full) is None:
                 return None, None, False
-            preserved = False
     return lat, first_hits, preserved
 
 
@@ -333,7 +352,9 @@ def run_pchase_ex(
 
     ``incremental_from`` (bytes of an identical-base, identical-stride
     ring already warmed to its LRU fixed point) replaces the flush +
-    full-ring warm with a warm of only the appended suffix — provably the
+    full-ring warm with the O(delta) equivalent: a *growing* probe warms
+    only the appended suffix, a *shrinking* probe (the binary-descent
+    case) truncates the deferred fixed point in place — both provably the
     same end state — while the simulated run-time model still charges the
     full flush + warm the real tool would execute.
     ``preserve_warm_state`` asks the analytic timed pass to leave the
@@ -355,7 +376,7 @@ def run_pchase_ex(
     incremental = (
         analytic
         and incremental_from is not None
-        and 0 < incremental_from <= nbytes
+        and incremental_from > 0
         and flush
         and warmup_passes > 0
     )
@@ -377,14 +398,22 @@ def run_pchase_ex(
         if analytic and flush:
             # Fresh warm after a flush (or its incremental equivalent):
             # record the fixed point as a deferred descriptor — O(1).  An
-            # extension is only accepted against a cache that provably
-            # still holds the previous ring's fixed point; otherwise the
-            # run degrades to a real flush + fresh warm.
-            if incremental and not all(
-                c.extend_fixed_point(base, nbytes, stride) for c in caches
-            ):
-                device.flush_caches()
-                incremental = False
+            # extension (growing probe) or truncation (shrinking probe,
+            # the binary-descent case) is only accepted against a cache
+            # that provably still holds the previous ring's fixed point;
+            # otherwise the run degrades to a real flush + fresh warm.
+            if incremental:
+                if incremental_from <= nbytes:
+                    reused = all(
+                        c.extend_fixed_point(base, nbytes, stride) for c in caches
+                    )
+                else:
+                    reused = all(
+                        c.truncate_fixed_point(base, nbytes, stride) for c in caches
+                    )
+                if not reused:
+                    device.flush_caches()
+                    incremental = False
             if not incremental:
                 for cache in caches:
                     cache.warm_fixed_point(base, nbytes, stride)

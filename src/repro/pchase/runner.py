@@ -15,7 +15,10 @@ fixed point of its ring.  When the next fresh run extends the same ring
 benchmark's doubling ascent and linear sweeps do), flushing and
 re-warming from scratch is redundant: warming only the appended suffix
 provably reaches the same fixed point (property-tested in
-``tests/test_cache_chase.py``).  The runner tracks the warmed ring in
+``tests/test_cache_chase.py``).  When the next fresh run *shrinks* the
+same ring (the size benchmark's binary-descent probes), the deferred
+fixed point is truncated in place — flush + warm of the prefix ring by
+definition — so descent probes are O(1) warm-state work too.  The runner tracks the warmed ring in
 ``_warm_token`` and proves nothing else touched the caches in between via
 the device's ``op_serial``; any interleaved kernel operation or flush
 invalidates the token.  Simulated run-time accounting is unaffected — the
@@ -65,6 +68,17 @@ class PChaseRunner:
         self.config = config or PChaseConfig()
         self._buffers: dict[tuple[MemorySpace, int], tuple[int, int]] = {}
         self._warm_token: _WarmToken | None = None
+        #: Warm-state accounting per fresh run: ``full_warms`` executed a
+        #: real device flush + fresh warm, ``suffix_warms`` extended the
+        #: previous fixed point (growing probe), ``shrink_warms``
+        #: truncated it (binary-descent probe).  The discovery benchmark
+        #: reports these to show descent probes no longer flush.
+        self.stats = {
+            "fresh_runs": 0,
+            "full_warms": 0,
+            "suffix_warms": 0,
+            "shrink_warms": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # buffers                                                             #
@@ -127,12 +141,17 @@ class PChaseRunner:
     def _incremental_from(
         self, key: tuple[LoadKind, int, int, int, int], nbytes: int
     ) -> int | None:
-        """Warmed byte count reusable for ``key``, or None."""
+        """Warmed byte count reusable for ``key``, or None.
+
+        Both directions reuse the warmed ring: a growing probe warms only
+        the appended suffix, a shrinking probe (binary descent) truncates
+        the deferred fixed point — each provably equal to flush + full
+        warm of the probed ring.
+        """
         token = self._warm_token
         if (
             token is None
             or token.key != key
-            or token.nbytes > nbytes
             or token.op_serial != self.device.op_serial
         ):
             return None
@@ -175,6 +194,7 @@ class PChaseRunner:
             and slot == 0
         )
         incremental_from = self._incremental_from(key, nbytes) if reusable else None
+        flushes_before = self.device.flush_count
         lat, preserved = run_pchase_ex(
             self.device,
             kind,
@@ -190,6 +210,15 @@ class PChaseRunner:
             incremental_from=incremental_from,
             preserve_warm_state=reusable,
         )
+        if fresh:
+            self.stats["fresh_runs"] += 1
+            if self.device.flush_count != flushes_before:
+                self.stats["full_warms"] += 1
+            elif incremental_from is not None:
+                kind_key = (
+                    "suffix_warms" if incremental_from <= nbytes else "shrink_warms"
+                )
+                self.stats[kind_key] += 1
         if preserved:
             self._warm_token = _WarmToken(key, nbytes, self.device.op_serial)
         else:

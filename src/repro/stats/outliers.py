@@ -20,7 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["find_outliers", "scrub_outliers", "near_interval_edge"]
+__all__ = [
+    "find_outliers",
+    "scrub_outliers",
+    "scrub_outliers_matrix",
+    "near_interval_edge",
+]
 
 
 def _mad(values: np.ndarray) -> float:
@@ -69,6 +74,48 @@ def scrub_outliers(series: np.ndarray, z_threshold: float = 6.0, window: int = 3
         if neighbourhood.size:
             s[idx] = float(np.median(neighbourhood))
     return s
+
+
+def scrub_outliers_matrix(
+    matrix: np.ndarray, z_threshold: float = 6.0, window: int = 3
+) -> np.ndarray:
+    """Row-wise :func:`scrub_outliers` over a whole latency matrix — batched.
+
+    Exactly equivalent to ``np.stack([scrub_outliers(row) for row in
+    matrix])`` (property-tested), but the spike *detection* — the hot
+    path: per-row median/MAD z-scores over every sample of every run —
+    is a handful of whole-matrix reductions instead of ~6 scalar
+    ``np.median`` calls per row.  Replacement stays per-spike, in row
+    order: spikes are rare by construction (z > threshold on robust
+    scores) and a spike's local median may legitimately include an
+    earlier spike's replacement value.
+    """
+    m = np.asarray(matrix, dtype=np.float64).copy()
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D latency matrix, got ndim={m.ndim}")
+    n_rows, n = m.shape
+    if n_rows == 0 or n < 5:
+        return m
+    med = np.median(m, axis=1, keepdims=True)
+    mad = np.median(np.abs(m - med), axis=1, keepdims=True)
+    fallback = np.maximum(np.abs(med) * 1e-3, 1e-12)
+    mad = np.where(mad == 0.0, fallback, mad)
+    hot = np.abs(m - med) / (1.4826 * mad) > z_threshold
+    if not hot.any():
+        return m
+    # Keep only isolated spikes: both neighbours must be cool.
+    left = np.zeros_like(hot)
+    left[:, 1:] = hot[:, :-1]
+    right = np.zeros_like(hot)
+    right[:, :-1] = hot[:, 1:]
+    isolated = hot & ~left & ~right
+    for r, idx in zip(*np.nonzero(isolated)):
+        lo = max(0, idx - window)
+        hi = min(n, idx + window + 1)
+        neighbourhood = np.delete(m[r, lo:hi], idx - lo)
+        if neighbourhood.size:
+            m[r, idx] = float(np.median(neighbourhood))
+    return m
 
 
 def near_interval_edge(index: int, length: int, margin_fraction: float = 0.05) -> bool:

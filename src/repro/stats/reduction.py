@@ -40,20 +40,28 @@ def reduce_matrix_rows(rows: list[np.ndarray], global_min: float | None = None) 
 
     Each row is normalised by ``sqrt(len(row))`` so that rows of unequal
     length remain comparable (the p-chase stores first-N samples, but N
-    can shrink for tiny arrays).
+    can shrink for tiny arrays).  Uniform-length row sets — the common
+    case — reduce through one batched matrix pass; genuinely ragged
+    input falls back to a per-row loop.
     """
     if not rows:
         raise ValueError("need at least one row")
-    floor = (
-        min(float(np.min(r)) for r in rows) if global_min is None else float(global_min)
-    )
-    out = np.empty(len(rows), dtype=np.float64)
-    for i, row in enumerate(rows):
-        r = np.asarray(row, dtype=np.float64)
+    arrs = [np.asarray(row, dtype=np.float64) for row in rows]
+    for i, r in enumerate(arrs):
         if r.size == 0:
             raise ValueError(f"row {i} is empty")
+    floor = (
+        min(float(np.min(r)) for r in arrs) if global_min is None else float(global_min)
+    )
+    max_len = max(r.size for r in arrs)
+    if all(r.size == max_len for r in arrs):
+        deltas = np.stack(arrs) - floor
+        ss = np.einsum("ij,ij->i", deltas, deltas)
+        # sqrt(ss / n) * sqrt(max_len) with n == max_len everywhere: the
+        # normalisation cancels and the uniform case is plain Eq. 2.
+        return np.sqrt(ss)
+    out = np.empty(len(arrs), dtype=np.float64)
+    for i, r in enumerate(arrs):
         d = r - floor
-        out[i] = np.sqrt(float(d @ d) / r.size) * np.sqrt(
-            max(len(r) for r in rows)
-        )
+        out[i] = np.sqrt(float(d @ d) / r.size) * np.sqrt(max_len)
     return out

@@ -17,7 +17,12 @@ Three layers:
 """
 
 from repro.validate.checks import CheckResult, is_roundish_size, run_structural_checks
-from repro.validate.fleet import FleetEntry, FleetResult, discover_fleet
+from repro.validate.fleet import (
+    FleetEntry,
+    FleetResult,
+    discover_fleet,
+    fleet_schedule,
+)
 from repro.validate.fleet_checks import (
     FLEET_TOLERANCES,
     FleetCheck,
@@ -51,6 +56,7 @@ __all__ = [
     "Recalibration",
     "ValidationReport",
     "discover_fleet",
+    "fleet_schedule",
     "is_roundish_size",
     "reference_for",
     "run_fleet_checks",

@@ -12,9 +12,10 @@ checks here encode the invariants any sane GPU satisfies:
 * a cache line is never smaller than the fetch granularity and is an
   integer number of sectors;
 * measured capacities are "round" — a small odd multiple of a power of
-  two (192 KiB = 3 * 64 KiB passes), or, for SM-level caches large
-  enough to be runtime carveouts of a shared SRAM block, a multiple of
-  the 8 KiB carveout quantum (the V100's 120 KiB PreferL1 split).
+  two (192 KiB = 3 * 64 KiB passes), or, for the L1-silicon elements of
+  an NVIDIA device, an 8 KiB carveout quantum *consistent with the
+  generation's unified SRAM block* (the V100's 120 KiB PreferL1 split
+  fits the 128 KiB Volta block; a 520 KiB misread does not fit any).
 
 Every check returns a :class:`CheckResult` with a ``pass``/``fail``/
 ``skip`` status; a check whose inputs are missing (element not measured,
@@ -93,6 +94,38 @@ _ROUND_TOLERANCE = 0.035
 #: 8 KiB steps; capacities at or above this floor may be carveouts.
 _CARVEOUT_QUANTUM = 8 * 1024
 _CARVEOUT_FLOOR = 64 * 1024
+
+#: Vendor/generation carveout table: the unified SM SRAM block size per
+#: NVIDIA microarchitecture (vendor documentation; the runtime's
+#: ``cudaDeviceSetCacheConfig`` splits are carved out of exactly this
+#: block in 8 KiB steps).  A claimed carveout capacity must fit the
+#: generation's block — "any 8 KiB multiple" let a 520 KiB misread pass
+#: on a device whose whole SRAM block is 192 KiB.  Only the logical
+#: spaces routed through the L1 silicon can be carveouts at all.
+#: Generations whose block differs per chip (Ampere: GA100 is 192 KiB,
+#: GA10x is 128 KiB) map compute capability -> block; the largest block
+#: of the generation is the fallback when the CC is unknown.
+_SRAM_BLOCK_BYTES: dict[tuple[str, str], int | dict[str, int]] = {
+    ("NVIDIA", "Pascal"): 64 * 1024,  # fixed 64 KiB shared + 48 KiB L1
+    ("NVIDIA", "Volta"): 128 * 1024,
+    ("NVIDIA", "Turing"): 96 * 1024,
+    ("NVIDIA", "Ampere"): {"8.0": 192 * 1024, "8.6": 128 * 1024},
+    ("NVIDIA", "Ada Lovelace"): 128 * 1024,
+    ("NVIDIA", "Hopper"): 256 * 1024,
+}
+
+
+def _sram_block(
+    vendor: str, microarchitecture: str | None, compute_capability: str | None
+) -> int | None:
+    entry = _SRAM_BLOCK_BYTES.get((vendor, microarchitecture or ""))
+    if isinstance(entry, dict):
+        return entry.get(compute_capability or "", max(entry.values()))
+    return entry
+
+#: Logical memory elements that share the carveout-configurable L1
+#: silicon (post-Pascal NVIDIA routes Texture/Readonly through l1tex).
+_CARVEOUT_ELEMENTS = frozenset({"L1", "Texture", "Readonly"})
 
 
 @dataclass
@@ -185,14 +218,27 @@ def _chain_checks(
         )
 
 
-def is_roundish_size(value: float, tolerance: float = _ROUND_TOLERANCE) -> bool:
+def is_roundish_size(
+    value: float,
+    tolerance: float = _ROUND_TOLERANCE,
+    vendor: str | None = None,
+    microarchitecture: str | None = None,
+    element: str | None = None,
+    compute_capability: str | None = None,
+) -> bool:
     """Is ``value`` plausibly a real cache capacity?
 
     Two shapes qualify: a small odd multiple of a power of two
     (power-of-two banks: 192 KiB = 3 * 64 KiB, 5 MiB L2 slices), or —
-    for capacities large enough to be an L1/Shared-Memory carveout — a
-    multiple of the 8 KiB carveout quantum (120 KiB, 184 KiB, 240 KiB:
-    the split points the NVIDIA runtime actually offers).
+    for capacities large enough to be an L1/Shared-Memory carveout — an
+    8 KiB carveout quantum *consistent with the vendor/generation
+    carveout table*: the quantum must fit the generation's unified SRAM
+    block (:data:`_SRAM_BLOCK_BYTES`), and only elements routed through
+    the L1 silicon may claim a carveout at all.  Without vendor context
+    (no report at hand — e.g. direct unit-test calls) the legacy
+    permissive quantum rule applies; with context, an unknown generation
+    falls back to the permissive rule for NVIDIA only, and AMD — whose
+    first-level caches are fixed-function — gets no carveout branch.
     """
     if value <= 0:
         return False
@@ -203,11 +249,18 @@ def is_roundish_size(value: float, tolerance: float = _ROUND_TOLERANCE) -> bool:
             if abs(value - c) <= tolerance * c:
                 return True
         candidate *= 2
-    if value >= _CARVEOUT_FLOOR:
-        c = round(value / _CARVEOUT_QUANTUM) * _CARVEOUT_QUANTUM
-        if c > 0 and abs(value - c) <= 0.02 * c:
-            return True
-    return False
+    if value < _CARVEOUT_FLOOR:
+        return False
+    if vendor is not None:
+        if vendor != "NVIDIA":
+            return False
+        if element is not None and element not in _CARVEOUT_ELEMENTS:
+            return False
+        block = _sram_block(vendor, microarchitecture, compute_capability)
+        if block is not None and value > block * 1.02:
+            return False
+    c = round(value / _CARVEOUT_QUANTUM) * _CARVEOUT_QUANTUM
+    return c > 0 and abs(value - c) <= 0.02 * c
 
 
 def run_structural_checks(report: TopologyReport) -> list[CheckResult]:
@@ -288,13 +341,24 @@ def run_structural_checks(report: TopologyReport) -> list[CheckResult]:
                 )
             )
             continue
-        ok = is_roundish_size(float(av.value))
+        ok = is_roundish_size(
+            float(av.value),
+            vendor=report.general.vendor,
+            microarchitecture=report.general.microarchitecture,
+            element=name,
+            compute_capability=report.general.compute_capability,
+        )
         results.append(
             CheckResult(
                 check=check_id,
                 status="pass" if ok else "fail",
                 detail=f"measured size {int(av.value)} B"
-                + ("" if ok else " is not a small odd multiple of a power of two"),
+                + (
+                    ""
+                    if ok
+                    else " is neither a small odd multiple of a power of two "
+                    "nor a generation-consistent carveout quantum"
+                ),
                 elements=(name,),
                 implicated=() if ok else ((name, "size"),),
             )

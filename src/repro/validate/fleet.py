@@ -25,8 +25,11 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
+from repro.cache.costs import estimate_discovery_cost, schedule_order
+from repro.cache.store import DiscoveryCache
 from repro.core.report import TopologyReport
 from repro.core.tool import MT4G
 from repro.errors import ReproError
@@ -36,7 +39,7 @@ from repro.pchase.config import PChaseConfig
 from repro.units import format_bandwidth, format_size
 from repro.validate.fleet_checks import FleetValidation, run_fleet_checks
 
-__all__ = ["FleetEntry", "FleetResult", "discover_fleet"]
+__all__ = ["FleetEntry", "FleetResult", "discover_fleet", "fleet_schedule"]
 
 
 @dataclass
@@ -52,6 +55,16 @@ class FleetEntry:
     @property
     def ok(self) -> bool:
         return self.report is not None and not self.error
+
+    @property
+    def cache_status(self) -> str:
+        """"hit" / "miss" when a store served this entry, else "off"."""
+        if self.report is None:
+            return "off"
+        cache_meta = self.report.meta.get("cache")
+        if isinstance(cache_meta, dict):
+            return str(cache_meta.get("status", "off"))
+        return "off"
 
     @property
     def verdict(self) -> str:
@@ -106,6 +119,7 @@ class FleetResult:
                 "preset": e.preset,
                 "verdict": e.verdict,
                 "wall_seconds": round(e.wall_seconds, 3),
+                "cache": e.cache_status,
             }
             if not e.ok:
                 row.update(
@@ -215,17 +229,22 @@ def _discover_one(
     cache_config: str,
     engine: str,
     validate: bool,
+    cache_dir: str | None = None,
 ) -> tuple[str, TopologyReport | None, float, str]:
     """Worker body: one full discovery (+ validation) for one preset.
 
     Failures are returned as data (report ``None`` + error string) with
     the real elapsed wall, so sequential and concurrent runs account for
-    a failed preset identically.
+    a failed preset identically.  ``cache_dir`` points every worker at
+    one shared on-disk store — safe because entries are immutable and
+    land via atomic rename, and two workers racing on the same key write
+    byte-identical payloads.
     """
     start = time.perf_counter()
     try:
+        store = DiscoveryCache(cache_dir) if cache_dir else None
         device = SimulatedGPU(get_preset(preset), seed=seed, cache_config=cache_config)
-        tool = MT4G(device, config=PChaseConfig(engine=engine))
+        tool = MT4G(device, config=PChaseConfig(engine=engine), cache=store)
         report = tool.discover(validate=validate)
         return preset, report, time.perf_counter() - start, ""
     except Exception as exc:
@@ -239,6 +258,21 @@ def _describe(exc: BaseException) -> str:
     return str(exc) or type(exc).__name__
 
 
+def fleet_schedule(
+    names: Sequence[str], store: DiscoveryCache | None
+) -> list[str]:
+    """Submission order: longest job first (LPT), costs from the store.
+
+    Recorded walls (the store's ``stats.json`` sidecar) rank presets the
+    pool has seen before; unseen presets rank by a spec-derived estimate
+    calibrated onto the recorded scale.  Pool makespan then approaches
+    the LPT bound instead of depending on the caller's input order.
+    """
+    walls = store.recorded_walls() if store is not None else {}
+    estimates = {n: estimate_discovery_cost(get_preset(n)) for n in names}
+    return schedule_order(names, walls, estimates)
+
+
 def discover_fleet(
     presets: Sequence[str] | None = None,
     seed: int = 0,
@@ -247,6 +281,7 @@ def discover_fleet(
     engine: str = "analytic",
     cache_config: str = "PreferL1",
     parallel: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> FleetResult:
     """Discover many presets concurrently and compare the results.
 
@@ -256,6 +291,13 @@ def discover_fleet(
     fleet benchmark measures against, and the fallback for environments
     without working multiprocessing).  A preset whose discovery raises is
     recorded as an error entry; it never sinks the rest of the fleet.
+
+    ``cache_dir`` shares one on-disk :class:`~repro.cache.DiscoveryCache`
+    across all workers: a re-run of the same fleet replays every report
+    from the store (near-free re-validation), and the recorded per-preset
+    walls drive the longest-first submission order.  Scheduling and
+    caching never change results — entries keep the caller's input order
+    and cached reports are byte-identical to cold ones.
     """
     names = list(presets) if presets is not None else list(available_presets())
     if not names:
@@ -271,14 +313,18 @@ def discover_fleet(
         jobs = max(1, min(len(names), os.cpu_count() or 1))
     jobs = max(1, min(jobs, len(names)))
 
+    store = DiscoveryCache(cache_dir) if cache_dir else None
+    cache_dir_arg = str(Path(cache_dir)) if cache_dir else None
+    submission_order = fleet_schedule(names, store)
+
     start = time.perf_counter()
     by_name: dict[str, FleetEntry] = {}
     if not parallel or jobs == 1:
-        for name in names:
+        for name in submission_order:
             t0 = time.perf_counter()
             try:
                 _, report, wall, error = _discover_one(
-                    name, seed, cache_config, engine, validate
+                    name, seed, cache_config, engine, validate, cache_dir_arg
                 )
                 by_name[name] = FleetEntry(name, seed, report, wall, error=error)
             except Exception as exc:  # the worker body itself failed
@@ -289,9 +335,15 @@ def discover_fleet(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 pool.submit(
-                    _discover_one, name, seed, cache_config, engine, validate
+                    _discover_one,
+                    name,
+                    seed,
+                    cache_config,
+                    engine,
+                    validate,
+                    cache_dir_arg,
                 ): name
-                for name in names
+                for name in submission_order
             }
             pending = set(futures)
             while pending:
@@ -307,6 +359,13 @@ def discover_fleet(
                         by_name[name] = FleetEntry(
                             name, seed, None, 0.0, error=_describe(exc)
                         )
+
+    if store is not None:
+        # Only genuinely measured (non-hit) walls feed the scheduler: a
+        # cache-hit wall is a hash lookup and would poison the LPT order.
+        for entry in by_name.values():
+            if entry.ok and entry.cache_status != "hit":
+                store.record_wall(entry.preset, entry.wall_seconds)
 
     result = FleetResult(
         entries=[by_name[name] for name in names],  # stable input order

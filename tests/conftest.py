@@ -16,6 +16,25 @@ from repro.gpuspec.presets import get_preset
 from repro.gpuspec.spec import ComputeSpec, GPUSpec, Quirk
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cli_cache(tmp_path_factory):
+    """Point the CLI's default discovery cache at a per-session tmp dir.
+
+    CLI tests exercising the default flags must not read (or pollute) the
+    developer's ``~/.cache/mt4g`` — a stale entry from an older build
+    could mask a behaviour change the test is meant to catch.
+    """
+    import os
+
+    old = os.environ.get("MT4G_CACHE_DIR")
+    os.environ["MT4G_CACHE_DIR"] = str(tmp_path_factory.mktemp("mt4g-cache"))
+    yield
+    if old is None:
+        os.environ.pop("MT4G_CACHE_DIR", None)
+    else:
+        os.environ["MT4G_CACHE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def nv_device() -> SimulatedGPU:
     return SimulatedGPU.from_preset("TestGPU-NV", seed=11)

@@ -121,8 +121,15 @@ class TestOutputRoundTrips:
 
     def test_csv_round_trip(self, artifacts):
         tmp, _ = artifacts
-        rows = list(csv.DictReader((tmp / "r.csv").read_text().splitlines()))
+        all_rows = list(csv.DictReader((tmp / "r.csv").read_text().splitlines()))
+        # The CLI runs with its (default) discovery cache, so the legacy
+        # attribute rows are followed by one __meta__ provenance row.
+        rows = [r for r in all_rows if r["element"] != "__meta__"]
         assert len(rows) == 2 * len(ATTRIBUTES)
+        assert any(
+            r["element"] == "__meta__" and r["attribute"] == "cache"
+            for r in all_rows
+        )
         report = json.loads((tmp / "r.json").read_text())
         l1_size_csv = next(
             r for r in rows if r["element"] == "L1" and r["attribute"] == "size"

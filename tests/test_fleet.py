@@ -55,7 +55,7 @@ class TestDiscoverFleet:
     def test_worker_failure_becomes_error_entry(self, monkeypatch):
         import repro.validate.fleet as fleet_mod
 
-        def boom(preset, seed, cache_config, engine, validate):
+        def boom(preset, seed, cache_config, engine, validate, cache_dir=None):
             raise RuntimeError(f"{preset} exploded")
 
         monkeypatch.setattr(fleet_mod, "_discover_one", boom)
@@ -166,7 +166,7 @@ class TestErrorFallback:
     def test_sequential_loop_empty_message_falls_back_to_type(self, monkeypatch):
         import repro.validate.fleet as fleet_mod
 
-        def boom(preset, seed, cache_config, engine, validate):
+        def boom(preset, seed, cache_config, engine, validate, cache_dir=None):
             raise RuntimeError()  # deliberately message-less
 
         monkeypatch.setattr(fleet_mod, "_discover_one", boom)

@@ -197,3 +197,78 @@ class TestRunnerMeasurements:
             PChaseConfig(ks_alpha=2.0)
         with pytest.raises(ValueError):
             PChaseConfig(search_lo=100, search_hi=50)
+
+
+class TestDescentWarmReuse:
+    """Binary-descent probes reuse warm state instead of flushing.
+
+    The runner serves a shrinking probe against a warmed superset ring by
+    truncating the analytic fixed point — measurements must stay
+    byte-identical to flush + full warm (and to the exact engine), while
+    the device-flush accounting proves no flush + full re-warm ran.
+    """
+
+    SIZES = [2048, 4096, 8192, 6144, 3072, 16384, 5120]
+
+    def _run(self, engine: str, allow_reuse: bool) -> tuple[list, dict, int]:
+        device = SimulatedGPU.from_preset("TestGPU-NV", seed=5)
+        runner = PChaseRunner(device, PChaseConfig(engine=engine))
+        if not allow_reuse:
+            runner._incremental_from = lambda key, nbytes: None
+        lats = [
+            runner.latencies(LoadKind.LD_GLOBAL_CA, s, 32) for s in self.SIZES
+        ]
+        return lats, dict(runner.stats), device.flush_count
+
+    def test_latencies_identical_with_and_without_reuse(self):
+        with_reuse, _, _ = self._run("analytic", True)
+        without, _, _ = self._run("analytic", False)
+        exact, _, _ = self._run("exact", False)
+        for a, b, c in zip(with_reuse, without, exact):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+
+    def test_shrinking_probes_do_not_flush(self):
+        _, stats, flushes = self._run("analytic", True)
+        # Only the very first probe of the chain executes a real flush;
+        # every later probe extends (grow) or truncates (shrink) the
+        # warmed fixed point.
+        assert stats["fresh_runs"] == len(self.SIZES)
+        assert stats["full_warms"] == 1
+        assert flushes == 1
+        assert stats["shrink_warms"] >= 2
+        assert stats["suffix_warms"] >= 2
+        assert (
+            stats["full_warms"] + stats["suffix_warms"] + stats["shrink_warms"]
+            == stats["fresh_runs"]
+        )
+
+    def test_find_capacity_bounds_descent_never_full_warms(self):
+        from repro.core.benchmarks.base import BenchmarkContext
+        from repro.core.benchmarks.size import find_capacity_bounds
+
+        device = SimulatedGPU.from_preset("TestGPU-NV", seed=3)
+        ctx = BenchmarkContext(device, PChaseConfig())
+        # A tight budget forces a deep binary descent after the ascent.
+        bounds = find_capacity_bounds(
+            ctx, LoadKind.LD_GLOBAL_CA, 32, 1024, 1 << 20, budget=256
+        )
+        assert bounds is not None
+        stats = ctx.runner.stats
+        # Baseline probe aside, the whole ascent + binary descent runs on
+        # reused warm state: zero additional flush + full warms.
+        assert stats["full_warms"] == 1
+        assert stats["shrink_warms"] >= 1
+        assert device.flush_count == 1
+
+    def test_op_serial_still_guards_interleaved_operations(self):
+        device = SimulatedGPU.from_preset("TestGPU-NV", seed=5)
+        runner = PChaseRunner(device, PChaseConfig())
+        runner.latencies(LoadKind.LD_GLOBAL_CA, 8192, 32)
+        # An interleaved protocol operation invalidates the token: the
+        # next (shrinking) probe must fall back to a real flush.
+        runner.warm(LoadKind.LD_GLOBAL_CA, 4096, 32, slot=1)
+        before = device.flush_count
+        runner.latencies(LoadKind.LD_GLOBAL_CA, 4096, 32)
+        assert device.flush_count == before + 1
+        assert runner.stats["shrink_warms"] == 0

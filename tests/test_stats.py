@@ -9,7 +9,12 @@ from hypothesis.extra.numpy import arrays
 
 from repro.stats.changepoint import detect_change_point
 from repro.stats.descriptive import summarize
-from repro.stats.outliers import find_outliers, near_interval_edge, scrub_outliers
+from repro.stats.outliers import (
+    find_outliers,
+    near_interval_edge,
+    scrub_outliers,
+    scrub_outliers_matrix,
+)
 from repro.stats.reduction import geometric_reduction, reduce_matrix_rows
 
 
@@ -64,6 +69,24 @@ class TestGeometricReduction:
             reduce_matrix_rows([])
         with pytest.raises(ValueError):
             reduce_matrix_rows([np.array([])])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 20)),
+            elements=st.floats(0, 1e6),
+        )
+    )
+    def test_uniform_batched_path_matches_scalar_loop(self, m):
+        """The vectorised uniform-length fast path == the per-row formula."""
+        rows = list(m)
+        out = reduce_matrix_rows(rows)
+        floor = float(m.min())
+        for i, row in enumerate(rows):
+            d = row - floor
+            expected = np.sqrt(float(d @ d) / row.size) * np.sqrt(m.shape[1])
+            assert out[i] == pytest.approx(expected, rel=1e-12, abs=1e-12)
 
 
 class TestChangePoint:
@@ -227,3 +250,49 @@ class TestDescriptive:
     def test_as_dict_roundtrip(self):
         d = summarize(np.array([1.0, 2.0, 3.0])).as_dict()
         assert set(d) == {"mean", "p50", "p95", "std", "min", "max", "count"}
+
+
+class TestScrubOutliersMatrix:
+    """The batched row-wise scrub is exactly the per-row scrub."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 10), st.integers(1, 40)),
+            elements=st.floats(0, 1e4),
+        ),
+        st.data(),
+    )
+    def test_matches_per_row_scrub(self, m, data):
+        # Plant a few spikes so the replacement path is exercised.
+        n_rows, n_cols = m.shape
+        for _ in range(data.draw(st.integers(0, 4))):
+            r = data.draw(st.integers(0, n_rows - 1))
+            c = data.draw(st.integers(0, n_cols - 1))
+            m[r, c] += 1e9
+        got = scrub_outliers_matrix(m)
+        expected = np.stack([scrub_outliers(row) for row in m])
+        assert np.array_equal(got, expected)
+
+    def test_matches_per_row_scrub_at_size_benchmark_threshold(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(100.0, 1.5, size=(48, 192))
+        spikes = rng.integers(0, m.size, size=30)
+        m.ravel()[spikes] += 400.0
+        got = scrub_outliers_matrix(m, z_threshold=8.0)
+        expected = np.stack([scrub_outliers(row, z_threshold=8.0) for row in m])
+        assert np.array_equal(got, expected)
+        assert not np.array_equal(got, m)  # some spike was actually scrubbed
+
+    def test_returns_copy_and_rejects_bad_shapes(self):
+        m = np.ones((3, 30))
+        m[1, 7] = 1e6
+        out = scrub_outliers_matrix(m)
+        assert m[1, 7] == 1e6 and out[1, 7] == 1.0
+        with pytest.raises(ValueError):
+            scrub_outliers_matrix(np.ones(5))
+
+    def test_short_rows_are_identity(self):
+        m = np.array([[1.0, 1.0, 500.0, 1.0]])
+        assert np.array_equal(scrub_outliers_matrix(m), m)

@@ -155,6 +155,66 @@ class TestRoundishSize:
     def test_rejects_junk(self, value):
         assert not is_roundish_size(value)
 
+    # The tightened carveout rule: with vendor context, an 8 KiB quantum
+    # is only accepted when it is consistent with the generation's
+    # unified SRAM block and claimed by an L1-silicon element.
+
+    @pytest.mark.parametrize(
+        "value,march",
+        [
+            (120 * 1024, "Volta"),  # V100 PreferL1: 15 * 8 KiB of 128 KiB
+            (184 * 1024, "Ampere"),  # A100: 23 * 8 KiB of 192 KiB
+            (238 * 1024, "Hopper"),  # H100: fits the 256 KiB block
+        ],
+    )
+    def test_accepts_generation_consistent_carveouts(self, value, march):
+        assert is_roundish_size(
+            value, vendor="NVIDIA", microarchitecture=march, element="L1"
+        )
+
+    def test_rejects_quantum_exceeding_the_generation_block(self):
+        # 27 * 8 KiB passed the old "any 8 KiB multiple within 2 %" rule,
+        # but no Ampere SRAM block is 216 KiB — only the 256 KiB Hopper
+        # block can host that carveout.
+        value = 216 * 1024
+        assert is_roundish_size(value)  # legacy, context-free call
+        assert not is_roundish_size(
+            value, vendor="NVIDIA", microarchitecture="Ampere", element="L1"
+        )
+        assert is_roundish_size(
+            value, vendor="NVIDIA", microarchitecture="Hopper", element="L1"
+        )
+
+    def test_rejects_carveout_claims_from_non_l1_elements(self):
+        value = 184 * 1024
+        assert not is_roundish_size(
+            value, vendor="NVIDIA", microarchitecture="Ampere", element="ConstL1"
+        )
+        assert is_roundish_size(
+            value, vendor="NVIDIA", microarchitecture="Ampere", element="Texture"
+        )
+
+    def test_ampere_block_is_compute_capability_granular(self):
+        # GA100 (cc 8.0) has a 192 KiB block; GA10x (cc 8.6) only
+        # 128 KiB — the same 184 KiB claim is real on one and impossible
+        # on the other.  An unknown CC falls back to the generation's
+        # largest block (permissive, never rejects real hardware).
+        value = 184 * 1024
+        common = dict(vendor="NVIDIA", microarchitecture="Ampere", element="L1")
+        assert is_roundish_size(value, compute_capability="8.0", **common)
+        assert not is_roundish_size(value, compute_capability="8.6", **common)
+        assert is_roundish_size(value, **common)
+
+    def test_amd_has_no_carveout_branch(self):
+        assert not is_roundish_size(
+            120 * 1024, vendor="AMD", microarchitecture="CDNA2", element="vL1"
+        )
+
+    def test_unknown_generation_falls_back_to_quantum_rule(self):
+        assert is_roundish_size(
+            120 * 1024, vendor="NVIDIA", microarchitecture="FutureArch", element="L1"
+        )
+
 
 class TestStructuralChecks:
     def test_monotonic_hierarchy_passes(self):

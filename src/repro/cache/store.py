@@ -32,7 +32,7 @@ import os
 import pickle
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.cache import keys as _keys
 
@@ -171,6 +171,43 @@ class DiscoveryCache:
         self.stores += 1
         return True
 
+    def entries(self) -> Iterator[tuple[str, Any]]:
+        """Yield ``(key, payload)`` for every readable entry, sorted by key.
+
+        The serving catalog's enumeration API.  Unlike :meth:`get`, this
+        walk counts toward neither hits nor misses and does not refresh
+        mtimes — browsing the store must not distort the LRU order or the
+        hit-rate metrics.  Every per-entry failure is skipped silently:
+        an entry unlinked mid-walk by a concurrent :meth:`prune` (or a
+        corrupted blob) is simply not part of the enumeration, exactly
+        like a racing reader of :meth:`get` would observe a miss.
+        """
+        root = self.root / "entries"
+        try:
+            paths = sorted(root.glob("*/*.pkl"))
+        except OSError:
+            return
+        for path in paths:
+            key = path.stem
+            try:
+                wrapped = pickle.loads(path.read_bytes())
+            except Exception:
+                continue
+            if (
+                not isinstance(wrapped, dict)
+                or wrapped.get("schema") != self.version
+                or wrapped.get("key") != key
+            ):
+                continue
+            yield key, wrapped["payload"]
+
+    def entry_count(self) -> int:
+        """Number of entry files on disk (cheap: no unpickling)."""
+        try:
+            return sum(1 for _ in (self.root / "entries").glob("*/*.pkl"))
+        except OSError:
+            return 0
+
     def prune(self, max_bytes: int = DEFAULT_PRUNE_BYTES) -> int:
         """Delete least-recently-used entries until the store fits.
 
@@ -237,29 +274,82 @@ class DiscoveryCache:
 
         Kept as an exponentially-smoothed value so a one-off slow run
         (cold page cache, noisy host) does not dominate the schedule.
-        Only the single-writer fleet parent calls this; a lost update
-        under a concurrent-parents race merely costs schedule quality.
+
+        Merge-on-write: concurrent fleet parents and service workers all
+        record walls into the same sidecar, so the sidecar is re-read
+        *inside* the replace window — under a best-effort ``O_EXCL``
+        lock that serialises the read-modify-write — and our label's
+        entry is merged into whatever the other writers landed in the
+        meantime.  Only a same-label race stays last-writer-wins (the
+        two smoothed values are equally valid).  If the lock cannot be
+        acquired (a crashed holder is reclaimed past an age floor) the
+        write proceeds lock-free: a cache must never sink a run, and the
+        fresh re-read still bounds the lost-update window to the few
+        microseconds between read and rename.
         """
         if seconds <= 0:
             return
-        stats = self._read_stats()
-        walls = stats.setdefault("walls", {})
-        prev = walls.get(label)
-        if isinstance(prev, dict) and isinstance(prev.get("seconds"), (int, float)):
-            seconds = 0.5 * float(prev["seconds"]) + 0.5 * float(seconds)
-            runs = int(prev.get("runs", 0)) + 1
-        else:
-            runs = 1
-        walls[label] = {"seconds": round(float(seconds), 6), "runs": runs}
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = self._stats_path.with_name(
-                f".stats.{os.getpid()}.{os.urandom(4).hex()}.tmp"
-            )
-            tmp.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
-            os.replace(tmp, self._stats_path)
+            lock = self._acquire_stats_lock()
+            try:
+                stats = self._read_stats()
+                walls = stats.setdefault("walls", {})
+                prev = walls.get(label)
+                if isinstance(prev, dict) and isinstance(
+                    prev.get("seconds"), (int, float)
+                ):
+                    seconds = 0.5 * float(prev["seconds"]) + 0.5 * float(seconds)
+                    runs = int(prev.get("runs", 0)) + 1
+                else:
+                    runs = 1
+                walls[label] = {"seconds": round(float(seconds), 6), "runs": runs}
+                tmp = self._stats_path.with_name(
+                    f".stats.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+                )
+                tmp.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+                os.replace(tmp, self._stats_path)
+            finally:
+                if lock is not None:
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
         except Exception:
             pass
+
+    #: A crashed writer's lock file is reclaimed after this many seconds;
+    #: a healthy record_wall holds the lock for well under a millisecond.
+    _STATS_LOCK_STALE_SECONDS = 10.0
+
+    def _acquire_stats_lock(self, timeout: float = 1.0) -> Path | None:
+        """Exclusive sidecar lock via ``O_CREAT | O_EXCL``, or None.
+
+        Returns the lock path to unlink on release.  None means the lock
+        could not be acquired within ``timeout`` — the caller proceeds
+        unlocked rather than dropping the wall (best-effort semantics).
+        """
+        lock_path = self.root / ".stats.lock"
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return lock_path
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                    if age > self._STATS_LOCK_STALE_SECONDS:
+                        lock_path.unlink()
+                        continue
+                except OSError:
+                    continue  # holder released between open and stat
+                if time.monotonic() >= deadline:
+                    return None
+                time.sleep(0.002)
+            except OSError:
+                return None
 
     def recorded_walls(self) -> dict[str, float]:
         """label -> smoothed wall seconds, from the sidecar (may be {})."""

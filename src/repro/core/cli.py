@@ -9,10 +9,13 @@ option of footnote 17.  The simulator-specific additions are ``--gpu``
 (which preset to analyse — the stand-in for "which machine am I running
 on"), ``--seed``, ``--validate`` (the post-hoc validation pass), the
 ``mt4g fleet`` subcommand that discovers many presets concurrently and
-prints a cross-device comparison matrix, and the discovery cache flags
-``--cache-dir`` (default ``~/.cache/mt4g``) / ``--no-cache`` — repeat
-runs with identical inputs are served from the content-addressed store
-byte-identically instead of re-measured.
+prints a cross-device comparison matrix, the ``mt4g serve`` subcommand
+that runs the long-lived topology query service (catalog + reports +
+compare/diff over the discovery cache, with single-flight cold-request
+coalescing), and the discovery cache flags ``--cache-dir`` (default
+``~/.cache/mt4g``) / ``--no-cache`` — repeat runs with identical inputs
+are served from the content-addressed store byte-identically instead of
+re-measured.
 """
 
 from __future__ import annotations
@@ -38,7 +41,14 @@ from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import available_presets, get_preset
 from repro.gpuspec.spec import Vendor
 
-__all__ = ["main", "build_parser", "build_fleet_parser", "fleet_main"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_fleet_parser",
+    "fleet_main",
+    "build_serve_parser",
+    "serve_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +180,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "fleet":
         return fleet_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -375,6 +387,93 @@ def fleet_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     return 0 if entries_ok and fleet_ok else 2
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mt4g serve",
+        description=(
+            "Run the long-lived topology query service over the discovery "
+            "cache: device catalog, report serving with format "
+            "negotiation, cross-device compare, structural diff, and "
+            "single-flight background discovery."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8734,
+        help="TCP port to bind; 0 picks an ephemeral port (default: 8734)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("MT4G_CACHE_DIR", "~/.cache/mt4g"),
+        metavar="DIR",
+        help="discovery cache directory the service serves from "
+        "($MT4G_CACHE_DIR overrides; default: ~/.cache/mt4g)",
+    )
+    parser.add_argument(
+        "--no-discover",
+        action="store_true",
+        help="read-only mode: serve only what the cache already holds; "
+        "cold requests are 404s and POST /discover is rejected",
+    )
+    parser.add_argument(
+        "--cache-config",
+        default="PreferL1",
+        choices=("PreferL1", "PreferShared", "PreferEqual"),
+        help="NVIDIA L1/shared carveout the served report keys assume — "
+        "must match how the store was warmed (default: PreferL1)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="discovery worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the startup banner",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``mt4g serve``: the asyncio topology query service."""
+    # Imported here so plain discovery runs never pay for the serving
+    # machinery (mirrors the fleet subcommand's lazy import).
+    import asyncio
+
+    from repro.serve.server import run_service
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(
+            run_service(
+                Path(args.cache_dir).expanduser(),
+                host=args.host,
+                port=args.port,
+                read_only=args.no_discover,
+                cache_config=args.cache_config,
+                max_workers=args.jobs,
+                quiet=args.quiet,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # bind failure: port in use, bad interface
+        print(f"mt4g serve: error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

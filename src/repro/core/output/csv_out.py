@@ -15,7 +15,10 @@ from pathlib import Path
 
 from repro.core.report import ATTRIBUTES, TopologyReport
 
-__all__ = ["to_csv", "write_csv"]
+__all__ = ["CONTENT_TYPE", "to_csv", "write_csv"]
+
+#: MIME type of this writer's output (serving format negotiation).
+CONTENT_TYPE = "text/csv"
 
 
 def _flatten_value(value) -> str:

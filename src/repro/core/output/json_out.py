@@ -16,6 +16,7 @@ from repro.core.report import TopologyReport
 from repro.errors import OutputError
 
 __all__ = [
+    "CONTENT_TYPE",
     "to_json",
     "write_json",
     "to_jsonable",
@@ -23,6 +24,10 @@ __all__ = [
     "to_fleet_json",
     "write_fleet_json",
 ]
+
+#: MIME type of this writer's output (the serving subsystem's format
+#: negotiation maps Accept headers onto writers through these).
+CONTENT_TYPE = "application/json"
 
 
 def to_json(report: TopologyReport, indent: int = 2) -> str:

@@ -12,7 +12,10 @@ from pathlib import Path
 
 from repro.core.report import ATTRIBUTES, TopologyReport
 
-__all__ = ["to_markdown", "write_markdown"]
+__all__ = ["CONTENT_TYPE", "to_markdown", "write_markdown"]
+
+#: MIME type of this writer's output (serving format negotiation).
+CONTENT_TYPE = "text/markdown"
 
 _HEADERS = {
     "size": "Size",

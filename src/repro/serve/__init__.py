@@ -1,0 +1,46 @@
+"""Topology serving subsystem: catalog + async HTTP query service.
+
+The paper's Section VI consumers (performance models, GPUscout,
+sys-sage) need *programmatic, repeated* access to topology reports — and
+the ROADMAP's north star asks for a system that serves heavy traffic.
+This package turns the content-addressed :class:`~repro.cache.
+DiscoveryCache` plus the fleet machinery into that long-lived service:
+
+* :mod:`repro.serve.catalog` — the device registry over the store
+  (enumerate cached discoveries with metadata, filter by attribute);
+* :mod:`repro.serve.server` / :mod:`repro.serve.handlers` — the
+  stdlib-asyncio HTTP API (``/devices``, report format negotiation,
+  ``/compare`` with the fleet judge, ``/diff`` drift detection,
+  ``/discover`` + ``/jobs``, ``/healthz``, ``/metrics``);
+* :mod:`repro.serve.jobs` — the single-flight discovery queue: N
+  concurrent cold requests for one (preset, config, seed) cost exactly
+  one discovery, admitted longest-first into the worker pool;
+* :mod:`repro.serve.diff` — structural report-diff with tolerance
+  classification (jitter vs drift);
+* :mod:`repro.serve.metrics` — hit/miss/inflight/latency counters.
+
+Entry point: ``mt4g serve`` (see :mod:`repro.core.cli`).
+"""
+
+from repro.serve.catalog import CatalogEntry, DeviceCatalog
+from repro.serve.diff import AttributeDelta, ReportDiff, diff_reports
+from repro.serve.handlers import HTTPError, HTTPRequest, HTTPResponse
+from repro.serve.jobs import DiscoveryJob, JobQueue
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.server import TopologyService, run_service
+
+__all__ = [
+    "AttributeDelta",
+    "CatalogEntry",
+    "DeviceCatalog",
+    "DiscoveryJob",
+    "HTTPError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "JobQueue",
+    "ReportDiff",
+    "ServiceMetrics",
+    "TopologyService",
+    "diff_reports",
+    "run_service",
+]

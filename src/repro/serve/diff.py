@@ -1,0 +1,212 @@
+"""Structural report diff: drift detection between two cached reports.
+
+``GET /diff/{a}/{b}`` answers the fleet-operations question the
+comparison matrix cannot: *did this device change?*  Two discoveries of
+the same preset at different times (different seeds, tool versions,
+carveout configs) should agree attribute for attribute; where they
+don't, the delta is either measurement jitter — numeric, inside the
+attribute's cross-check tolerance — or genuine drift worth an alert.
+
+The classification reuses :mod:`repro.stats.compare` (the same
+relative-error and tolerance predicates the validator applies to
+benchmark-vs-reference deltas) with the validator's per-attribute
+tolerances as defaults, so "within tolerance" means the same thing in a
+diff as it does in a validation pass.
+
+Per (element, attribute) pair the diff records one
+:class:`AttributeDelta` with a status:
+
+* ``identical`` — values equal (numeric or not);
+* ``within_tolerance`` — numeric values differ but the relative error
+  is inside the attribute's tolerance (jitter, not drift);
+* ``drift`` — numeric values differ beyond tolerance;
+* ``changed`` — non-numeric values differ (sharing tuples, CU maps);
+* ``only_a`` / ``only_b`` — the attribute (or whole element) has a
+  value on one side only.
+
+Attributes absent on both sides produce no row — a diff is about what
+changed, not a re-print of two reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.benchmarks.base import Source
+from repro.core.report import ATTRIBUTES, TopologyReport
+from repro.stats.compare import relative_error, within_tolerance
+from repro.validate.validator import DEFAULT_TOLERANCES
+
+__all__ = ["AttributeDelta", "ReportDiff", "diff_reports"]
+
+#: Statuses that mean "the two reports genuinely disagree".
+_DIVERGENT = ("drift", "changed", "only_a", "only_b")
+
+
+@dataclass(frozen=True)
+class AttributeDelta:
+    """One (element, attribute) comparison between two reports."""
+
+    element: str
+    attribute: str
+    status: str
+    a_value: Any
+    b_value: Any
+    unit: str = ""
+    rel_error: float | None = None
+    tolerance: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "element": self.element,
+            "attribute": self.attribute,
+            "status": self.status,
+            "a_value": self.a_value,
+            "b_value": self.b_value,
+            "unit": self.unit,
+            "rel_error": self.rel_error,
+            "tolerance": self.tolerance,
+        }
+
+
+@dataclass
+class ReportDiff:
+    """All deltas between two reports, plus the drift verdict."""
+
+    a_label: str
+    b_label: str
+    deltas: list[AttributeDelta] = field(default_factory=list)
+
+    @property
+    def divergent(self) -> list[AttributeDelta]:
+        """Deltas that are real disagreements (not jitter, not equal)."""
+        return [d for d in self.deltas if d.status in _DIVERGENT]
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergent
+
+    @property
+    def verdict(self) -> str:
+        return "identical" if self.identical else "drift"
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for d in self.deltas:
+            counts[d.status] = counts.get(d.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "mt4g-repro-diff/1",
+            "a": self.a_label,
+            "b": self.b_label,
+            "verdict": self.verdict,
+            "summary": self.summary(),
+            "deltas": [d.as_dict() for d in self.deltas],
+        }
+
+    def to_markdown_lines(self) -> list[str]:
+        lines = [
+            f"# MT4G Report Diff — {self.a_label} vs {self.b_label}",
+            "",
+            f"Verdict: **{self.verdict}** "
+            + ", ".join(f"{v} {k}" for k, v in self.summary().items()),
+            "",
+        ]
+        divergent = self.divergent
+        if divergent:
+            lines.append("| Element | Attribute | A | B | Δ | Status |")
+            lines.append("|---|---|---|---|---|---|")
+            for d in divergent:
+                delta = f"{d.rel_error:.1%}" if d.rel_error is not None else "—"
+                lines.append(
+                    f"| {d.element} | {d.attribute} | {d.a_value} "
+                    f"| {d.b_value} | {delta} | {d.status} |"
+                )
+            lines.append("")
+        return lines
+
+    def to_markdown(self) -> str:
+        return "\n".join(self.to_markdown_lines())
+
+
+def _comparable(report: TopologyReport, element: str, attribute: str) -> Any:
+    """The attribute's value when it carries one, else None.
+
+    Not-applicable and unavailable attributes are "no value" — a diff
+    between two honest absences is not a delta.
+    """
+    av = report.memory[element].get(attribute)
+    if av.source in (Source.NOT_APPLICABLE, Source.UNAVAILABLE):
+        return None
+    return av.value
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_reports(
+    a: TopologyReport,
+    b: TopologyReport,
+    a_label: str = "a",
+    b_label: str = "b",
+    tolerances: dict[str, float] | None = None,
+) -> ReportDiff:
+    """Structural diff of two reports, element by element.
+
+    ``tolerances`` overrides the validator's per-attribute relative
+    tolerances (:data:`repro.validate.validator.DEFAULT_TOLERANCES`);
+    attributes without an entry compare exactly.
+    """
+    tol = {**DEFAULT_TOLERANCES, **(tolerances or {})}
+    diff = ReportDiff(a_label=a_label, b_label=b_label)
+    names = list(a.memory) + [n for n in b.memory if n not in a.memory]
+    for name in names:
+        in_a, in_b = name in a.memory, name in b.memory
+        if not (in_a and in_b):
+            diff.deltas.append(
+                AttributeDelta(
+                    element=name,
+                    attribute="*",
+                    status="only_a" if in_a else "only_b",
+                    a_value="present" if in_a else None,
+                    b_value="present" if in_b else None,
+                )
+            )
+            continue
+        for attribute in ATTRIBUTES:
+            va = _comparable(a, name, attribute)
+            vb = _comparable(b, name, attribute)
+            if va is None and vb is None:
+                continue
+            unit = a.memory[name].get(attribute).unit or b.memory[name].get(
+                attribute
+            ).unit
+            if va is None or vb is None:
+                status, err = ("only_b" if va is None else "only_a"), None
+            elif _is_numeric(va) and _is_numeric(vb):
+                err = relative_error(va, vb)
+                if va == vb:
+                    status = "identical"
+                elif within_tolerance(va, vb, tol.get(attribute, 0.0)):
+                    status = "within_tolerance"
+                else:
+                    status = "drift"
+            else:
+                status, err = ("identical" if va == vb else "changed"), None
+            diff.deltas.append(
+                AttributeDelta(
+                    element=name,
+                    attribute=attribute,
+                    status=status,
+                    a_value=va,
+                    b_value=vb,
+                    unit=unit,
+                    rel_error=None if err is None else round(err, 6),
+                    tolerance=tol.get(attribute),
+                )
+            )
+    return diff

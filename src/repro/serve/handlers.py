@@ -1,0 +1,456 @@
+"""HTTP route handlers of the topology query service.
+
+The endpoint surface (all responses carry ``Connection: close``):
+
+* ``GET /healthz`` — liveness + store shape;
+* ``GET /metrics`` — hit/miss/inflight/latency counters;
+* ``GET /devices`` — the catalog, filterable
+  (``?vendor=NVIDIA&verdict=pass`` …);
+* ``GET /devices/{preset}/report`` — one cached report, with format
+  negotiation over the three existing writers (``?format=json|markdown|
+  csv`` or an ``Accept`` header); JSON is byte-identical to the CLI's
+  ``mt4g --no-cache -j`` output for the same (preset, config, seed),
+  because the store archives reports *before* per-run cache provenance
+  is attached — served bytes are content, not run history;
+* ``GET /compare?presets=a,b,…`` — the fleet comparison matrix plus the
+  fleet judge's cross-device verdict over cached reports;
+* ``GET /diff/{a}/{b}`` — the structural drift diff of two reports;
+* ``POST /discover`` — enqueue a discovery (single-flight), 202 + job;
+* ``GET /jobs/{id}`` — job status.
+
+Cold keys behave uniformly: with discovery enabled the request rides the
+single-flight queue (N concurrent cold requests → one measurement) and
+responds when the entry lands; in read-only mode (``--no-discover``)
+a cold key is a 404 — the service then promises to serve exactly what
+the store holds and nothing else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.output import csv_out, json_out, markdown
+from repro.core.report import TopologyReport
+from repro.errors import ReproError
+from repro.gpuspec.presets import get_preset
+from repro.serve.diff import diff_reports
+from repro.validate.fleet import FleetEntry, FleetResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.server import TopologyService
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "dispatch",
+    "error_response",
+    "json_response",
+    "route_label",
+]
+
+#: format name -> (renderer, content type); the three writers the CLI
+#: already ships, reused verbatim so a served report and a written file
+#: never drift apart.
+_REPORT_FORMATS = {
+    "json": (lambda r: json_out.to_json(r) + "\n", json_out.CONTENT_TYPE),
+    "markdown": (markdown.to_markdown, markdown.CONTENT_TYPE),
+    "csv": (csv_out.to_csv, csv_out.CONTENT_TYPE),
+}
+_FORMAT_ALIASES = {"md": "markdown"}
+_ACCEPT_TO_FORMAT = {
+    json_out.CONTENT_TYPE: "json",
+    markdown.CONTENT_TYPE: "markdown",
+    csv_out.CONTENT_TYPE: "csv",
+    "*/*": "json",
+}
+
+
+class HTTPError(Exception):
+    """A handler-level failure with an HTTP status."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request (transport-independent: tests build these)."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def parts(self) -> list[str]:
+        return [p for p in self.path.split("/") if p]
+
+
+@dataclass
+class HTTPResponse:
+    """One response; the server layer wires it onto the socket."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = json_out.CONTENT_TYPE
+
+    _REASONS = {
+        200: "OK",
+        202: "Accepted",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        406: "Not Acceptable",
+        500: "Internal Server Error",
+        502: "Bad Gateway",
+    }
+
+    @property
+    def reason(self) -> str:
+        return self._REASONS.get(self.status, "Unknown")
+
+    def encode(self) -> bytes:
+        head = (
+            f"HTTP/1.1 {self.status} {self.reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(self.body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + self.body
+
+
+def json_response(payload: Any, status: int = 200) -> HTTPResponse:
+    body = json.dumps(json_out.to_jsonable(payload), indent=2) + "\n"
+    return HTTPResponse(status=status, body=body.encode("utf-8"))
+
+
+def error_response(status: int, detail: str) -> HTTPResponse:
+    return json_response({"error": detail, "status": status}, status=status)
+
+
+def route_label(request: HTTPRequest) -> str:
+    """The metrics bucket for a request: its route *template*.
+
+    Raw paths would explode the metrics cardinality (every preset its
+    own bucket) — requests aggregate under the endpoint shape instead.
+    """
+    parts = request.parts
+    if len(parts) == 3 and parts[0] == "devices" and parts[2] == "report":
+        return f"{request.method} /devices/{{preset}}/report"
+    if len(parts) == 3 and parts[0] == "diff":
+        return f"{request.method} /diff/{{a}}/{{b}}"
+    if len(parts) == 2 and parts[0] == "jobs":
+        return f"{request.method} /jobs/{{id}}"
+    if len(parts) == 1:
+        return f"{request.method} /{parts[0]}"
+    return f"{request.method} <unmatched>"
+
+
+# ---------------------------------------------------------------------- #
+# shared helpers                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def _seed_param(request: HTTPRequest, name: str, default: int = 0) -> int:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    try:
+        seed = int(raw)
+    except ValueError:
+        raise HTTPError(400, f"query parameter {name!r} must be an integer") from None
+    return _checked_seed(seed, name)
+
+
+def _checked_seed(seed: int, name: str = "seed") -> int:
+    # Range-checked here so a client typo is a 400, not a numpy
+    # ValueError escaping as a 500 (the alerting bucket in /metrics).
+    if seed < 0:
+        raise HTTPError(400, f"{name!r} must be a non-negative integer")
+    return seed
+
+
+def _bool_param(request: HTTPRequest, name: str, default: bool = False) -> bool:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    if raw.lower() in ("1", "true", "yes", "on"):
+        return True
+    if raw.lower() in ("0", "false", "no", "off"):
+        return False
+    raise HTTPError(400, f"query parameter {name!r} must be a boolean")
+
+
+def negotiate_format(request: HTTPRequest, supported=("json", "markdown", "csv")) -> str:
+    """Response format from ``?format=`` (wins) or the Accept header."""
+    raw = request.query.get("format")
+    if raw is not None:
+        fmt = _FORMAT_ALIASES.get(raw.lower(), raw.lower())
+        if fmt not in supported:
+            raise HTTPError(
+                406, f"unsupported format {raw!r}; supported: {', '.join(supported)}"
+            )
+        return fmt
+    accept = request.headers.get("accept", "")
+    for clause in accept.split(","):
+        mime = clause.partition(";")[0].strip().lower()
+        fmt = _ACCEPT_TO_FORMAT.get(mime)
+        if fmt in supported:
+            return fmt
+    if accept.strip():
+        # an explicit Accept that matches none of our types is a 406;
+        # an absent header defaults to JSON.
+        raise HTTPError(406, f"no supported media type in Accept: {accept!r}")
+    return supported[0]
+
+
+def _known_preset(name: str) -> str:
+    try:
+        get_preset(name)
+    except ReproError as exc:
+        raise HTTPError(404, str(exc)) from None
+    return name
+
+
+async def _load_report(
+    service: "TopologyService", preset: str, seed: int, validate: bool
+) -> TopologyReport:
+    """The cached report for (preset, config, seed) — discovering on a
+    miss through the single-flight queue unless the service is read-only.
+
+    Every call unpickles a fresh report object, so handlers may mutate
+    (the fleet judge recalibrates confidences in place) without
+    poisoning later requests.
+    """
+    _known_preset(preset)
+    key = service.jobs.report_key(preset, seed, validate)
+    loop = asyncio.get_running_loop()
+    # store.get unpickles a whole report from disk — off the loop thread
+    # so a slow disk never stalls every other connection.
+    payload = await loop.run_in_executor(None, service.store.get, key)
+    if payload is None:
+        if service.read_only:
+            raise HTTPError(
+                404,
+                f"no cached report for {preset} (seed {seed}, "
+                f"validate={validate}) and discovery is disabled "
+                "(read-only mode)",
+            )
+        job = service.jobs.submit(preset, seed=seed, validate=validate)
+        await service.jobs.wait(job)
+        if job.status == "error":
+            raise HTTPError(502, f"discovery failed for {preset}: {job.error}")
+        payload = await loop.run_in_executor(None, service.store.get, key)
+        if payload is None:
+            raise HTTPError(
+                500,
+                f"discovery for {preset} completed but the store entry is "
+                "missing (pruned or unwritable store?)",
+            )
+    report = payload.get("report") if isinstance(payload, dict) else None
+    if not isinstance(report, TopologyReport):
+        raise HTTPError(500, f"cache entry for {preset} holds no report payload")
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# endpoints                                                               #
+# ---------------------------------------------------------------------- #
+
+
+async def handle_healthz(service: "TopologyService") -> HTTPResponse:
+    # entry_count globs the whole entries/ tree — off the loop thread,
+    # because liveness probes are the highest-frequency caller.
+    entries = await asyncio.get_running_loop().run_in_executor(
+        None, service.store.entry_count
+    )
+    return json_response(
+        {
+            "status": "ok",
+            "read_only": service.read_only,
+            "store": str(service.store.root),
+            "entries": entries,
+            "inflight": service.jobs.inflight,
+        }
+    )
+
+
+def handle_metrics(service: "TopologyService") -> HTTPResponse:
+    return json_response(
+        service.metrics.snapshot(store=service.store, jobs=service.jobs)
+    )
+
+
+async def handle_devices(
+    service: "TopologyService", request: HTTPRequest
+) -> HTTPResponse:
+    # The catalog renders JSON only, but ?format= must still negotiate
+    # (406 on csv/markdown) instead of silently returning the wrong type.
+    negotiate_format(request, supported=("json",))
+    filters = {k: v for k, v in request.query.items() if k != "format"}
+    try:
+        # Catalog enumeration unpickles every store entry (O(store)
+        # disk work) — run it off the event loop.
+        entries = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: service.catalog.entries(**filters)
+        )
+    except ValueError as exc:
+        raise HTTPError(400, str(exc)) from None
+    return json_response(
+        {
+            "schema": "mt4g-repro-catalog/1",
+            "count": len(entries),
+            "devices": [e.as_dict() for e in entries],
+        }
+    )
+
+
+async def handle_report(
+    service: "TopologyService", request: HTTPRequest, preset: str
+) -> HTTPResponse:
+    fmt = negotiate_format(request)
+    seed = _seed_param(request, "seed")
+    validate = _bool_param(request, "validate")
+    report = await _load_report(service, preset, seed, validate)
+    render, content_type = _REPORT_FORMATS[fmt]
+    return HTTPResponse(body=render(report).encode("utf-8"), content_type=content_type)
+
+
+async def handle_compare(
+    service: "TopologyService", request: HTTPRequest
+) -> HTTPResponse:
+    fmt = negotiate_format(request, supported=("json", "markdown"))
+    raw = request.query.get("presets", "")
+    presets = [p for p in (s.strip() for s in raw.split(",")) if p]
+    if len(presets) < 2:
+        raise HTTPError(400, "compare needs ?presets=a,b[,c…] (two or more)")
+    if len(set(presets)) != len(presets):
+        raise HTTPError(400, f"duplicate preset(s) in compare: {sorted(presets)}")
+    seed = _seed_param(request, "seed")
+    validate = _bool_param(request, "validate")
+    start = time.perf_counter()
+    reports = await asyncio.gather(
+        *(_load_report(service, p, seed, validate) for p in presets)
+    )
+
+    def build_and_judge() -> FleetResult:
+        # Sidecar read + the CPU-bound fleet judge, off the loop thread.
+        walls = service.store.recorded_walls()
+        result = FleetResult(
+            entries=[
+                FleetEntry(
+                    preset=p, seed=seed, report=r, wall_seconds=walls.get(p, 0.0)
+                )
+                for p, r in zip(presets, reports)
+            ],
+            jobs=0,  # served from the store, not a worker pool
+            total_wall_seconds=time.perf_counter() - start,
+            seed=seed,
+        )
+        result.validate()  # the PR-3 cross-device judge
+        return result
+
+    result = await asyncio.get_running_loop().run_in_executor(None, build_and_judge)
+    if fmt == "markdown":
+        return HTTPResponse(
+            body=result.to_markdown().encode("utf-8"),
+            content_type=markdown.CONTENT_TYPE,
+        )
+    return json_response(
+        {
+            "schema": "mt4g-repro-compare/1",
+            "seed": seed,
+            "presets": presets,
+            "matrix": result.comparison_matrix(),
+            "fleet_validation": result.validation.as_dict(),
+        }
+    )
+
+
+async def handle_diff(
+    service: "TopologyService", request: HTTPRequest, a: str, b: str
+) -> HTTPResponse:
+    fmt = negotiate_format(request, supported=("json", "markdown"))
+    seed = _seed_param(request, "seed")
+    seed_a = _seed_param(request, "seed_a", seed)
+    seed_b = _seed_param(request, "seed_b", seed)
+    validate = _bool_param(request, "validate")
+    report_a, report_b = await asyncio.gather(
+        _load_report(service, a, seed_a, validate),
+        _load_report(service, b, seed_b, validate),
+    )
+    diff = diff_reports(
+        report_a,
+        report_b,
+        a_label=f"{a}@seed{seed_a}",
+        b_label=f"{b}@seed{seed_b}",
+    )
+    if fmt == "markdown":
+        return HTTPResponse(
+            body=diff.to_markdown().encode("utf-8"),
+            content_type=markdown.CONTENT_TYPE,
+        )
+    return json_response(diff.as_dict())
+
+
+def handle_discover(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
+    if service.read_only:
+        raise HTTPError(405, "discovery is disabled (read-only mode)")
+    try:
+        payload = json.loads(request.body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HTTPError(400, f"request body is not JSON: {exc}") from None
+    if not isinstance(payload, dict) or "preset" not in payload:
+        raise HTTPError(400, 'discover body must be {"preset": …[, "seed", "validate"]}')
+    preset = _known_preset(str(payload["preset"]))
+    seed = payload.get("seed", 0)
+    validate = payload.get("validate", False)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise HTTPError(400, '"seed" must be an integer')
+    _checked_seed(seed)
+    if not isinstance(validate, bool):
+        raise HTTPError(400, '"validate" must be a boolean')
+    job = service.jobs.submit(preset, seed=seed, validate=validate)
+    return json_response(job.as_dict(), status=202)
+
+
+def handle_job(service: "TopologyService", job_id: str) -> HTTPResponse:
+    job = service.jobs.get(job_id)
+    if job is None:
+        raise HTTPError(404, f"no job {job_id!r}")
+    return json_response(job.as_dict())
+
+
+async def dispatch(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
+    """Route one request; raises :class:`HTTPError` for client errors."""
+    parts = request.parts
+    if request.method == "GET":
+        if parts == ["healthz"]:
+            return await handle_healthz(service)
+        if parts == ["metrics"]:
+            return handle_metrics(service)
+        if parts == ["devices"]:
+            return await handle_devices(service, request)
+        if len(parts) == 3 and parts[0] == "devices" and parts[2] == "report":
+            return await handle_report(service, request, parts[1])
+        if parts == ["compare"]:
+            return await handle_compare(service, request)
+        if len(parts) == 3 and parts[0] == "diff":
+            return await handle_diff(service, request, parts[1], parts[2])
+        if len(parts) == 2 and parts[0] == "jobs":
+            return handle_job(service, parts[1])
+    elif request.method == "POST":
+        if parts == ["discover"]:
+            return handle_discover(service, request)
+    elif request.method in ("HEAD", "PUT", "DELETE", "PATCH"):
+        raise HTTPError(405, f"method {request.method} not supported")
+    raise HTTPError(404, f"no route for {request.method} {request.path}")

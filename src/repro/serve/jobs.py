@@ -1,0 +1,294 @@
+"""Single-flight discovery queue: N cold requests, one discovery.
+
+The load-shedding primitive that makes serving heavy traffic honest.  A
+cold request (no cache entry for its content-addressed report key) must
+trigger a discovery — but when eight clients ask for the same uncached
+(preset, config, seed) at once, running eight identical discoveries
+would multiply the most expensive operation the system has by the
+request rate.  The queue keys every in-flight job by the *report cache
+key* (the same SHA-256 identity the store uses), so concurrent requests
+for one identity coalesce onto one job: one worker measures, writes the
+entry into the shared store, and every waiter then reads the identical
+bytes back out.
+
+Jobs run the fleet's worker body (:func:`repro.validate.fleet.discover_one`)
+in an executor — a process pool by default, because discovery is
+CPU-bound numpy work — and admission is LPT-aware like the fleet
+schedule: when more jobs are pending than pool slots, the longest
+estimated job starts first (recorded walls from the store's sidecar,
+spec-derived estimates for unseen presets), so a burst's makespan
+approaches the LPT bound instead of depending on arrival order.
+
+Coalescing applies only to jobs still in flight (queued/running): a
+finished job's result lives in the store, so a later request for the
+same key is a plain cache hit and never reaches the queue; a failed
+job is retried by the next request rather than pinning the failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any
+
+from repro.cache.costs import estimate_discovery_cost
+from repro.cache.store import DiscoveryCache
+from repro.core.tool import AMD_ELEMENTS, NVIDIA_ELEMENTS
+from repro.gpusim.device import SimulatedGPU
+from repro.gpuspec.presets import get_preset
+from repro.gpuspec.spec import Vendor
+from repro.pchase.config import PChaseConfig
+from repro.validate.fleet import discover_one
+
+__all__ = ["DiscoveryJob", "JobQueue"]
+
+
+@dataclass
+class DiscoveryJob:
+    """One coalesced discovery: many requests, one measurement."""
+
+    id: str
+    key: str
+    preset: str
+    seed: int
+    validate: bool
+    status: str = "queued"  # queued | running | done | error
+    error: str = ""
+    #: how many requests this job serves (1 + coalesced arrivals).
+    requests: int = 1
+    #: LPT admission cost (recorded wall or calibrated estimate).
+    cost: float = 0.0
+    wall_seconds: float = 0.0
+    done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "key": self.key,
+            "preset": self.preset,
+            "seed": self.seed,
+            "validate": self.validate,
+            "status": self.status,
+            "error": self.error,
+            "requests": self.requests,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+class JobQueue:
+    """Single-flight background discoveries over one shared store.
+
+    ``executor`` defaults to a lazily-created :class:`ProcessPoolExecutor`
+    (real parallelism for CPU-bound discovery); tests inject a thread
+    pool to keep everything in-process.  All public methods must run on
+    the event-loop thread — the queue's bookkeeping is loop-confined and
+    needs no locks.
+    """
+
+    #: Terminal (done/error) jobs retained for ``GET /jobs/{id}``; past
+    #: this the oldest are evicted, so a long-lived service sweeping
+    #: seeds cannot grow the job table without bound.
+    MAX_TERMINAL_JOBS = 256
+
+    def __init__(
+        self,
+        store: DiscoveryCache,
+        cache_config: str = "PreferL1",
+        engine: str = "analytic",
+        max_workers: int | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.store = store
+        self.cache_config = cache_config
+        self.engine = engine
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._jobs: dict[str, DiscoveryJob] = {}
+        self._by_key: dict[str, DiscoveryJob] = {}
+        self._pending: list[DiscoveryJob] = []
+        self._terminal: deque[str] = deque()
+        self._running = 0
+        self._ids = itertools.count(1)
+        #: single-flight accounting (the acceptance counters).
+        self.discoveries_started = 0
+        self.discoveries_completed = 0
+        self.discoveries_failed = 0
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------ #
+    # identity                                                            #
+    # ------------------------------------------------------------------ #
+
+    def report_key(self, preset: str, seed: int, validate: bool) -> str:
+        """The content-addressed key a discovery with these inputs lands
+        under — computed exactly like the worker will: a pristine device,
+        the service's engine/carveout config, all elements, no extensions.
+        """
+        spec = get_preset(preset)
+        device = SimulatedGPU(spec, seed=seed, cache_config=self.cache_config)
+        targets = NVIDIA_ELEMENTS if spec.vendor is Vendor.NVIDIA else AMD_ELEMENTS
+        return self.store.report_key(
+            device,
+            PChaseConfig(engine=self.engine),
+            set(targets),
+            frozenset(),
+            validate,
+        )
+
+    # ------------------------------------------------------------------ #
+    # submission (single-flight) + LPT admission                          #
+    # ------------------------------------------------------------------ #
+
+    def submit(self, preset: str, seed: int = 0, validate: bool = False) -> DiscoveryJob:
+        """Enqueue a discovery, coalescing onto an in-flight twin.
+
+        Raises :class:`repro.errors.UnknownGPUError` for unknown presets
+        (before any key work).  The returned job may already be running —
+        await :meth:`wait` for completion.
+        """
+        key = self.report_key(preset, seed, validate)
+        inflight = self._by_key.get(key)
+        if inflight is not None and inflight.status in ("queued", "running"):
+            inflight.requests += 1
+            self.coalesced += 1
+            return inflight
+        job = DiscoveryJob(
+            id=f"job-{next(self._ids)}",
+            key=key,
+            preset=preset,
+            seed=seed,
+            validate=validate,
+            cost=self._estimate_cost(preset),
+        )
+        self._jobs[job.id] = job
+        self._by_key[key] = job
+        self._pending.append(job)
+        self._pump()
+        return job
+
+    def _estimate_cost(self, preset: str) -> float:
+        """Admission cost: the recorded wall, or a calibrated estimate."""
+        walls = self.store.recorded_walls()
+        if preset in walls:
+            return walls[preset]
+        estimate = estimate_discovery_cost(get_preset(preset))
+        ratios = []
+        for label, wall in walls.items():
+            try:
+                e = estimate_discovery_cost(get_preset(label))
+            except Exception:
+                continue  # sidecar label that is not a preset
+            if e > 0:
+                ratios.append(wall / e)
+        return estimate * (median(ratios) if ratios else 1.0)
+
+    def _pump(self) -> None:
+        """Start pending jobs while pool slots are free, longest first."""
+        while self._pending and self._running < self.max_workers:
+            job = max(self._pending, key=lambda j: j.cost)  # ties: earliest
+            self._pending.remove(job)
+            self._start(job)
+
+    def _start(self, job: DiscoveryJob) -> None:
+        job.status = "running"
+        self._running += 1
+        self.discoveries_started += 1
+        start = time.perf_counter()
+        future = asyncio.get_running_loop().run_in_executor(
+            self._ensure_executor(),
+            discover_one,
+            job.preset,
+            job.seed,
+            self.cache_config,
+            self.engine,
+            job.validate,
+            str(self.store.root),
+        )
+        future.add_done_callback(lambda f: self._finish(job, f, start))
+
+    def _finish(self, job: DiscoveryJob, future, start: float) -> None:
+        self._running -= 1
+        try:
+            _, report, wall, error = future.result()
+        except BaseException as exc:
+            # BaseException: a shutdown's cancel_futures raises
+            # CancelledError here, and an escaped exception would leave
+            # job.done unset with every waiter hung forever.
+            report, wall, error = None, time.perf_counter() - start, (
+                str(exc) or type(exc).__name__
+            )
+        job.wall_seconds = wall
+        if report is None or error:
+            job.status = "error"
+            job.error = error or "discovery produced no report"
+            self.discoveries_failed += 1
+        else:
+            job.status = "done"
+            self.discoveries_completed += 1
+            # Feed the LPT scheduler exactly like the fleet parent does:
+            # only genuinely measured walls, never hash-lookup hits.
+            # Off the loop thread — record_wall takes a sidecar lock and
+            # may briefly sleep-retry under writer contention.
+            if report.meta.get("cache", {}).get("status") != "hit":
+                asyncio.get_running_loop().run_in_executor(
+                    None, self.store.record_wall, job.preset, wall
+                )
+        job.done.set()
+        self._retire(job)
+        self._pump()
+
+    def _retire(self, job: DiscoveryJob) -> None:
+        """Bound the job table: evict the oldest terminal jobs."""
+        self._terminal.append(job.id)
+        while len(self._terminal) > self.MAX_TERMINAL_JOBS:
+            old = self._jobs.pop(self._terminal.popleft(), None)
+            if old is not None and self._by_key.get(old.key) is old:
+                del self._by_key[old.key]
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    # queries / lifecycle                                                 #
+    # ------------------------------------------------------------------ #
+
+    def get(self, job_id: str) -> DiscoveryJob | None:
+        return self._jobs.get(job_id)
+
+    @property
+    def inflight(self) -> int:
+        """Jobs admitted but not yet finished (running + pending)."""
+        return self._running + len(self._pending)
+
+    async def wait(self, job: DiscoveryJob) -> DiscoveryJob:
+        """Block until ``job`` reaches a terminal state."""
+        await job.done.wait()
+        return job
+
+    def shutdown(self) -> None:
+        """Fail still-queued jobs and release the owned executor.
+
+        Queued jobs never reach ``_finish`` (they were never started),
+        so their waiters must be released here; running jobs terminate
+        through ``_finish`` — normally, or via the cancellation their
+        executor future receives.  Injected executors are the
+        injector's to manage.
+        """
+        pending, self._pending = self._pending, []
+        for job in pending:
+            job.status = "error"
+            job.error = "service shut down before the job started"
+            job.done.set()
+            self._retire(job)
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

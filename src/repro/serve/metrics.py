@@ -1,0 +1,78 @@
+"""Service observability counters (``GET /metrics``).
+
+A long-lived query service needs to answer "is the cache carrying the
+traffic?" and "where does the time go?" without a profiler attached.
+:class:`ServiceMetrics` keeps the in-process counters the endpoint
+reports: per-route request/latency accounting and status histogram; the
+store's hit/miss/store counters and the job queue's single-flight
+counters are folded in at snapshot time (they live on those objects —
+the metrics module never owns a second copy that could drift).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """In-process request counters; cheap enough to touch per request."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        self.requests_total = 0
+        #: HTTP status -> count.
+        self.by_status: dict[int, int] = {}
+        #: route template -> {count, seconds_total, seconds_max}.
+        self.routes: dict[str, dict[str, float]] = {}
+        #: requests that never reached a handler (unparseable HTTP).
+        self.bad_requests = 0
+
+    def observe(self, route: str, status: int, seconds: float) -> None:
+        """Record one handled request against its route template."""
+        self.requests_total += 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        bucket = self.routes.setdefault(
+            route, {"count": 0, "seconds_total": 0.0, "seconds_max": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["seconds_total"] += float(seconds)
+        bucket["seconds_max"] = max(bucket["seconds_max"], float(seconds))
+
+    def snapshot(self, store=None, jobs=None) -> dict[str, Any]:
+        """The ``GET /metrics`` payload (JSON-ready)."""
+        out: dict[str, Any] = {
+            "schema": "mt4g-repro-metrics/1",
+            "uptime_seconds": round(self._clock() - self.started_at, 3),
+            "http": {
+                "requests_total": self.requests_total,
+                "bad_requests": self.bad_requests,
+                "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
+                "routes": {
+                    route: {
+                        "count": int(b["count"]),
+                        "seconds_total": round(b["seconds_total"], 6),
+                        "seconds_max": round(b["seconds_max"], 6),
+                    }
+                    for route, b in sorted(self.routes.items())
+                },
+            },
+        }
+        if store is not None:
+            out["store"] = {
+                "hits": store.hits,
+                "misses": store.misses,
+                "stores": store.stores,
+            }
+        if jobs is not None:
+            out["jobs"] = {
+                "inflight": jobs.inflight,
+                "started": jobs.discoveries_started,
+                "completed": jobs.discoveries_completed,
+                "failed": jobs.discoveries_failed,
+                "coalesced": jobs.coalesced,
+            }
+        return out

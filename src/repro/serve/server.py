@@ -1,0 +1,223 @@
+"""The asyncio topology query service (stdlib only, no new deps).
+
+:class:`TopologyService` ties the serving pieces together — the shared
+:class:`~repro.cache.DiscoveryCache`, the :class:`DeviceCatalog`, the
+single-flight :class:`JobQueue` and the :class:`ServiceMetrics` — behind
+a deliberately small HTTP/1.1 implementation on asyncio streams: parse
+one request (request line, headers, optional ``Content-Length`` body),
+dispatch through :func:`repro.serve.handlers.dispatch`, write one
+``Connection: close`` response.  No keep-alive, no chunking, no TLS —
+a fleet-internal query service fronted by whatever proxy the deployment
+already has; what matters here is that the *expensive* path (cold
+discovery) is coalesced and the hot path is a hash lookup.
+
+The transport and the routing are separable on purpose:
+:meth:`TopologyService.handle_request` takes an
+:class:`~repro.serve.handlers.HTTPRequest` and returns the response
+without any socket involved, which is how most tests (and embedders)
+drive the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import urllib.parse
+from concurrent.futures import Executor
+from pathlib import Path
+from time import perf_counter
+
+from repro.cache.store import DiscoveryCache
+from repro.serve.catalog import DeviceCatalog
+from repro.serve.handlers import (
+    HTTPError,
+    HTTPRequest,
+    HTTPResponse,
+    dispatch,
+    error_response,
+    route_label,
+)
+from repro.serve.jobs import JobQueue
+from repro.serve.metrics import ServiceMetrics
+
+__all__ = ["TopologyService", "run_service"]
+
+#: Bound on request bodies (POST /discover payloads are tiny).
+MAX_BODY_BYTES = 1 << 20
+#: Bound on header lines: a client streaming endless headers (each
+#: arriving inside the per-read timeout) must not pin a connection.
+MAX_HEADER_LINES = 100
+#: Per-read timeout: a stalled client must not pin a connection task.
+READ_TIMEOUT_SECONDS = 30.0
+
+
+class TopologyService:
+    """The long-lived topology query service over one discovery store."""
+
+    def __init__(
+        self,
+        store: DiscoveryCache,
+        read_only: bool = False,
+        cache_config: str = "PreferL1",
+        engine: str = "analytic",
+        max_workers: int | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.store = store
+        self.read_only = read_only
+        self.catalog = DeviceCatalog(store)
+        self.jobs = JobQueue(
+            store,
+            cache_config=cache_config,
+            engine=engine,
+            max_workers=max_workers,
+            executor=executor,
+        )
+        self.metrics = ServiceMetrics()
+        self._server: asyncio.AbstractServer | None = None
+        #: (host, port) actually bound; port 0 resolves on start().
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # request handling (transport-independent)                            #
+    # ------------------------------------------------------------------ #
+
+    async def handle_request(self, request: HTTPRequest) -> HTTPResponse:
+        """Dispatch one request; never raises — errors become responses."""
+        start = perf_counter()
+        try:
+            response = await dispatch(self, request)
+        except HTTPError as exc:
+            response = error_response(exc.status, exc.detail)
+        except Exception as exc:  # a handler bug must not kill the server
+            response = error_response(500, str(exc) or type(exc).__name__)
+        self.metrics.observe(route_label(request), response.status, perf_counter() - start)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # transport                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start accepting connections; returns (host, port)."""
+        self._server = await asyncio.start_server(self._handle_client, host, port)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.jobs.shutdown()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+        except Exception:
+            # Unparseable request line / headers / truncated body: one
+            # 400 and close; the failure is counted but never propagates.
+            self.metrics.bad_requests += 1
+            response = error_response(400, "malformed HTTP request")
+            await self._write(writer, response)
+            return
+        if request is None:  # connection closed before a request line
+            writer.close()
+            return
+        response = await self.handle_request(request)
+        await self._write(writer, response)
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, response: HTTPResponse) -> None:
+        try:
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Parse one HTTP/1.1 request off the stream (or None on EOF)."""
+    line = await asyncio.wait_for(reader.readline(), READ_TIMEOUT_SECONDS)
+    if not line.strip():
+        return None
+    method, target, _version = line.decode("ascii").split()
+    headers: dict[str, str] = {}
+    header_lines = 0
+    while True:
+        raw = await asyncio.wait_for(reader.readline(), READ_TIMEOUT_SECONDS)
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        header_lines += 1
+        if header_lines > MAX_HEADER_LINES:
+            raise ValueError("too many header lines")
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable Content-Length {length}")
+    if length:
+        body = await asyncio.wait_for(reader.readexactly(length), READ_TIMEOUT_SECONDS)
+    path, _, query_string = target.partition("?")
+    query = {
+        # last value wins for repeated parameters — the API has no
+        # list-valued parameters (compare takes a comma list).
+        name: values[-1]
+        for name, values in urllib.parse.parse_qs(
+            query_string, keep_blank_values=True
+        ).items()
+    }
+    return HTTPRequest(
+        method=method.upper(),
+        path=urllib.parse.unquote(path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def run_service(
+    cache_dir: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    read_only: bool = False,
+    cache_config: str = "PreferL1",
+    max_workers: int | None = None,
+    quiet: bool = False,
+) -> None:
+    """Run the service until cancelled (the ``mt4g serve`` entry point)."""
+    service = TopologyService(
+        DiscoveryCache(Path(cache_dir).expanduser()),
+        read_only=read_only,
+        cache_config=cache_config,
+        max_workers=max_workers,
+    )
+    bound_host, bound_port = await service.start(host, port)
+    if not quiet:
+        print(
+            f"# mt4g serve listening on http://{bound_host}:{bound_port} "
+            f"(store {service.store.root}"
+            f"{', read-only' if read_only else ''})",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()

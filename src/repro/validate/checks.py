@@ -127,6 +127,20 @@ def _sram_block(
 #: silicon (post-Pascal NVIDIA routes Texture/Readonly through l1tex).
 _CARVEOUT_ELEMENTS = frozenset({"L1", "Texture", "Readonly"})
 
+#: GPU-scope elements whose capacity is built from whole-MiB slices
+#: (LLC banks: one slice per partition/XCD), not from the SM-level
+#: carveout machinery.  A benchmarked 25 MiB Hopper L2 segment is a
+#: perfectly round capacity — 25 x 1 MiB slices — yet is neither a
+#: small odd multiple of a power of two nor a carveout (it is not L1
+#: silicon, and it dwarfs every SRAM block in the table).
+_MIB_SLICE_ELEMENTS = frozenset({"L2", "L3"})
+_MIB = 1024 * 1024
+#: Size sweeps overshoot the true boundary by at most a stride (a few
+#: KiB), so the MiB-slice rule uses an *absolute* slack cap: at 25 MiB a
+#: purely relative tolerance would span half a slice and wave anything
+#: through (whole-MiB multiples are dense at that scale).
+_MIB_SLICE_SLACK_BYTES = 64 * 1024
+
 
 @dataclass
 class CheckResult:
@@ -228,17 +242,22 @@ def is_roundish_size(
 ) -> bool:
     """Is ``value`` plausibly a real cache capacity?
 
-    Two shapes qualify: a small odd multiple of a power of two
-    (power-of-two banks: 192 KiB = 3 * 64 KiB, 5 MiB L2 slices), or —
-    for capacities large enough to be an L1/Shared-Memory carveout — an
-    8 KiB carveout quantum *consistent with the vendor/generation
-    carveout table*: the quantum must fit the generation's unified SRAM
-    block (:data:`_SRAM_BLOCK_BYTES`), and only elements routed through
-    the L1 silicon may claim a carveout at all.  Without vendor context
-    (no report at hand — e.g. direct unit-test calls) the legacy
-    permissive quantum rule applies; with context, an unknown generation
-    falls back to the permissive rule for NVIDIA only, and AMD — whose
-    first-level caches are fixed-function — gets no carveout branch.
+    Three shapes qualify, scoped by what kind of element the capacity
+    belongs to: a small odd multiple of a power of two (power-of-two
+    banks: 192 KiB = 3 * 64 KiB, 5 MiB L2 slices); for *GPU-scope* LLC
+    elements (:data:`_MIB_SLICE_ELEMENTS`) at or above 1 MiB, any whole
+    number of 1 MiB slices within an absolute slack of
+    :data:`_MIB_SLICE_SLACK_BYTES` (a benchmarked 25 MiB H100-style L2
+    segment is round; 25.5 MiB is not); or — for capacities large enough
+    to be an L1/Shared-Memory carveout — an 8 KiB carveout quantum
+    *consistent with the vendor/generation carveout table*: the quantum
+    must fit the generation's unified SRAM block
+    (:data:`_SRAM_BLOCK_BYTES`), and only elements routed through the L1
+    silicon may claim a carveout at all.  Without vendor context (no
+    report at hand — e.g. direct unit-test calls) the legacy permissive
+    quantum rule applies; with context, an unknown generation falls back
+    to the permissive rule for NVIDIA only, and AMD — whose first-level
+    caches are fixed-function — gets no carveout branch.
     """
     if value <= 0:
         return False
@@ -249,6 +268,12 @@ def is_roundish_size(
             if abs(value - c) <= tolerance * c:
                 return True
         candidate *= 2
+    if element in _MIB_SLICE_ELEMENTS and value >= _MIB:
+        # Element-scope-aware roundness: an LLC capacity is a count of
+        # whole-MiB slices, never an SM-SRAM carveout — the carveout
+        # branch below must not judge (and reject) it.
+        c = round(value / _MIB) * _MIB
+        return c > 0 and abs(value - c) <= min(tolerance * c, _MIB_SLICE_SLACK_BYTES)
     if value < _CARVEOUT_FLOOR:
         return False
     if vendor is not None:
@@ -356,7 +381,8 @@ def run_structural_checks(report: TopologyReport) -> list[CheckResult]:
                 + (
                     ""
                     if ok
-                    else " is neither a small odd multiple of a power of two "
+                    else " is neither a small odd multiple of a power of two, "
+                    "a whole-MiB LLC slice multiple, "
                     "nor a generation-consistent carveout quantum"
                 ),
                 elements=(name,),

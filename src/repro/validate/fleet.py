@@ -39,7 +39,13 @@ from repro.pchase.config import PChaseConfig
 from repro.units import format_bandwidth, format_size
 from repro.validate.fleet_checks import FleetValidation, run_fleet_checks
 
-__all__ = ["FleetEntry", "FleetResult", "discover_fleet", "fleet_schedule"]
+__all__ = [
+    "FleetEntry",
+    "FleetResult",
+    "discover_fleet",
+    "discover_one",
+    "fleet_schedule",
+]
 
 
 @dataclass
@@ -251,6 +257,13 @@ def _discover_one(
         # An exception with an empty message (``raise ValueError()``)
         # must not yield an error entry that renders as blank text.
         return preset, None, time.perf_counter() - start, _describe(exc)
+
+
+#: Public name of the worker body: the serving subsystem's single-flight
+#: discovery queue (:mod:`repro.serve.jobs`) submits exactly this
+#: function to its pool, so a service-run discovery lands in the shared
+#: store byte-identically to a fleet-run one.
+discover_one = _discover_one
 
 
 def _describe(exc: BaseException) -> str:

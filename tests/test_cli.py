@@ -5,7 +5,13 @@ import json
 
 import pytest
 
-from repro.core.cli import build_fleet_parser, build_parser, fleet_main, main
+from repro.core.cli import (
+    build_fleet_parser,
+    build_parser,
+    build_serve_parser,
+    fleet_main,
+    main,
+)
 from repro.core.report import ATTRIBUTES
 
 
@@ -252,3 +258,59 @@ class TestFleetCLI:
         assert "fleet validation FAILED" in captured.err
         assert "NVIDIA/Hopper:L1.cache_line_size" in captured.err
         assert "Verdict: **fail**" in captured.out
+
+
+class TestServeCLI:
+    """mt4g serve argument round-trips (mirrors the fleet parser tests)."""
+
+    def test_serve_parser_defaults(self):
+        import os
+
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1" and args.port == 8734
+        assert args.no_discover is False and args.jobs is None
+        assert args.quiet is False and args.cache_config == "PreferL1"
+        # the cache dir honours $MT4G_CACHE_DIR exactly like the
+        # discover/fleet parsers (the conftest fixture sets it)
+        assert args.cache_dir == os.environ["MT4G_CACHE_DIR"]
+
+    def test_serve_parser_round_trip(self):
+        args = build_serve_parser().parse_args([
+            "--host", "0.0.0.0", "--port", "0", "--cache-dir", "/tmp/x",
+            "--no-discover", "--jobs", "3", "-q",
+            "--cache-config", "PreferShared",
+        ])
+        assert args.host == "0.0.0.0" and args.port == 0
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_discover is True and args.jobs == 3
+        assert args.quiet is True and args.cache_config == "PreferShared"
+
+    def test_serve_cache_config_choices(self):
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--cache-config", "PreferChaos"])
+
+    def test_serve_port_must_be_int(self):
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--port", "http"])
+
+    def test_main_dispatches_serve_subcommand(self, monkeypatch):
+        from repro.core import cli as cli_mod
+
+        seen = {}
+
+        def fake_serve_main(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(cli_mod, "serve_main", fake_serve_main)
+        assert main(["serve", "--port", "0", "-q"]) == 0
+        assert seen["argv"] == ["--port", "0", "-q"]
+
+    def test_serve_main_reports_bind_failure(self, capsys):
+        from repro.core.cli import serve_main
+
+        # An unresolvable bind address must become exit 1 + a readable
+        # error, not a traceback (and must never start serving).
+        rc = serve_main(["--host", "999.invalid.example.", "-q"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

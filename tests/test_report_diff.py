@@ -1,0 +1,175 @@
+"""Tests for the structural report-diff engine (repro.serve.diff)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmarks.base import Source
+from repro.core.report import (
+    AttributeValue,
+    ComputeReport,
+    GeneralReport,
+    MemoryElementReport,
+    RuntimeReport,
+    TopologyReport,
+)
+from repro.serve.diff import diff_reports
+
+KiB = 1024
+
+
+def _attr(value, unit="B", confidence=0.9, source=Source.BENCHMARK):
+    return AttributeValue(value, unit, confidence, source)
+
+
+def _report(memory: dict[str, dict[str, AttributeValue]]) -> TopologyReport:
+    elements = {}
+    for name, attrs in memory.items():
+        el = MemoryElementReport(name)
+        for attr, av in attrs.items():
+            el.set(attr, av)
+        elements[name] = el
+    return TopologyReport(
+        general=GeneralReport(
+            vendor="NVIDIA",
+            model="synthetic",
+            microarchitecture="Test",
+            compute_capability="0.0",
+            clock_rate_hz=1e9,
+            memory_clock_rate_hz=1e9,
+            memory_bus_width_bits=256,
+        ),
+        compute=ComputeReport(
+            num_sms=1,
+            cores_per_sm=64,
+            warp_size=32,
+            max_blocks_per_sm=1,
+            max_threads_per_block=32,
+            max_threads_per_sm=32,
+            registers_per_block=1,
+            registers_per_sm=1,
+            warps_per_sm=2,
+            simds_per_sm=0,
+        ),
+        memory=elements,
+        runtime=RuntimeReport(0, 0.0, 0.0),
+    )
+
+
+def _delta(diff, element, attribute):
+    matches = [
+        d for d in diff.deltas if d.element == element and d.attribute == attribute
+    ]
+    assert len(matches) == 1, f"expected one delta for {element}.{attribute}"
+    return matches[0]
+
+
+class TestClassification:
+    def test_identical_values(self):
+        a = _report({"L1": {"size": _attr(128 * KiB)}})
+        b = _report({"L1": {"size": _attr(128 * KiB)}})
+        diff = diff_reports(a, b)
+        assert diff.identical and diff.verdict == "identical"
+        assert _delta(diff, "L1", "size").status == "identical"
+
+    def test_jitter_inside_tolerance_is_not_drift(self):
+        # size tolerance is 5 %: a 2 % delta is measurement jitter
+        a = _report({"L1": {"size": _attr(100 * KiB)}})
+        b = _report({"L1": {"size": _attr(102 * KiB)}})
+        diff = diff_reports(a, b)
+        d = _delta(diff, "L1", "size")
+        assert d.status == "within_tolerance"
+        assert d.rel_error == pytest.approx(2 / 102, rel=1e-3)
+        assert d.tolerance == 0.05
+        assert diff.identical  # jitter does not flip the verdict
+
+    def test_numeric_drift_beyond_tolerance(self):
+        a = _report({"L1": {"size": _attr(100 * KiB)}})
+        b = _report({"L1": {"size": _attr(150 * KiB)}})
+        diff = diff_reports(a, b)
+        assert _delta(diff, "L1", "size").status == "drift"
+        assert not diff.identical and diff.verdict == "drift"
+
+    def test_exact_attributes_tolerate_nothing(self):
+        # cache_line_size has tolerance 0: any numeric delta is drift
+        a = _report({"L1": {"cache_line_size": _attr(128)}})
+        b = _report({"L1": {"cache_line_size": _attr(129)}})
+        assert _delta(diff_reports(a, b), "L1", "cache_line_size").status == "drift"
+
+    def test_non_numeric_mismatch_is_changed(self):
+        a = _report({"L1": {"shared_with": _attr(("Texture",), "elements")}})
+        b = _report({"L1": {"shared_with": _attr(("Readonly",), "elements")}})
+        d = _delta(diff_reports(a, b), "L1", "shared_with")
+        assert d.status == "changed" and d.rel_error is None
+
+    def test_one_sided_attribute(self):
+        a = _report({"L1": {"size": _attr(128 * KiB), "load_latency": _attr(30, "cycles")}})
+        b = _report({"L1": {"size": _attr(128 * KiB)}})
+        diff = diff_reports(a, b)
+        assert _delta(diff, "L1", "load_latency").status == "only_a"
+        assert diff.verdict == "drift"
+
+    def test_one_sided_element(self):
+        a = _report({"L1": {"size": _attr(1 * KiB)}, "L2": {"size": _attr(4 * KiB)}})
+        b = _report({"L1": {"size": _attr(1 * KiB)}})
+        diff = diff_reports(a, b)
+        d = _delta(diff, "L2", "*")
+        assert d.status == "only_a"
+
+    def test_honest_absences_produce_no_rows(self):
+        # not-applicable / unavailable on both sides is not a delta
+        a = _report({"L1": {"size": _attr(1 * KiB), "amount": AttributeValue.not_applicable("count")}})
+        b = _report({"L1": {"size": _attr(1 * KiB), "amount": AttributeValue.unavailable("count")}})
+        diff = diff_reports(a, b)
+        assert [d.attribute for d in diff.deltas] == ["size"]
+
+    def test_tolerance_override(self):
+        a = _report({"L1": {"size": _attr(100 * KiB)}})
+        b = _report({"L1": {"size": _attr(150 * KiB)}})
+        diff = diff_reports(a, b, tolerances={"size": 1.0})
+        assert _delta(diff, "L1", "size").status == "within_tolerance"
+
+
+class TestRendering:
+    def test_as_dict_shape(self):
+        a = _report({"L1": {"size": _attr(100 * KiB)}})
+        b = _report({"L1": {"size": _attr(150 * KiB)}})
+        payload = diff_reports(a, b, a_label="x@0", b_label="y@0").as_dict()
+        assert payload["schema"] == "mt4g-repro-diff/1"
+        assert payload["a"] == "x@0" and payload["b"] == "y@0"
+        assert payload["verdict"] == "drift"
+        assert payload["summary"] == {"drift": 1}
+        assert payload["deltas"][0]["element"] == "L1"
+
+    def test_markdown_lists_only_divergence(self):
+        a = _report(
+            {"L1": {"size": _attr(100 * KiB), "load_latency": _attr(30, "cycles")}}
+        )
+        b = _report(
+            {"L1": {"size": _attr(150 * KiB), "load_latency": _attr(30, "cycles")}}
+        )
+        md = diff_reports(a, b).to_markdown()
+        assert md.startswith("# MT4G Report Diff")
+        assert "| L1 | size |" in md
+        assert "load_latency" not in md  # identical rows stay out
+
+    def test_identical_markdown_has_no_table(self):
+        a = _report({"L1": {"size": _attr(100 * KiB)}})
+        md = diff_reports(a, a).to_markdown()
+        assert "Verdict: **identical**" in md
+        assert "| Element |" not in md
+
+
+class TestRealReports:
+    def test_same_discovery_diffs_identical(self, nv_report):
+        assert diff_reports(nv_report, nv_report).identical
+
+    def test_sibling_presets_drift_on_segmentation(self, nv_report, nv2seg_report):
+        diff = diff_reports(nv_report, nv2seg_report)
+        assert diff.verdict == "drift"
+        assert any(
+            d.element == "L2" and d.attribute == "amount" and d.status == "drift"
+            for d in diff.deltas
+        )
+        # identical structural attributes stay identical across siblings
+        assert _delta(diff, "L1", "cache_line_size").status == "identical"

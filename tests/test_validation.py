@@ -215,6 +215,63 @@ class TestRoundishSize:
             120 * 1024, vendor="NVIDIA", microarchitecture="FutureArch", element="L1"
         )
 
+    # Element-scope-aware roundness (closes the ROADMAP round-size open
+    # item): GPU-scope LLC capacities are whole-MiB slice counts, not
+    # SM-SRAM carveouts, and must be judged by the slice rule.
+
+    def test_accepts_whole_mib_llc_slices(self):
+        # The latent H100-style case: a *benchmarked* 25 MiB L2 segment
+        # (half the 50 MiB L2) is 25 x 1 MiB slices — round for an LLC,
+        # impossible for any SM-level element of the same device.
+        value = 25 * 1024 * 1024
+        assert is_roundish_size(
+            value,
+            vendor="NVIDIA",
+            microarchitecture="Hopper",
+            element="L2",
+            compute_capability="9.0",
+        )
+        assert not is_roundish_size(
+            value,
+            vendor="NVIDIA",
+            microarchitecture="Hopper",
+            element="L1",
+            compute_capability="9.0",
+        )
+
+    def test_mib_slices_apply_to_amd_llcs_too(self):
+        assert is_roundish_size(
+            11 * 1024 * 1024, vendor="AMD", microarchitecture="CDNA3", element="L3"
+        )
+        assert not is_roundish_size(
+            11 * 1024 * 1024, vendor="AMD", microarchitecture="CDNA3", element="vL1"
+        )
+
+    def test_mib_slice_slack_is_absolute_not_relative(self):
+        # A sweep overshoots by at most one stride (a few KiB); at
+        # 25 MiB a relative tolerance would span half a slice and wave
+        # any value through.
+        mib = 1024 * 1024
+        kw = dict(vendor="NVIDIA", microarchitecture="Hopper", element="L2")
+        assert is_roundish_size(25 * mib + 32 * 1024, **kw)
+        assert not is_roundish_size(25 * mib + 512 * 1024, **kw)
+
+    def test_small_llc_capacities_keep_the_odd_multiple_rule(self):
+        kw = dict(vendor="NVIDIA", microarchitecture="Hopper", element="L2")
+        assert is_roundish_size(768 * 1024, **kw)  # 3 * 256 KiB
+        assert not is_roundish_size(53000, **kw)
+
+    def test_context_free_calls_keep_legacy_behaviour(self):
+        # Without element context the MiB-slice branch never engages;
+        # the permissive legacy quantum rule still judges (25.5 MiB is
+        # an exact 8 KiB multiple, so legacy passes it — the scoped L2
+        # call is what correctly rejects it).
+        value = 25 * 1024 * 1024 + 512 * 1024
+        assert is_roundish_size(value)
+        assert not is_roundish_size(
+            value, vendor="NVIDIA", microarchitecture="Hopper", element="L2"
+        )
+
 
 class TestStructuralChecks:
     def test_monotonic_hierarchy_passes(self):
@@ -251,6 +308,26 @@ class TestStructuralChecks:
         assert any(c.check == "size_monotonicity:L1<=L2" for c in failed)
         # only the benchmarked side is implicated for escalation
         assert failed[0].implicated == (("L1", "size"),)
+
+    def test_benchmarked_llc_mib_segment_passes_round_size(self):
+        # The latent H100-style case end to end: a future GPU-scope
+        # benchmark reporting a 25 MiB L2 segment must not be flagged
+        # implausible under vendor context.
+        report = make_report(memory={"L2": {"size": _attr(25 << 20)}})
+        report.general.microarchitecture = "Hopper"
+        report.general.compute_capability = "9.0"
+        results = run_structural_checks(report)
+        assert any(
+            c.check == "round_size:L2" and c.status == "pass" for c in results
+        )
+        # ... while a half-slice misread of the same magnitude fails.
+        report = make_report(memory={"L2": {"size": _attr((25 << 20) + (512 << 10))}})
+        report.general.microarchitecture = "Hopper"
+        report.general.compute_capability = "9.0"
+        assert any(
+            c.check == "round_size:L2" and c.status == "fail"
+            for c in run_structural_checks(report)
+        )
 
     def test_latency_inversion_fails(self):
         report = make_report(

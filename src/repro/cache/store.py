@@ -16,7 +16,17 @@ Design constraints, in order:
   readers never observe a partially-written entry;
 * **corruption is a miss, not an error** — a truncated or garbage entry
   fails to unpickle (or fails the embedded key/schema check) and is
-  best-effort deleted so the next run re-measures and heals it.
+  best-effort deleted so the next run re-measures and heals it;
+* **degradation is silent to the run but never to the operator** —
+  every swallowed failure increments a named counter in
+  :attr:`DiscoveryCache.degradations` (read errors, corrupted entries,
+  write failures, sidecar lock timeouts, sidecar corruption), which the
+  serving layer folds into ``GET /metrics``.
+
+The store is also a first-class chaos surface: named injection points
+(``store.get``, ``store.put``, ``store.stats`` — see
+:mod:`repro.faults`) let a recorded fault plan exercise exactly these
+degradation paths deterministically.
 
 Payloads are pickled: the report/measurement dataclasses round-trip
 exactly (types included), which is what makes a cache-hit report
@@ -34,9 +44,20 @@ import time
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro import faults
 from repro.cache import keys as _keys
 
-__all__ = ["DiscoveryCache", "DEFAULT_PRUNE_BYTES"]
+__all__ = ["DiscoveryCache", "DEFAULT_PRUNE_BYTES", "DEGRADATION_KINDS"]
+
+#: The degradation counters every store instance keeps (fixed keys so
+#: the ``/metrics`` payload shape is stable even at zero).
+DEGRADATION_KINDS = (
+    "read_error",       # unreadable entry file (I/O trouble, not a plain miss)
+    "corrupt_entry",    # entry present but failed unpickle/key/schema check
+    "write_error",      # put() could not land its atomic rename
+    "lock_timeout",     # stats sidecar lock not acquired; wrote lock-free
+    "stats_corrupt",    # stats.json unreadable; degraded to empty walls
+)
 
 #: Store budget the CLI applies opportunistically after each run
 #: (override with ``$MT4G_CACHE_LIMIT_BYTES``).  Without a bound a
@@ -63,6 +84,9 @@ class DiscoveryCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: silent-degradation accounting, keyed by DEGRADATION_KINDS —
+        #: the run never sees these failures, the operator always does.
+        self.degradations: dict[str, int] = {k: 0 for k in DEGRADATION_KINDS}
 
     # ------------------------------------------------------------------ #
     # key derivation (schema salt applied)                                #
@@ -115,9 +139,14 @@ class DiscoveryCache:
         """
         try:
             path = self._entry_path(key)
+            faults.inject("store.get", key)
             blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1  # a plain miss, not a degradation
+            return None
         except (OSError, TypeError):
             self.misses += 1
+            self.degradations["read_error"] += 1
             return None
         try:
             wrapped = pickle.loads(blob)
@@ -134,6 +163,7 @@ class DiscoveryCache:
             except OSError:
                 pass
             self.misses += 1
+            self.degradations["corrupt_entry"] += 1
             return None
         try:
             # Refresh the entry's mtime so pruning approximates LRU
@@ -157,6 +187,11 @@ class DiscoveryCache:
                 {"schema": self.version, "key": key, "payload": payload},
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
+            fired = faults.inject("store.put", key)
+            if fired is not None and fired.kind == "corrupt":
+                # A torn write: the entry lands but holds half a pickle.
+                # get() must degrade it to a miss and self-heal.
+                blob = blob[: len(blob) // 2]
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_name(f".{key}.{os.getpid()}.{os.urandom(4).hex()}.tmp")
             tmp.write_bytes(blob)
@@ -167,6 +202,7 @@ class DiscoveryCache:
                     tmp.unlink()
                 except OSError:
                     pass
+            self.degradations["write_error"] += 1
             return False
         self.stores += 1
         return True
@@ -263,11 +299,23 @@ class DiscoveryCache:
         return self.root / "stats.json"
 
     def _read_stats(self) -> dict[str, Any]:
+        """The sidecar dict; a corrupted sidecar degrades to ``{}``.
+
+        A truncated or non-JSON ``stats.json`` loses only scheduling
+        hints, never results — but the degradation is counted, and the
+        next :meth:`record_wall` rewrites a valid sidecar (self-heal).
+        """
         try:
             data = json.loads(self._stats_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return {}  # no sidecar yet: normal first-run state
         except Exception:
+            self.degradations["stats_corrupt"] += 1
             return {}
-        return data if isinstance(data, dict) else {}
+        if not isinstance(data, dict):
+            self.degradations["stats_corrupt"] += 1
+            return {}
+        return data
 
     def record_wall(self, label: str, seconds: float) -> None:
         """Record one measured discovery wall for ``label`` (a preset).
@@ -290,8 +338,14 @@ class DiscoveryCache:
         if seconds <= 0:
             return
         try:
+            faults.inject("store.stats", label)
             self.root.mkdir(parents=True, exist_ok=True)
             lock = self._acquire_stats_lock()
+            if lock is None:
+                # Proceeding unlocked is the right call for the run —
+                # but a silent one was unobservable (the satellite fix):
+                # the operator now sees lock contention in /metrics.
+                self.degradations["lock_timeout"] += 1
             try:
                 stats = self._read_stats()
                 walls = stats.setdefault("walls", {})

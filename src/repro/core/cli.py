@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.cache.store import DEFAULT_PRUNE_BYTES, DiscoveryCache
@@ -277,6 +278,14 @@ def build_fleet_parser() -> argparse.ArgumentParser:
             "Discover many GPU presets concurrently and print a "
             "cross-device comparison matrix with validation verdicts."
         ),
+        epilog=(
+            "exit codes: 0 all presets discovered and validated; "
+            "1 usage/configuration error; "
+            "2 validation disagreement (a preset's verdict failed or the "
+            "cross-device judge found an inconsistency); "
+            "3 worker/infrastructure failure (a discovery errored, timed "
+            "out, or its worker process died — takes precedence over 2)"
+        ),
     )
     parser.add_argument(
         "--gpu",
@@ -332,6 +341,22 @@ def build_fleet_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the fleet JSON",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker attempts per preset for transient failures "
+        "(default: 3; 1 disables retrying)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-preset wall budget, queue wait included "
+        "(default: unbounded)",
+    )
     _add_cache_args(parser)
     return parser
 
@@ -345,6 +370,14 @@ def fleet_main(argv: list[str] | None = None) -> int:
     parser = build_fleet_parser()
     args = parser.parse_args(argv)
     presets = args.gpu or list(available_presets(include_testing=args.all))
+    if args.retries is not None and args.retries < 1:
+        print("mt4g fleet: error: --retries must be >= 1", file=sys.stderr)
+        return 1
+    retry = None
+    if args.retries is not None:
+        from repro.faults.retry import DEFAULT_FLEET_RETRY
+
+        retry = replace(DEFAULT_FLEET_RETRY, attempts=args.retries)
     try:
         result = discover_fleet(
             presets,
@@ -355,6 +388,8 @@ def fleet_main(argv: list[str] | None = None) -> int:
             cache_dir=None
             if args.no_cache
             else Path(args.cache_dir).expanduser(),
+            retry=retry,
+            deadline_seconds=args.deadline,
         )
     except ReproError as exc:
         print(f"mt4g fleet: error: {exc}", file=sys.stderr)
@@ -376,8 +411,10 @@ def fleet_main(argv: list[str] | None = None) -> int:
         md_path.write_text(result.to_markdown(), encoding="utf-8")
         if not args.quiet:
             print(f"# fleet matrix -> {md_path}", file=sys.stderr)
-    # Any failed preset (error or failed validation) or any cross-device
-    # disagreement (the fleet judge's verdict) is a non-zero exit.
+    # Two distinct non-zero exits so CI can tell "the measurements
+    # disagree" (2) from "the machinery broke" (3) without parsing JSON;
+    # infrastructure takes precedence — a half-run fleet's verdicts are
+    # not evidence either way.
     entries_ok = all(e.verdict in ("pass", "unvalidated") for e in result.entries)
     fleet_ok = result.validation is None or result.validation.passed
     if not fleet_ok and not args.quiet:
@@ -386,6 +423,14 @@ def fleet_main(argv: list[str] | None = None) -> int:
             + ", ".join(result.validation.failures()),
             file=sys.stderr,
         )
+    if result.infrastructure_failed:
+        if not args.quiet:
+            kinds = ", ".join(
+                f"{preset}: {kind}"
+                for preset, kind in sorted(result.error_kinds().items())
+            )
+            print(f"# fleet worker/infrastructure FAILURE: {kinds}", file=sys.stderr)
+        return 3
     return 0 if entries_ok and fleet_ok else 2
 
 

@@ -7,13 +7,85 @@ The distinction between :class:`BenchmarkInconclusiveError` and
 :class:`BenchmarkUnsupportedError` mirrors the paper's error-honesty policy
 (Section V): a benchmark that cannot produce a trustworthy answer reports
 *no result* (or zero confidence), never a fabricated one.
+
+A second axis classifies failures as **transient** (worth retrying: a
+crashed worker, a stalled filesystem, an injected chaos fault) versus
+**permanent** (retrying cannot help: an unknown preset, an inconsistent
+spec).  :func:`is_transient` is the single classification point the
+fleet's retry loop and the serving queue's circuit breaker consult, so
+the two layers can never disagree about what deserves another attempt.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
+
+
+class TransientError(ReproError):
+    """A failure that a bounded retry has a real chance of clearing.
+
+    Raise (or subclass) this for infrastructure-flavoured trouble —
+    crashed workers, timeouts, racing filesystems — never for input
+    errors, which retrying would only repeat.
+    """
+
+
+class DeadlineExceededError(TransientError):
+    """An operation ran past its configured deadline."""
+
+
+class WorkerCrashError(TransientError):
+    """A discovery worker died (or was made to die) mid-measurement."""
+
+
+class CircuitOpenError(TransientError):
+    """A per-key circuit breaker is open: the key failed repeatedly and
+    new attempts are refused until the cooldown elapses."""
+
+
+class InjectedFaultError(ReproError):
+    """Base class for faults raised by the deterministic fault-injection
+    plane (:mod:`repro.faults`) — never raised in production runs."""
+
+
+class InjectedTransientError(InjectedFaultError, TransientError):
+    """An injected fault that retry logic is expected to absorb."""
+
+
+class InjectedPermanentError(InjectedFaultError):
+    """An injected fault that retry logic is expected to give up on."""
+
+
+#: Exception types outside our hierarchy that still signal retryable,
+#: infrastructure-flavoured trouble (a worker process vanishing, a
+#: filesystem stall, a dropped pipe to a pool worker).
+_TRANSIENT_FOREIGN = (
+    BrokenExecutor,
+    ConnectionError,
+    EOFError,
+    InterruptedError,
+    OSError,
+    TimeoutError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when ``exc`` is worth retrying (see module docstring).
+
+    :class:`ReproError` subclasses are transient only when they opt in
+    via :class:`TransientError` — a library error like an unknown preset
+    is a caller mistake, not weather.  Foreign exceptions are transient
+    only for the infrastructure shapes in ``_TRANSIENT_FOREIGN``.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, ReproError):
+        return False
+    return isinstance(exc, _TRANSIENT_FOREIGN)
 
 
 class SpecError(ReproError):

@@ -1,0 +1,310 @@
+"""The deterministic, seedable fault plan and its injection points.
+
+A :class:`FaultPlan` is a recorded list of :class:`FaultSpec` rules.
+Code under test calls :func:`inject` at *named injection points* (e.g.
+``"fleet.worker"``, ``"store.get"``, ``"store.put"``, ``"store.stats"``,
+``"serve.job"``)
+with a label describing the concrete operation (a preset name plus
+attempt index, a cache key).  When no plan is active — the production
+default — :func:`inject` is a single attribute load and a ``None`` check;
+there is nothing to configure, nothing to pay.
+
+Determinism is the whole point: a spec fires on explicit *occurrence
+indices* of its (site, label) match (``times=(0,)`` = the first matching
+call in this process) and/or on a probability drawn from a hash of
+``(plan seed, site, label, occurrence)`` — never from global RNG state —
+so a recorded plan replays the identical fault sequence run after run,
+which is what lets the chaos harness assert byte-identical recovery.
+
+Activation crosses process boundaries: :func:`activate` mirrors the plan
+into ``$MT4G_FAULT_PLAN``, and this module re-hydrates from that
+variable on import, so fleet worker processes (fork *or* spawn) observe
+the same plan the parent recorded.  Worker-side occurrence counters
+start fresh per process; specs that must fire exactly once per named
+operation should therefore match on labels (``"A100@0"`` = preset A100,
+first attempt) rather than on bare occurrence counts.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import (
+    InjectedPermanentError,
+    InjectedTransientError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "inject",
+    "injected",
+    "injected_counts",
+    "injected_total",
+]
+
+#: Environment variable carrying the active plan across processes:
+#: inline JSON, or ``@/path/to/plan.json``.
+ENV_VAR = "MT4G_FAULT_PLAN"
+
+#: The fault kinds :meth:`FaultSpec.perform` knows how to execute.
+#: ``corrupt`` is passive — the injection site itself implements it
+#: (e.g. the store truncates the blob it was about to write).
+KINDS = ("crash", "exit", "hang", "slow", "io_error", "transient", "permanent", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: where, what, and on which occurrences."""
+
+    #: injection-point name (fnmatch pattern), e.g. ``fleet.worker``.
+    site: str
+    #: one of :data:`KINDS`.
+    kind: str
+    #: label filter (fnmatch pattern) over the operation label the site
+    #: passes — e.g. ``A100@0`` (preset A100, first attempt), a cache key.
+    label: str = "*"
+    #: per-process occurrence indices of the (site, label-match) counter
+    #: this spec fires on; ``None`` = every matching occurrence.
+    times: tuple[int, ...] | None = (0,)
+    #: probability gate on top of ``times`` (deterministic, hash-drawn).
+    probability: float = 1.0
+    #: sleep duration for ``hang``/``slow`` faults.
+    delay_seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+        if self.times is not None:
+            object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+    def matches(self, site: str, label: str) -> bool:
+        return fnmatch.fnmatchcase(site, self.site) and fnmatch.fnmatchcase(
+            label, self.label
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "label": self.label,
+            "times": list(self.times) if self.times is not None else None,
+            "probability": self.probability,
+            "delay_seconds": self.delay_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "FaultSpec":
+        known = {"site", "kind", "label", "times", "probability", "delay_seconds"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec field(s): {sorted(unknown)}")
+        spec = dict(raw)
+        if "times" in spec and spec["times"] is not None:
+            spec["times"] = tuple(spec["times"])
+        return cls(**spec)
+
+
+class FaultPlan:
+    """A seeded, replayable set of fault rules plus firing accounting."""
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = int(seed)
+        #: pid of the process that activated the plan — the ``exit``
+        #: kind only hard-kills *other* processes (pool workers), never
+        #: the coordinating parent.
+        self.activation_pid = os.getpid()
+        #: (site, label) -> how many times :func:`inject` was consulted.
+        self.occurrences: dict[tuple[str, str], int] = {}
+        #: site -> how many faults actually fired (this process).
+        self.fired: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # (de)serialisation                                                   #
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "activation_pid": self.activation_pid,
+            "faults": [s.as_dict() for s in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(raw, dict) or "faults" not in raw:
+            raise ValueError('a fault plan is {"faults": [...], "seed": <int>}')
+        plan = cls(
+            [FaultSpec.from_dict(s) for s in raw["faults"]],
+            seed=raw.get("seed", 0),
+        )
+        if "activation_pid" in raw:
+            plan.activation_pid = int(raw["activation_pid"])
+        return plan
+
+    @classmethod
+    def from_env_value(cls, raw: str) -> "FaultPlan":
+        """Parse ``$MT4G_FAULT_PLAN``: inline JSON or ``@file`` path."""
+        if raw.startswith("@"):
+            raw = open(raw[1:], encoding="utf-8").read()
+        return cls.from_dict(json.loads(raw))
+
+    # ------------------------------------------------------------------ #
+    # firing                                                              #
+    # ------------------------------------------------------------------ #
+
+    def _gate(self, spec_index: int, site: str, label: str, occurrence: int) -> bool:
+        """Deterministic probability draw — hash, never global RNG."""
+        spec = self.specs[spec_index]
+        if spec.probability >= 1.0:
+            return True
+        material = f"{self.seed}|{spec_index}|{site}|{label}|{occurrence}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < spec.probability
+
+    def fire(self, site: str, label: str) -> FaultSpec | None:
+        """Consult the plan at one injection point; perform any match.
+
+        Active kinds raise or sleep right here; the matched spec is
+        returned for passive kinds (``corrupt``) the site implements.
+        """
+        fired = None
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(site, label):
+                continue
+            counter_key = (site, label)
+            occurrence = self.occurrences.get(counter_key, 0)
+            self.occurrences[counter_key] = occurrence + 1
+            if spec.times is not None and occurrence not in spec.times:
+                continue
+            if not self._gate(index, site, label, occurrence):
+                continue
+            fired = spec
+            break
+        if fired is None:
+            return None
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return self._perform(fired, site, label)
+
+    def _perform(self, spec: FaultSpec, site: str, label: str) -> FaultSpec | None:
+        where = f"at {site} ({label})" if label else f"at {site}"
+        if spec.kind == "crash":
+            raise WorkerCrashError(f"injected worker crash {where}")
+        if spec.kind == "exit":
+            if os.getpid() != self.activation_pid:
+                os._exit(70)  # hard-kill a pool worker, not the parent
+            raise WorkerCrashError(f"injected worker exit {where}")
+        if spec.kind in ("hang", "slow"):
+            time.sleep(spec.delay_seconds)
+            return spec
+        if spec.kind == "io_error":
+            raise OSError(f"injected I/O failure {where}")
+        if spec.kind == "transient":
+            raise InjectedTransientError(f"injected transient fault {where}")
+        if spec.kind == "permanent":
+            raise InjectedPermanentError(f"injected permanent fault {where}")
+        return spec  # "corrupt": the site implements the damage
+
+
+# ---------------------------------------------------------------------- #
+# module-level activation                                                 #
+# ---------------------------------------------------------------------- #
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` in this process and mirror it into the
+    environment so worker processes created afterwards inherit it."""
+    global _ACTIVE
+    plan.activation_pid = os.getpid()
+    _ACTIVE = plan
+    os.environ[ENV_VAR] = plan.to_json()
+    return plan
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+    os.environ.pop(ENV_VAR, None)
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """``with injected(plan):`` — activate for a block, always restore."""
+    previous_env = os.environ.get(ENV_VAR)
+    previous_plan = _ACTIVE
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        deactivate()
+        if previous_plan is not None:
+            activate(previous_plan)
+        elif previous_env is not None:
+            os.environ[ENV_VAR] = previous_env
+
+
+def inject(site: str, label: str = "") -> FaultSpec | None:
+    """The injection point: a no-op unless a plan is active.
+
+    May raise (crash/io_error/transient/...), may sleep (hang/slow), and
+    returns the fired spec for passive kinds the call site implements
+    (``corrupt``).  Returns ``None`` when nothing fired.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.fire(site, label)
+
+
+def injected_counts() -> dict[str, int]:
+    """site -> faults fired in this process (``{}`` when inactive)."""
+    return dict(_ACTIVE.fired) if _ACTIVE is not None else {}
+
+
+def injected_total() -> int:
+    return sum(_ACTIVE.fired.values()) if _ACTIVE is not None else 0
+
+
+def _bootstrap_from_env() -> None:
+    """Re-hydrate an env-carried plan (worker processes, CLI runs).
+
+    A malformed plan is reported and ignored — fault injection must
+    never be able to sink a production run by configuration typo alone.
+    """
+    global _ACTIVE
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return
+    try:
+        _ACTIVE = FaultPlan.from_env_value(raw)
+    except Exception as exc:
+        print(f"mt4g: ignoring malformed ${ENV_VAR}: {exc}", file=sys.stderr)
+
+
+_bootstrap_from_env()

@@ -1,0 +1,76 @@
+"""Retry budgets with exponential backoff and deterministic jitter.
+
+One :class:`RetryPolicy` shape serves both retry layers — the fleet
+worker's in-process attempt loop and the serving queue's per-job budget —
+so "how many attempts, how long between them, how long overall" is
+configured once and means the same thing everywhere.
+
+Jitter is deterministic: the delay for attempt *n* of operation *key* is
+the exponential base delay scaled by a factor in ``[0.5, 1.0)`` drawn
+from ``sha256(seed | key | n)``.  Determinism matters twice over — the
+chaos harness replays recovery schedules exactly, and a fleet of workers
+retrying the same failure still decorrelates (each key hashes its own
+schedule) without sharing any RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+__all__ = ["RetryPolicy", "DEFAULT_FLEET_RETRY", "DEFAULT_SERVE_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often to try, how long to wait, and when to stop entirely."""
+
+    #: total attempts (1 = no retry).  Only *transient* failures are
+    #: retried — :func:`repro.errors.is_transient` is the classifier.
+    attempts: int = 3
+    #: backoff base: delay before retry n is ``base_delay * 2**n``…
+    base_delay: float = 0.05
+    #: …capped here.
+    max_delay: float = 2.0
+    #: overall per-operation deadline (attempts + backoff sleeps must fit
+    #: inside it); None = unbounded.
+    deadline_seconds: float | None = None
+    #: jitter seed (folded into the per-key hash, not global RNG).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive (or None)")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based) of operation ``key``.
+
+        >>> policy = RetryPolicy(base_delay=0.1, max_delay=10.0)
+        >>> policy.delay("A100", 0) == policy.delay("A100", 0)  # replayable
+        True
+        >>> 0.1 <= policy.delay("A100", 2) / policy.delay("A100", 0) <= 8.0
+        True
+        """
+        raw = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        material = f"{self.seed}|{key}|{attempt}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return raw * (0.5 + 0.5 * fraction)
+
+    def with_deadline(self, deadline_seconds: float | None) -> "RetryPolicy":
+        if deadline_seconds is None:
+            return self
+        return replace(self, deadline_seconds=deadline_seconds)
+
+
+#: Fleet workers: a couple of quick retries, never minutes of backoff —
+#: a preset that fails three times deserves its error row.
+DEFAULT_FLEET_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
+
+#: Serving: one retry inside the job (cold requests are latency-bound);
+#: persistent failure is the failure-TTL memo and breaker's business.
+DEFAULT_SERVE_RETRY = RetryPolicy(attempts=2, base_delay=0.05, max_delay=0.5)

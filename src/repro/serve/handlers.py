@@ -71,12 +71,20 @@ _ACCEPT_TO_FORMAT = {
 
 
 class HTTPError(Exception):
-    """A handler-level failure with an HTTP status."""
+    """A handler-level failure with an HTTP status.
 
-    def __init__(self, status: int, detail: str) -> None:
+    ``retry_after`` (seconds) marks a *temporary* condition — it becomes
+    a ``Retry-After`` header so well-behaved clients back off instead of
+    hammering a key whose circuit breaker is open.
+    """
+
+    def __init__(
+        self, status: int, detail: str, retry_after: float | None = None
+    ) -> None:
         super().__init__(detail)
         self.status = status
         self.detail = detail
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -101,6 +109,8 @@ class HTTPResponse:
     status: int = 200
     body: bytes = b""
     content_type: str = json_out.CONTENT_TYPE
+    #: extra response headers (``Retry-After``, ``X-MT4G-Stale`` …).
+    headers: dict[str, str] = field(default_factory=dict)
 
     _REASONS = {
         200: "OK",
@@ -111,6 +121,7 @@ class HTTPResponse:
         406: "Not Acceptable",
         500: "Internal Server Error",
         502: "Bad Gateway",
+        503: "Service Unavailable",
     }
 
     @property
@@ -118,10 +129,12 @@ class HTTPResponse:
         return self._REASONS.get(self.status, "Unknown")
 
     def encode(self) -> bytes:
+        extra = "".join(f"{k}: {v}\r\n" for k, v in self.headers.items())
         head = (
             f"HTTP/1.1 {self.status} {self.reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         )
@@ -133,8 +146,15 @@ def json_response(payload: Any, status: int = 200) -> HTTPResponse:
     return HTTPResponse(status=status, body=body.encode("utf-8"))
 
 
-def error_response(status: int, detail: str) -> HTTPResponse:
-    return json_response({"error": detail, "status": status}, status=status)
+def error_response(
+    status: int, detail: str, retry_after: float | None = None
+) -> HTTPResponse:
+    response = json_response({"error": detail, "status": status}, status=status)
+    if retry_after is not None:
+        # ceil — "retry after 0 seconds" would invite an immediate
+        # re-request into a still-open breaker window.
+        response.headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+    return response
 
 
 def route_label(request: HTTPRequest) -> str:
@@ -222,10 +242,21 @@ def _known_preset(name: str) -> str:
 
 
 async def _load_report(
-    service: "TopologyService", preset: str, seed: int, validate: bool
-) -> TopologyReport:
+    service: "TopologyService",
+    preset: str,
+    seed: int,
+    validate: bool,
+    allow_stale: bool = False,
+) -> tuple[TopologyReport, bool]:
     """The cached report for (preset, config, seed) — discovering on a
     miss through the single-flight queue unless the service is read-only.
+    Returns ``(report, stale)``; ``stale`` is True only when
+    ``allow_stale`` let a failed discovery fall back to the last
+    known-good report for the same key (marked ``X-MT4G-Stale`` upstream).
+
+    A discovery that fails with no fallback is a 503 with a
+    ``Retry-After`` hint (the key's breaker/memo window) — temporary by
+    taxonomy, unlike the 500s below, which are store corruption.
 
     Every call unpickles a fresh report object, so handlers may mutate
     (the fleet judge recalibrates confidences in place) without
@@ -248,7 +279,16 @@ async def _load_report(
         job = service.jobs.submit(preset, seed=seed, validate=validate)
         await service.jobs.wait(job)
         if job.status == "error":
-            raise HTTPError(502, f"discovery failed for {preset}: {job.error}")
+            if allow_stale:
+                stale = service.last_good(key)
+                if stale is not None:
+                    service.metrics.stale_served += 1
+                    return stale, True
+            raise HTTPError(
+                503,
+                f"discovery failed for {preset}: {job.error}",
+                retry_after=job.retry_after or service.jobs.failure_ttl,
+            )
         payload = await loop.run_in_executor(None, service.store.get, key)
         if payload is None:
             raise HTTPError(
@@ -259,7 +299,8 @@ async def _load_report(
     report = payload.get("report") if isinstance(payload, dict) else None
     if not isinstance(report, TopologyReport):
         raise HTTPError(500, f"cache entry for {preset} holds no report payload")
-    return report
+    service.remember_good(key, report)
+    return report, False
 
 
 # ---------------------------------------------------------------------- #
@@ -273,15 +314,25 @@ async def handle_healthz(service: "TopologyService") -> HTTPResponse:
     entries = await asyncio.get_running_loop().run_in_executor(
         None, service.store.entry_count
     )
-    return json_response(
-        {
-            "status": "ok",
-            "read_only": service.read_only,
-            "store": str(service.store.root),
-            "entries": entries,
-            "inflight": service.jobs.inflight,
-        }
-    )
+    # "degraded" is still a 200 — the service is alive and serving what
+    # it can; the reasons tell an operator (or orchestrator) why some
+    # keys are currently failing fast.
+    reasons = []
+    open_breakers = service.jobs.open_breakers()
+    if open_breakers:
+        reasons.append(f"{len(open_breakers)} discovery circuit breaker(s) open")
+    if service.jobs.executor_broken:
+        reasons.append("discovery executor broken (worker process died)")
+    payload: dict[str, Any] = {
+        "status": "degraded" if reasons else "ok",
+        "read_only": service.read_only,
+        "store": str(service.store.root),
+        "entries": entries,
+        "inflight": service.jobs.inflight,
+    }
+    if reasons:
+        payload["degraded_reasons"] = reasons
+    return json_response(payload)
 
 
 def handle_metrics(service: "TopologyService") -> HTTPResponse:
@@ -320,9 +371,16 @@ async def handle_report(
     fmt = negotiate_format(request)
     seed = _seed_param(request, "seed")
     validate = _bool_param(request, "validate")
-    report = await _load_report(service, preset, seed, validate)
+    report, stale = await _load_report(service, preset, seed, validate, allow_stale=True)
     render, content_type = _REPORT_FORMATS[fmt]
-    return HTTPResponse(body=render(report).encode("utf-8"), content_type=content_type)
+    response = HTTPResponse(
+        body=render(report).encode("utf-8"), content_type=content_type
+    )
+    if stale:
+        # The bytes are a previously-served known-good report, not the
+        # (currently failing) discovery — staleness is never silent.
+        response.headers["X-MT4G-Stale"] = "true"
+    return response
 
 
 async def handle_compare(
@@ -338,9 +396,12 @@ async def handle_compare(
     seed = _seed_param(request, "seed")
     validate = _bool_param(request, "validate")
     start = time.perf_counter()
-    reports = await asyncio.gather(
+    # No stale fallback here: a comparison mixing one stale and one fresh
+    # report would silently judge an inconsistent fleet.
+    loaded = await asyncio.gather(
         *(_load_report(service, p, seed, validate) for p in presets)
     )
+    reports = [report for report, _ in loaded]
 
     def build_and_judge() -> FleetResult:
         # Sidecar read + the CPU-bound fleet judge, off the loop thread.
@@ -384,7 +445,7 @@ async def handle_diff(
     seed_a = _seed_param(request, "seed_a", seed)
     seed_b = _seed_param(request, "seed_b", seed)
     validate = _bool_param(request, "validate")
-    report_a, report_b = await asyncio.gather(
+    (report_a, _), (report_b, _) = await asyncio.gather(
         _load_report(service, a, seed_a, validate),
         _load_report(service, b, seed_b, validate),
     )

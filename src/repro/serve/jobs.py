@@ -23,6 +23,17 @@ Coalescing applies only to jobs still in flight (queued/running): a
 finished job's result lives in the store, so a later request for the
 same key is a plain cache hit and never reaches the queue; a failed
 job is retried by the next request rather than pinning the failure.
+
+Failure containment (the resilience half of the queue): jobs run under
+the serve :class:`~repro.faults.retry.RetryPolicy` (in-worker retries of
+transient failures) and an optional per-job deadline enforced on the
+loop (``call_later`` — the pool slot is not freed early, the job is just
+marked terminal and a late result ignored).  A key that keeps failing is
+*memoised* for ``failure_ttl`` seconds — repeat cold requests fast-fail
+with a ``retry_after`` hint instead of re-running a doomed discovery —
+and after ``breaker_threshold`` consecutive failures the key's circuit
+breaker opens for ``breaker_cooldown`` seconds.  One probe is admitted
+once the window lapses (half-open); success heals the key entirely.
 """
 
 from __future__ import annotations
@@ -32,14 +43,17 @@ import itertools
 import os
 import time
 from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from statistics import median
 from typing import Any
 
+from repro import faults
 from repro.cache.costs import estimate_discovery_cost
 from repro.cache.store import DiscoveryCache
 from repro.core.tool import AMD_ELEMENTS, NVIDIA_ELEMENTS
+from repro.errors import is_transient
+from repro.faults.retry import DEFAULT_SERVE_RETRY, RetryPolicy
 from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import get_preset
 from repro.gpuspec.spec import Vendor
@@ -60,6 +74,15 @@ class DiscoveryJob:
     validate: bool
     status: str = "queued"  # queued | running | done | error
     error: str = ""
+    #: failure taxonomy, mirroring the fleet's: "" | "transient" |
+    #: "permanent" | "deadline" | "infrastructure" | "unavailable"
+    #: (fast-failed by the failure memo) | "breaker" (circuit open).
+    error_kind: str = ""
+    #: worker attempts consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: seconds until a retry is worth sending (fast-failed jobs only) —
+    #: surfaced to clients as a ``Retry-After`` header.
+    retry_after: float | None = None
     #: how many requests this job serves (1 + coalesced arrivals).
     requests: int = 1
     #: LPT admission cost (recorded wall or calibrated estimate).
@@ -68,7 +91,7 @@ class DiscoveryJob:
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "id": self.id,
             "key": self.key,
             "preset": self.preset,
@@ -79,6 +102,13 @@ class DiscoveryJob:
             "requests": self.requests,
             "wall_seconds": round(self.wall_seconds, 3),
         }
+        if self.error_kind:
+            out["error_kind"] = self.error_kind
+        if self.attempts > 1:
+            out["attempts"] = self.attempts
+        if self.retry_after is not None:
+            out["retry_after"] = round(self.retry_after, 3)
+        return out
 
 
 class JobQueue:
@@ -103,6 +133,11 @@ class JobQueue:
         engine: str = "analytic",
         max_workers: int | None = None,
         executor: Executor | None = None,
+        retry: RetryPolicy | None = None,
+        deadline_seconds: float | None = None,
+        failure_ttl: float = 15.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 60.0,
     ) -> None:
         self.store = store
         self.cache_config = cache_config
@@ -110,17 +145,38 @@ class JobQueue:
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self._executor = executor
         self._owns_executor = executor is None
+        self.retry = retry if retry is not None else DEFAULT_SERVE_RETRY
+        #: per-job wall budget, enforced on the loop (None = unbounded).
+        self.deadline_seconds = deadline_seconds
+        #: how long a failed key fast-fails before a retry is admitted.
+        self.failure_ttl = failure_ttl
+        #: consecutive failures that open a key's circuit breaker…
+        self.breaker_threshold = max(1, breaker_threshold)
+        #: …and how long the breaker stays open.
+        self.breaker_cooldown = breaker_cooldown
         self._jobs: dict[str, DiscoveryJob] = {}
         self._by_key: dict[str, DiscoveryJob] = {}
         self._pending: list[DiscoveryJob] = []
         self._terminal: deque[str] = deque()
         self._running = 0
         self._ids = itertools.count(1)
+        #: key -> failure memo: consecutive failures, monotonic
+        #: blocked-until, breaker state, last error (kind + message).
+        self._key_health: dict[str, dict[str, Any]] = {}
+        self._deadline_handles: dict[str, asyncio.TimerHandle] = {}
         #: single-flight accounting (the acceptance counters).
         self.discoveries_started = 0
         self.discoveries_completed = 0
         self.discoveries_failed = 0
         self.coalesced = 0
+        #: fault-tolerance accounting (the resilience counters).
+        self.retries_total = 0
+        self.deadlines_expired = 0
+        self.breaker_opens = 0
+        self.fast_failures = 0
+        #: latched when the owned/injected pool reports itself broken —
+        #: a degraded-health signal until the service is restarted.
+        self.executor_broken = False
 
     # ------------------------------------------------------------------ #
     # identity                                                            #
@@ -159,6 +215,9 @@ class JobQueue:
             inflight.requests += 1
             self.coalesced += 1
             return inflight
+        blocked_for = self._blocked_for(key)
+        if blocked_for is not None:
+            return self._fast_fail(preset, seed, validate, key, blocked_for)
         job = DiscoveryJob(
             id=f"job-{next(self._ids)}",
             key=key,
@@ -172,6 +231,73 @@ class JobQueue:
         self._pending.append(job)
         self._pump()
         return job
+
+    # ------------------------------------------------------------------ #
+    # failure memo + circuit breaker                                      #
+    # ------------------------------------------------------------------ #
+
+    def _blocked_for(self, key: str) -> float | None:
+        """Seconds the key is still blocked, or None to admit the job.
+
+        A lapsed block admits the next request as the half-open probe:
+        the memo entry survives (so one more failure re-opens the breaker
+        immediately) but nothing is blocked until that probe resolves.
+        """
+        health = self._key_health.get(key)
+        if health is None:
+            return None
+        remaining = health["blocked_until"] - time.monotonic()
+        return remaining if remaining > 0 else None
+
+    def _fast_fail(
+        self, preset: str, seed: int, validate: bool, key: str, retry_after: float
+    ) -> DiscoveryJob:
+        """A pre-failed terminal job: the memoised error plus a hint."""
+        health = self._key_health[key]
+        job = DiscoveryJob(
+            id=f"job-{next(self._ids)}",
+            key=key,
+            preset=preset,
+            seed=seed,
+            validate=validate,
+            status="error",
+            error=health["last_error"],
+            error_kind="breaker" if health["open"] else "unavailable",
+            retry_after=retry_after,
+        )
+        self.fast_failures += 1
+        self._jobs[job.id] = job
+        job.done.set()
+        self._retire(job)
+        return job
+
+    def _record_failure(self, job: DiscoveryJob) -> None:
+        health = self._key_health.setdefault(
+            job.key,
+            {"failures": 0, "blocked_until": 0.0, "open": False, "last_error": ""},
+        )
+        health["failures"] += 1
+        health["last_error"] = job.error
+        now = time.monotonic()
+        if health["failures"] >= self.breaker_threshold:
+            if not health["open"]:
+                health["open"] = True
+                self.breaker_opens += 1
+            health["blocked_until"] = now + self.breaker_cooldown
+        else:
+            health["blocked_until"] = now + self.failure_ttl
+
+    def _heal(self, key: str) -> None:
+        self._key_health.pop(key, None)
+
+    def open_breakers(self) -> dict[str, float]:
+        """key -> seconds of cooldown left, for currently-open breakers."""
+        now = time.monotonic()
+        return {
+            key: round(health["blocked_until"] - now, 3)
+            for key, health in self._key_health.items()
+            if health["open"] and health["blocked_until"] > now
+        }
 
     def _estimate_cost(self, preset: str) -> float:
         """Admission cost: the recorded wall, or a calibrated estimate."""
@@ -197,11 +323,25 @@ class JobQueue:
             self._start(job)
 
     def _start(self, job: DiscoveryJob) -> None:
+        try:
+            # "serve.job" chaos point: admission-time failures (the job
+            # never reaches the pool), distinct from in-worker faults.
+            faults.inject("serve.job", job.preset)
+        except Exception as exc:
+            job.status = "error"
+            job.error = str(exc) or type(exc).__name__
+            job.error_kind = "transient" if is_transient(exc) else "permanent"
+            self.discoveries_failed += 1
+            self._record_failure(job)
+            job.done.set()
+            self._retire(job)
+            return
         job.status = "running"
         self._running += 1
         self.discoveries_started += 1
         start = time.perf_counter()
-        future = asyncio.get_running_loop().run_in_executor(
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
             self._ensure_executor(),
             discover_one,
             job.preset,
@@ -210,13 +350,55 @@ class JobQueue:
             self.engine,
             job.validate,
             str(self.store.root),
+            self.retry,
         )
+        if self.deadline_seconds is not None:
+            self._deadline_handles[job.id] = loop.call_later(
+                self.deadline_seconds, self._expire, job
+            )
         future.add_done_callback(lambda f: self._finish(job, f, start))
+
+    def _expire(self, job: DiscoveryJob) -> None:
+        """Deadline timer: fail the job now, ignore its late result.
+
+        The executor keeps its slot (there is no portable way to abort a
+        running pool task) — the deadline bounds *client-visible* latency,
+        not worker CPU; ``_finish`` releases the slot when the worker
+        eventually returns and finds the job already terminal.
+        """
+        self._deadline_handles.pop(job.id, None)
+        if job.status != "running":
+            return
+        job.status = "error"
+        job.error = f"job deadline of {self.deadline_seconds:.3g} s exceeded"
+        job.error_kind = "deadline"
+        job.wall_seconds = self.deadline_seconds
+        self.deadlines_expired += 1
+        self.discoveries_failed += 1
+        self._record_failure(job)
+        job.done.set()
+        self._retire(job)
 
     def _finish(self, job: DiscoveryJob, future, start: float) -> None:
         self._running -= 1
+        handle = self._deadline_handles.pop(job.id, None)
+        if handle is not None:
+            handle.cancel()
+        if job.done.is_set():
+            # Already expired (or shut down): the result is late; the
+            # only thing left to collect is the pool slot.
+            try:
+                future.exception()  # consume, keep the loop's logs quiet
+            except BaseException:
+                pass  # .exception() re-raises CancelledError
+            self._pump()
+            return
         try:
-            _, report, wall, error = future.result()
+            outcome = future.result()
+            report, wall, error = outcome.report, outcome.wall_seconds, outcome.error
+            job.error_kind = outcome.error_kind
+            job.attempts = outcome.attempts
+            self.retries_total += max(0, outcome.attempts - 1)
         except BaseException as exc:
             # BaseException: a shutdown's cancel_futures raises
             # CancelledError here, and an escaped exception would leave
@@ -224,14 +406,19 @@ class JobQueue:
             report, wall, error = None, time.perf_counter() - start, (
                 str(exc) or type(exc).__name__
             )
+            job.error_kind = "infrastructure"
+            if isinstance(exc, BrokenExecutor):
+                self.executor_broken = True
         job.wall_seconds = wall
         if report is None or error:
             job.status = "error"
             job.error = error or "discovery produced no report"
             self.discoveries_failed += 1
+            self._record_failure(job)
         else:
             job.status = "done"
             self.discoveries_completed += 1
+            self._heal(job.key)
             # Feed the LPT scheduler exactly like the fleet parent does:
             # only genuinely measured walls, never hash-lookup hits.
             # Off the loop thread — record_wall takes a sidecar lock and
@@ -289,6 +476,9 @@ class JobQueue:
             job.error = "service shut down before the job started"
             job.done.set()
             self._retire(job)
+        for handle in self._deadline_handles.values():
+            handle.cancel()
+        self._deadline_handles.clear()
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None

@@ -14,6 +14,8 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from repro import faults
+
 __all__ = ["ServiceMetrics"]
 
 
@@ -30,6 +32,9 @@ class ServiceMetrics:
         self.routes: dict[str, dict[str, float]] = {}
         #: requests that never reached a handler (unparseable HTTP).
         self.bad_requests = 0
+        #: reports served from the last-known-good fallback (marked
+        #: ``X-MT4G-Stale``) because their discovery was failing.
+        self.stale_served = 0
 
     def observe(self, route: str, status: int, seconds: float) -> None:
         """Record one handled request against its route template."""
@@ -66,6 +71,10 @@ class ServiceMetrics:
                 "hits": store.hits,
                 "misses": store.misses,
                 "stores": store.stores,
+                #: per-kind counts of I/O failures degraded to misses /
+                #: skipped bookkeeping (read_error, corrupt_entry,
+                #: write_error, lock_timeout, stats_corrupt).
+                "degradations": dict(store.degradations),
             }
         if jobs is not None:
             out["jobs"] = {
@@ -74,5 +83,17 @@ class ServiceMetrics:
                 "completed": jobs.discoveries_completed,
                 "failed": jobs.discoveries_failed,
                 "coalesced": jobs.coalesced,
+                "retries": jobs.retries_total,
+                "deadlines_expired": jobs.deadlines_expired,
+                "breaker_opens": jobs.breaker_opens,
+                "fast_failures": jobs.fast_failures,
+                "open_breakers": len(jobs.open_breakers()),
+                "executor_broken": jobs.executor_broken,
             }
+        out["resilience"] = {
+            "stale_served": self.stale_served,
+            #: faults the active plan fired in *this* process — {} in
+            #: production, where no plan is ever active.
+            "faults_injected": faults.injected_counts(),
+        }
         return out

@@ -21,13 +21,17 @@ drive the service.
 from __future__ import annotations
 
 import asyncio
+import pickle
 import sys
 import urllib.parse
+from collections import OrderedDict
 from concurrent.futures import Executor
 from pathlib import Path
 from time import perf_counter
 
 from repro.cache.store import DiscoveryCache
+from repro.core.report import TopologyReport
+from repro.faults.retry import RetryPolicy
 from repro.serve.catalog import DeviceCatalog
 from repro.serve.handlers import (
     HTTPError,
@@ -54,6 +58,10 @@ READ_TIMEOUT_SECONDS = 30.0
 class TopologyService:
     """The long-lived topology query service over one discovery store."""
 
+    #: last-known-good reports retained for stale fallback (per report
+    #: key, LRU-evicted) — a safety net, not a second cache.
+    LAST_GOOD_MAX = 32
+
     def __init__(
         self,
         store: DiscoveryCache,
@@ -62,6 +70,11 @@ class TopologyService:
         engine: str = "analytic",
         max_workers: int | None = None,
         executor: Executor | None = None,
+        retry: RetryPolicy | None = None,
+        deadline_seconds: float | None = None,
+        failure_ttl: float = 15.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 60.0,
     ) -> None:
         self.store = store
         self.read_only = read_only
@@ -72,11 +85,34 @@ class TopologyService:
             engine=engine,
             max_workers=max_workers,
             executor=executor,
+            retry=retry,
+            deadline_seconds=deadline_seconds,
+            failure_ttl=failure_ttl,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
         )
         self.metrics = ServiceMetrics()
+        #: report key -> pickled last-good report (pickled so every
+        #: fallback read deserialises a fresh object, exactly like a
+        #: store hit — handlers may mutate what they are given).
+        self._last_good: OrderedDict[str, bytes] = OrderedDict()
         self._server: asyncio.AbstractServer | None = None
         #: (host, port) actually bound; port 0 resolves on start().
         self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # last-known-good fallback                                            #
+    # ------------------------------------------------------------------ #
+
+    def remember_good(self, key: str, report: TopologyReport) -> None:
+        self._last_good[key] = pickle.dumps(report, pickle.HIGHEST_PROTOCOL)
+        self._last_good.move_to_end(key)
+        while len(self._last_good) > self.LAST_GOOD_MAX:
+            self._last_good.popitem(last=False)
+
+    def last_good(self, key: str) -> TopologyReport | None:
+        blob = self._last_good.get(key)
+        return pickle.loads(blob) if blob is not None else None
 
     # ------------------------------------------------------------------ #
     # request handling (transport-independent)                            #
@@ -88,7 +124,7 @@ class TopologyService:
         try:
             response = await dispatch(self, request)
         except HTTPError as exc:
-            response = error_response(exc.status, exc.detail)
+            response = error_response(exc.status, exc.detail, exc.retry_after)
         except Exception as exc:  # a handler bug must not kill the server
             response = error_response(500, str(exc) or type(exc).__name__)
         self.metrics.observe(route_label(request), response.status, perf_counter() - start)

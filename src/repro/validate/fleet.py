@@ -17,6 +17,17 @@ A validated fleet is also *judged*: after the entries are collected the
 cross-device checks of :mod:`repro.validate.fleet_checks` group them by
 (vendor, microarchitecture) and verify the invariants real silicon
 obeys, attaching a :class:`FleetValidation` to the result.
+
+Fault tolerance (the reliability layer under the reliability layer):
+workers retry *transient* failures under a shared :class:`RetryPolicy`
+(bounded attempts, exponential backoff, deterministic jitter, optional
+per-preset deadline) and report a typed :class:`WorkerOutcome`; a broken
+process pool degrades to typed per-entry error rows plus an in-process
+recovery pass instead of sinking the fleet; and every path is
+exercisable deterministically through the named ``fleet.worker``
+injection point of :mod:`repro.faults`.  The invariant all of this
+preserves: a discovery that succeeds — first try or last — is
+byte-identical to the fault-free report.
 """
 
 from __future__ import annotations
@@ -24,15 +35,17 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro import faults
 from repro.cache.costs import estimate_discovery_cost, schedule_order
 from repro.cache.store import DiscoveryCache
 from repro.core.report import TopologyReport
 from repro.core.tool import MT4G
-from repro.errors import ReproError
+from repro.errors import ReproError, is_transient
+from repro.faults.retry import DEFAULT_FLEET_RETRY, RetryPolicy
 from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import available_presets, get_preset
 from repro.pchase.config import PChaseConfig
@@ -42,6 +55,7 @@ from repro.validate.fleet_checks import FleetValidation, run_fleet_checks
 __all__ = [
     "FleetEntry",
     "FleetResult",
+    "WorkerOutcome",
     "discover_fleet",
     "discover_one",
     "fleet_schedule",
@@ -57,6 +71,16 @@ class FleetEntry:
     report: TopologyReport | None
     wall_seconds: float
     error: str = ""
+    #: failure taxonomy: "" (no error) | "transient" (retry budget
+    #: exhausted) | "permanent" (retrying cannot help) | "deadline"
+    #: (per-preset deadline exceeded) | "infrastructure" (the pool, not
+    #: the worker body, failed — e.g. a worker process died).
+    error_kind: str = ""
+    #: worker attempts consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: True when an in-process recovery pass produced this entry after
+    #: the worker pool broke underneath the original attempt.
+    recovered: bool = False
 
     @property
     def ok(self) -> bool:
@@ -102,6 +126,30 @@ class FleetResult:
     def verdicts(self) -> dict[str, str]:
         return {e.preset: e.verdict for e in self.entries}
 
+    # ------------------------------------------------------------------ #
+    # fault-tolerance accounting                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def retries_total(self) -> int:
+        """Worker attempts beyond the first, summed over the fleet."""
+        return sum(max(0, e.attempts - 1) for e in self.entries)
+
+    @property
+    def recovered_in_process(self) -> int:
+        return sum(1 for e in self.entries if e.recovered)
+
+    @property
+    def infrastructure_failed(self) -> bool:
+        """True when any entry died of pool/worker infrastructure (as
+        opposed to validation disagreement) — the ``mt4g fleet`` exit-3
+        condition."""
+        return any(e.error for e in self.entries)
+
+    def error_kinds(self) -> dict[str, str]:
+        """preset -> failure taxonomy, for failed entries only."""
+        return {e.preset: e.error_kind or "unknown" for e in self.entries if e.error}
+
     @property
     def all_passed(self) -> bool:
         """Every per-preset verdict passed AND no cross-device disagreement."""
@@ -127,6 +175,9 @@ class FleetResult:
                 "wall_seconds": round(e.wall_seconds, 3),
                 "cache": e.cache_status,
             }
+            if e.attempts > 1 or e.recovered:
+                row["attempts"] = e.attempts
+                row["recovered"] = e.recovered
             if not e.ok:
                 row.update(
                     vendor="?",
@@ -135,6 +186,7 @@ class FleetResult:
                     dram_latency_cycles=None,
                     dram_read_bandwidth=None,
                     error=e.error,
+                    error_kind=e.error_kind,
                 )
                 rows.append(row)
                 continue
@@ -178,9 +230,11 @@ class FleetResult:
                 # readable cell (the worker falls back to the exception
                 # type, but entries can also be built by hand).
                 error = row["error"] or "unknown error"
+                kind = row.get("error_kind") or ""
+                cell = f"error[{kind}]: {error}" if kind else f"error: {error}"
                 lines.append(
                     f"| {row['preset']} | ? | — | — | — | — "
-                    f"| error: {error} | {row['wall_seconds']:.2f} |"
+                    f"| {cell} | {row['wall_seconds']:.2f} |"
                 )
                 continue
             first = row["first_level_size"]
@@ -218,6 +272,11 @@ class FleetResult:
                 e.preset: e.report.as_dict() for e in self.entries if e.ok
             },
             "errors": {e.preset: e.error for e in self.entries if e.error},
+            "fault_tolerance": {
+                "retries_total": self.retries_total,
+                "recovered_in_process": self.recovered_in_process,
+                "error_kinds": self.error_kinds(),
+            },
         }
         if self.validation is not None:
             out["fleet_validation"] = self.validation.as_dict()
@@ -229,6 +288,31 @@ class FleetResult:
 # ---------------------------------------------------------------------- #
 
 
+@dataclass
+class WorkerOutcome:
+    """What one worker invocation reports back to its coordinator.
+
+    Returned (never raised) for every in-body failure mode, so the
+    parent can account for errors without caring whether the worker ran
+    in a pool process or inline.  Only *infrastructure* failures — the
+    pool dying underneath the worker — surface as exceptions on the
+    future instead.
+    """
+
+    preset: str
+    report: TopologyReport | None
+    wall_seconds: float
+    error: str = ""
+    #: "" | "transient" (budget exhausted) | "permanent" | "deadline".
+    error_kind: str = ""
+    #: attempts consumed (1 = first try succeeded).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None and not self.error
+
+
 def _discover_one(
     preset: str,
     seed: int,
@@ -236,27 +320,70 @@ def _discover_one(
     engine: str,
     validate: bool,
     cache_dir: str | None = None,
-) -> tuple[str, TopologyReport | None, float, str]:
+    retry: RetryPolicy | None = None,
+) -> WorkerOutcome:
     """Worker body: one full discovery (+ validation) for one preset.
 
-    Failures are returned as data (report ``None`` + error string) with
-    the real elapsed wall, so sequential and concurrent runs account for
-    a failed preset identically.  ``cache_dir`` points every worker at
-    one shared on-disk store — safe because entries are immutable and
-    land via atomic rename, and two workers racing on the same key write
-    byte-identical payloads.
+    *Transient* failures (see :func:`repro.errors.is_transient`) are
+    retried in-worker under ``retry`` — bounded attempts, exponential
+    backoff, deterministic per-preset jitter, optional overall deadline;
+    ``retry=None`` means a single attempt, the pre-fault-tolerance
+    behaviour.  Permanent failures and exhausted budgets are returned as
+    data (report ``None`` + error string + taxonomy kind) with the real
+    elapsed wall, so sequential and concurrent runs account for a failed
+    preset identically.  Because discovery is deterministic in
+    (preset, seed), a retry that succeeds returns a report byte-identical
+    to a first-try success — retries cost wall-clock, never correctness.
+
+    ``cache_dir`` points every worker at one shared on-disk store — safe
+    because entries are immutable and land via atomic rename, and two
+    workers racing on the same key write byte-identical payloads.
     """
+    policy = retry if retry is not None else RetryPolicy(attempts=1)
     start = time.perf_counter()
-    try:
-        store = DiscoveryCache(cache_dir) if cache_dir else None
-        device = SimulatedGPU(get_preset(preset), seed=seed, cache_config=cache_config)
-        tool = MT4G(device, config=PChaseConfig(engine=engine), cache=store)
-        report = tool.discover(validate=validate)
-        return preset, report, time.perf_counter() - start, ""
-    except Exception as exc:
-        # An exception with an empty message (``raise ValueError()``)
-        # must not yield an error entry that renders as blank text.
-        return preset, None, time.perf_counter() - start, _describe(exc)
+    deadline = (
+        start + policy.deadline_seconds
+        if policy.deadline_seconds is not None
+        else None
+    )
+    error, kind = "", ""
+    attempt = 0
+    while attempt < policy.attempts:
+        attempt += 1
+        try:
+            # The chaos plane's hook: label = "<preset>@<attempt index>"
+            # so a recorded plan can fail attempt 0 and spare attempt 1
+            # regardless of which process runs the worker.
+            faults.inject("fleet.worker", f"{preset}@{attempt - 1}")
+            store = DiscoveryCache(cache_dir) if cache_dir else None
+            device = SimulatedGPU(
+                get_preset(preset), seed=seed, cache_config=cache_config
+            )
+            tool = MT4G(device, config=PChaseConfig(engine=engine), cache=store)
+            report = tool.discover(validate=validate)
+            return WorkerOutcome(
+                preset, report, time.perf_counter() - start, attempts=attempt
+            )
+        except Exception as exc:
+            # An exception with an empty message (``raise ValueError()``)
+            # must not yield an error entry that renders as blank text.
+            error = _describe(exc)
+            kind = "transient" if is_transient(exc) else "permanent"
+            if kind == "permanent" or attempt >= policy.attempts:
+                break
+            pause = policy.delay(preset, attempt - 1)
+            if deadline is not None and time.perf_counter() + pause >= deadline:
+                kind = "deadline"
+                break
+            time.sleep(pause)
+    return WorkerOutcome(
+        preset,
+        None,
+        time.perf_counter() - start,
+        error=error,
+        error_kind=kind,
+        attempts=attempt,
+    )
 
 
 #: Public name of the worker body: the serving subsystem's single-flight
@@ -295,6 +422,9 @@ def discover_fleet(
     cache_config: str = "PreferL1",
     parallel: bool = True,
     cache_dir: str | Path | None = None,
+    retry: RetryPolicy | None = None,
+    deadline_seconds: float | None = None,
+    recover_in_process: bool = True,
 ) -> FleetResult:
     """Discover many presets concurrently and compare the results.
 
@@ -311,6 +441,19 @@ def discover_fleet(
     walls drive the longest-first submission order.  Scheduling and
     caching never change results — entries keep the caller's input order
     and cached reports are byte-identical to cold ones.
+
+    Fault tolerance: workers retry transient failures under ``retry``
+    (default :data:`~repro.faults.retry.DEFAULT_FLEET_RETRY`).
+    ``deadline_seconds`` bounds each preset end to end — inside the
+    worker it caps the attempt/backoff loop, and in the parallel path the
+    parent additionally stops waiting once the budget elapses, marking
+    still-pending presets with a ``deadline`` error entry (the parent
+    clock starts at submission, so the deadline *includes* pool queue
+    wait — a saturated pool spends budget).  A broken pool (a worker
+    process dying, not the worker body raising) degrades to typed
+    ``infrastructure`` error rows, and ``recover_in_process=True`` then
+    re-runs exactly those presets inline in the parent — results stay
+    byte-identical because discovery is deterministic in (preset, seed).
     """
     names = list(presets) if presets is not None else list(available_presets())
     if not names:
@@ -329,6 +472,21 @@ def discover_fleet(
     store = DiscoveryCache(cache_dir) if cache_dir else None
     cache_dir_arg = str(Path(cache_dir)) if cache_dir else None
     submission_order = fleet_schedule(names, store)
+    policy = (retry if retry is not None else DEFAULT_FLEET_RETRY).with_deadline(
+        deadline_seconds
+    )
+
+    def entry_from(outcome: WorkerOutcome, recovered: bool = False) -> FleetEntry:
+        return FleetEntry(
+            outcome.preset,
+            seed,
+            outcome.report,
+            outcome.wall_seconds,
+            error=outcome.error,
+            error_kind=outcome.error_kind,
+            attempts=outcome.attempts,
+            recovered=recovered,
+        )
 
     start = time.perf_counter()
     by_name: dict[str, FleetEntry] = {}
@@ -336,13 +494,20 @@ def discover_fleet(
         for name in submission_order:
             t0 = time.perf_counter()
             try:
-                _, report, wall, error = _discover_one(
-                    name, seed, cache_config, engine, validate, cache_dir_arg
+                by_name[name] = entry_from(
+                    _discover_one(
+                        name, seed, cache_config, engine, validate,
+                        cache_dir_arg, policy,
+                    )
                 )
-                by_name[name] = FleetEntry(name, seed, report, wall, error=error)
             except Exception as exc:  # the worker body itself failed
                 by_name[name] = FleetEntry(
-                    name, seed, None, time.perf_counter() - t0, error=_describe(exc)
+                    name,
+                    seed,
+                    None,
+                    time.perf_counter() - t0,
+                    error=_describe(exc),
+                    error_kind="infrastructure",
                 )
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -355,23 +520,76 @@ def discover_fleet(
                     engine,
                     validate,
                     cache_dir_arg,
+                    policy,
                 ): name
                 for name in submission_order
             }
+            submitted_at = time.perf_counter()
             pending = set(futures)
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                timeout = None
+                if policy.deadline_seconds is not None:
+                    timeout = max(
+                        0.0,
+                        submitted_at + policy.deadline_seconds - time.perf_counter(),
+                    )
+                done, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Budget elapsed with workers still out: mark every
+                    # remaining preset instead of waiting on a hang.
+                    # (Pool shutdown below still joins the processes, so
+                    # a "hung" worker must eventually return — injected
+                    # hangs are finite sleeps by construction.)
+                    for fut in pending:
+                        fut.cancel()
+                        by_name[futures[fut]] = FleetEntry(
+                            futures[fut],
+                            seed,
+                            None,
+                            time.perf_counter() - submitted_at,
+                            error=(
+                                f"fleet deadline of "
+                                f"{policy.deadline_seconds:.3g} s exceeded"
+                            ),
+                            error_kind="deadline",
+                        )
+                    pending = set()
+                    continue
                 for fut in done:
                     name = futures[fut]
+                    if name in by_name:
+                        continue  # a late result after its deadline entry
                     try:
-                        _, report, wall, error = fut.result()
-                        by_name[name] = FleetEntry(
-                            name, seed, report, wall, error=error
-                        )
+                        by_name[name] = entry_from(fut.result())
                     except Exception as exc:  # pool infrastructure failure
                         by_name[name] = FleetEntry(
-                            name, seed, None, 0.0, error=_describe(exc)
+                            name,
+                            seed,
+                            None,
+                            0.0,
+                            error=_describe(exc),
+                            error_kind="infrastructure",
                         )
+
+        if recover_in_process:
+            # The pool broke underneath these presets; their worker
+            # bodies may never have run.  Re-run them inline — same
+            # deterministic pipeline, same retry policy — so a dying
+            # worker process costs wall-clock, not coverage.
+            for name in submission_order:
+                entry = by_name.get(name)
+                if entry is None or entry.error_kind != "infrastructure":
+                    continue
+                outcome = _discover_one(
+                    name, seed, cache_config, engine, validate,
+                    cache_dir_arg, policy,
+                )
+                if outcome.ok:
+                    by_name[name] = entry_from(outcome, recovered=True)
+                else:
+                    by_name[name] = entry_from(outcome)
 
     if store is not None:
         # Only genuinely measured (non-hit) walls feed the scheduler: a

@@ -596,3 +596,52 @@ class TestRecordWallMerge:
         assert store._acquire_stats_lock(timeout=0.05) is None
         store.record_wall("p", 1.0)  # proceeds unlocked (best-effort)
         assert store.recorded_walls() == {"p": pytest.approx(1.0)}
+
+    def test_lock_timeout_degradation_is_counted(self, store, monkeypatch):
+        # The lock-free fallback used to be invisible to operators; it
+        # must now show up as a named degradation (folded into /metrics).
+        monkeypatch.setattr(
+            DiscoveryCache, "_acquire_stats_lock", lambda self, timeout=1.0: None
+        )
+        assert store.degradations["lock_timeout"] == 0
+        store.record_wall("p", 1.0)
+        assert store.degradations["lock_timeout"] == 1
+        assert store.recorded_walls() == {"p": pytest.approx(1.0)}
+
+
+# ---------------------------------------------------------------------- #
+# wall sidecar: corruption degrades, then self-heals                      #
+# ---------------------------------------------------------------------- #
+
+
+class TestStatsSidecarCorruption:
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not json at all {{{",
+            b'{"walls": {"p": {"seconds": 1.0',  # truncated mid-object
+            b'["a", "list", "not", "a", "dict"]',
+            b"",
+        ],
+        ids=["non-json", "truncated", "wrong-shape", "empty"],
+    )
+    def test_corrupted_sidecar_degrades_to_empty_walls(self, store, garbage):
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / "stats.json").write_bytes(garbage)
+        assert store.recorded_walls() == {}
+        assert store.degradations["stats_corrupt"] == 1
+
+    def test_record_wall_heals_a_corrupted_sidecar(self, store):
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / "stats.json").write_bytes(b"not json at all {{{")
+        store.record_wall("p", 2.0)  # re-reads (degrades), rewrites valid
+        assert store.degradations["stats_corrupt"] == 1
+        # healed: the sidecar is valid JSON again and the wall landed
+        stats = json.loads((store.root / "stats.json").read_text())
+        assert stats["walls"]["p"]["seconds"] == pytest.approx(2.0)
+        assert store.recorded_walls() == {"p": pytest.approx(2.0)}
+        assert store.degradations["stats_corrupt"] == 1  # no new hits
+
+    def test_missing_sidecar_is_not_a_degradation(self, store):
+        assert store.recorded_walls() == {}
+        assert store.degradations["stats_corrupt"] == 0

@@ -1,0 +1,313 @@
+"""Tests for the deterministic fault-injection plane (repro.faults).
+
+The properties that make chaos testing trustworthy:
+
+* off by default — no active plan means ``inject`` is a no-op and the
+  hot path pays a single None check;
+* deterministic — a (seed, plan) pair fires the identical fault sequence
+  run after run: occurrence counters and hash-drawn probabilities, never
+  global RNG;
+* cross-process — activation mirrors the plan into ``$MT4G_FAULT_PLAN``
+  so pool workers (fork or spawn) observe the parent's plan;
+* typed — each fault kind maps onto the transient/permanent error
+  taxonomy that drives retry decisions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    InjectedPermanentError,
+    InjectedTransientError,
+    ReproError,
+    TransientError,
+    WorkerCrashError,
+    is_transient,
+)
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.faults.retry import DEFAULT_FLEET_RETRY, DEFAULT_SERVE_RETRY
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no active plan (and no env)."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def plan(*specs: FaultSpec, seed: int = 0) -> FaultPlan:
+    return FaultPlan(specs, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# inactive plane                                                          #
+# ---------------------------------------------------------------------- #
+
+
+class TestInactive:
+    def test_inject_is_a_noop_without_a_plan(self):
+        assert faults.active_plan() is None
+        assert faults.inject("fleet.worker", "A100@0") is None
+        assert faults.injected_counts() == {}
+        assert faults.injected_total() == 0
+
+
+# ---------------------------------------------------------------------- #
+# spec matching + firing                                                  #
+# ---------------------------------------------------------------------- #
+
+
+class TestFiring:
+    def test_crash_kind_raises_transient_worker_crash(self):
+        with faults.injected(plan(FaultSpec("fleet.worker", "crash"))):
+            with pytest.raises(WorkerCrashError):
+                faults.inject("fleet.worker", "X@0")
+        assert faults.active_plan() is None  # context restored
+
+    def test_times_selects_exact_occurrences(self):
+        spec = FaultSpec("s", "transient", times=(1,))
+        with faults.injected(plan(spec)):
+            assert faults.inject("s", "a") is None  # occurrence 0
+            with pytest.raises(InjectedTransientError):
+                faults.inject("s", "a")  # occurrence 1
+            assert faults.inject("s", "a") is None  # occurrence 2
+
+    def test_label_patterns_scope_the_fault(self):
+        spec = FaultSpec("fleet.worker", "transient", label="A100@0")
+        with faults.injected(plan(spec)):
+            with pytest.raises(InjectedTransientError):
+                faults.inject("fleet.worker", "A100@0")
+            # the retry (attempt 1) does not match and sails through
+            assert faults.inject("fleet.worker", "A100@1") is None
+            assert faults.inject("fleet.worker", "H100@0") is None
+
+    def test_site_globs(self):
+        spec = FaultSpec("store.*", "io_error", times=None)
+        with faults.injected(plan(spec)):
+            with pytest.raises(OSError):
+                faults.inject("store.get", "k")
+            with pytest.raises(OSError):
+                faults.inject("store.put", "k")
+            assert faults.inject("fleet.worker", "k") is None
+
+    def test_passive_corrupt_returns_the_spec(self):
+        spec = FaultSpec("store.put", "corrupt")
+        with faults.injected(plan(spec)):
+            fired = faults.inject("store.put", "k")
+        assert fired is not None and fired.kind == "corrupt"
+
+    def test_slow_sleeps_then_returns(self):
+        import time
+
+        spec = FaultSpec("store.get", "slow", delay_seconds=0.02)
+        with faults.injected(plan(spec)):
+            t0 = time.perf_counter()
+            fired = faults.inject("store.get", "k")
+            assert time.perf_counter() - t0 >= 0.02
+        assert fired is not None and fired.kind == "slow"
+
+    def test_fired_counters_accumulate(self):
+        spec = FaultSpec("s", "transient", times=None)
+        with faults.injected(plan(spec)) as active:
+            for _ in range(3):
+                with pytest.raises(InjectedTransientError):
+                    faults.inject("s", "x")
+            assert active.fired == {"s": 3}
+            assert faults.injected_counts() == {"s": 3}
+            assert faults.injected_total() == 3
+
+    def test_probability_gate_is_deterministic_and_roughly_calibrated(self):
+        spec = FaultSpec("s", "transient", times=None, probability=0.3)
+
+        def fire_pattern(seed: int) -> list[bool]:
+            pattern = []
+            with faults.injected(plan(spec, seed=seed)):
+                for _ in range(200):
+                    try:
+                        faults.inject("s", "x")
+                        pattern.append(False)
+                    except InjectedTransientError:
+                        pattern.append(True)
+            return pattern
+
+        first, replay = fire_pattern(7), fire_pattern(7)
+        assert first == replay  # byte-for-byte replayable
+        assert fire_pattern(8) != first  # the seed matters
+        assert 30 <= sum(first) <= 90  # ~60 expected of 200
+
+    def test_exit_kind_in_activating_process_raises_not_exits(self):
+        # os._exit is reserved for *worker* processes; in the process
+        # that activated the plan it must degrade to a crash exception.
+        spec = FaultSpec("fleet.worker", "exit")
+        with faults.injected(plan(spec)):
+            with pytest.raises(WorkerCrashError):
+                faults.inject("fleet.worker", "X@0")
+
+
+# ---------------------------------------------------------------------- #
+# (de)serialisation + env propagation                                     #
+# ---------------------------------------------------------------------- #
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        original = plan(
+            FaultSpec("fleet.worker", "crash", label="A@0"),
+            FaultSpec("store.*", "io_error", times=None, probability=0.5),
+            seed=42,
+        )
+        clone = FaultPlan.from_env_value(original.to_json())
+        assert clone.seed == 42
+        assert [s.as_dict() for s in clone.specs] == [
+            s.as_dict() for s in original.specs
+        ]
+
+    def test_from_env_value_reads_at_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(plan(FaultSpec("s", "transient")).to_json())
+        clone = FaultPlan.from_env_value(f"@{path}")
+        assert clone.specs[0].site == "s"
+
+    def test_unknown_kind_and_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("s", "explode")
+        with pytest.raises(ValueError, match="unknown fault spec field"):
+            FaultSpec.from_dict({"site": "s", "kind": "crash", "blast_radius": 9})
+
+    def test_activate_mirrors_into_env_and_deactivate_clears(self):
+        faults.activate(plan(FaultSpec("s", "crash")))
+        assert os.environ.get(faults.ENV_VAR)
+        rehydrated = FaultPlan.from_env_value(os.environ[faults.ENV_VAR])
+        assert rehydrated.specs[0].site == "s"
+        faults.deactivate()
+        assert faults.ENV_VAR not in os.environ
+
+    def test_malformed_env_plan_is_ignored_not_fatal(self, capsys):
+        from repro.faults import plan as plan_mod
+
+        os.environ[faults.ENV_VAR] = "{definitely not json"
+        try:
+            plan_mod._bootstrap_from_env()
+        finally:
+            os.environ.pop(faults.ENV_VAR, None)
+        assert faults.active_plan() is None
+        assert "ignoring malformed" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# error taxonomy                                                          #
+# ---------------------------------------------------------------------- #
+
+
+class TestTaxonomy:
+    def test_injected_faults_map_onto_the_retry_axis(self):
+        assert is_transient(InjectedTransientError("x"))
+        assert is_transient(WorkerCrashError("x"))
+        assert not is_transient(InjectedPermanentError("x"))
+
+    def test_repro_errors_are_permanent_unless_marked(self):
+        assert not is_transient(ReproError("config mistake"))
+        assert is_transient(TransientError("flaky"))
+
+    def test_foreign_infrastructure_errors_are_transient(self):
+        assert is_transient(OSError("disk hiccup"))
+        assert is_transient(TimeoutError())
+        assert is_transient(ConnectionError())
+        assert not is_transient(ValueError("a bug"))
+
+
+# ---------------------------------------------------------------------- #
+# retry policy                                                            #
+# ---------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, seed=3)
+        assert policy.delay("A", 0) == policy.delay("A", 0)
+        assert policy.delay("A", 0) != policy.delay("B", 0)
+        assert RetryPolicy(seed=4).delay("A", 0) != policy.delay("A", 0)
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=100.0)
+        for attempt in range(5):
+            raw = 0.1 * 2**attempt
+            d = policy.delay("k", attempt)
+            assert 0.5 * raw <= d < raw
+
+    def test_delay_caps_at_max(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.0)
+        assert policy.delay("k", 10) <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_seconds=0)
+
+    def test_with_deadline(self):
+        policy = DEFAULT_FLEET_RETRY.with_deadline(5.0)
+        assert policy.deadline_seconds == 5.0
+        assert DEFAULT_FLEET_RETRY.deadline_seconds is None  # frozen
+        assert DEFAULT_FLEET_RETRY.with_deadline(None) is DEFAULT_FLEET_RETRY
+
+    def test_defaults_are_bounded(self):
+        assert DEFAULT_FLEET_RETRY.attempts >= 2
+        assert DEFAULT_SERVE_RETRY.attempts >= 2
+        assert DEFAULT_FLEET_RETRY.max_delay <= 2.0
+
+
+# ---------------------------------------------------------------------- #
+# store injection points                                                  #
+# ---------------------------------------------------------------------- #
+
+
+class TestStoreInjection:
+    def test_injected_read_failure_degrades_to_miss(self, tmp_path):
+        from repro.cache.store import DiscoveryCache
+
+        store = DiscoveryCache(tmp_path)
+        key = "aa" * 32
+        store.put(key, {"x": 1})
+        with faults.injected(plan(FaultSpec("store.get", "io_error"))):
+            assert store.get(key) is None  # degraded miss
+        assert store.degradations["read_error"] == 1
+        assert store.get(key) == {"x": 1}  # entry intact underneath
+
+    def test_injected_write_failure_is_a_counted_noop(self, tmp_path):
+        from repro.cache.store import DiscoveryCache
+
+        store = DiscoveryCache(tmp_path)
+        with faults.injected(plan(FaultSpec("store.put", "io_error"))):
+            assert store.put("bb" * 32, {"x": 1}) is False
+        assert store.degradations["write_error"] == 1
+        assert store.get("bb" * 32) is None
+
+    def test_corrupted_on_write_entry_heals_on_read(self, tmp_path):
+        from repro.cache.store import DiscoveryCache
+
+        store = DiscoveryCache(tmp_path)
+        key = "cc" * 32
+        with faults.injected(plan(FaultSpec("store.put", "corrupt"))):
+            assert store.put(key, {"x": 1}) is True  # the torn write lands
+        assert store.get(key) is None  # detected: miss, not garbage
+        assert store.degradations["corrupt_entry"] == 1
+        assert not store._entry_path(key).exists()  # healed (deleted)
+        assert store.put(key, {"x": 1}) and store.get(key) == {"x": 1}
+
+    def test_injected_stats_failure_never_sinks_record_wall(self, tmp_path):
+        from repro.cache.store import DiscoveryCache
+
+        store = DiscoveryCache(tmp_path)
+        with faults.injected(plan(FaultSpec("store.stats", "io_error"))):
+            store.record_wall("p", 1.0)  # swallowed (cache never sinks a run)
+        assert store.recorded_walls() == {}
+        store.record_wall("p", 1.0)
+        assert store.recorded_walls() == {"p": pytest.approx(1.0)}

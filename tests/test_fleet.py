@@ -55,30 +55,32 @@ class TestDiscoverFleet:
     def test_worker_failure_becomes_error_entry(self, monkeypatch):
         import repro.validate.fleet as fleet_mod
 
-        def boom(preset, seed, cache_config, engine, validate, cache_dir=None):
+        def boom(preset, seed, cache_config, engine, validate, cache_dir=None,
+                 retry=None):
             raise RuntimeError(f"{preset} exploded")
 
         monkeypatch.setattr(fleet_mod, "_discover_one", boom)
         result = discover_fleet(PRESETS, seed=0, parallel=False)
         assert all(e.verdict == "error" for e in result.entries)
         assert "exploded" in result.entry("TestGPU-AMD").error
+        assert result.entry("TestGPU-AMD").error_kind == "infrastructure"
 
     def test_worker_function_is_self_contained(self):
-        name, report, wall, error = _discover_one(
-            "TestGPU-AMD", 0, "PreferL1", "analytic", True
-        )
-        assert name == "TestGPU-AMD"
-        assert report.validation is not None and wall > 0 and error == ""
+        outcome = _discover_one("TestGPU-AMD", 0, "PreferL1", "analytic", True)
+        assert outcome.preset == "TestGPU-AMD"
+        assert outcome.report.validation is not None
+        assert outcome.wall_seconds > 0 and outcome.error == ""
+        assert outcome.attempts == 1 and outcome.error_kind == ""
 
     def test_worker_returns_failure_as_data_with_real_wall(self):
         # unknown preset inside the worker: error carried as data, not an
         # exception, with the actual elapsed wall (same accounting as a
         # successful run, in both sequential and concurrent modes)
-        name, report, wall, error = _discover_one(
-            "NoSuchGPU", 0, "PreferL1", "analytic", True
-        )
-        assert name == "NoSuchGPU" and report is None
-        assert wall > 0 and "NoSuchGPU" in error
+        outcome = _discover_one("NoSuchGPU", 0, "PreferL1", "analytic", True)
+        assert outcome.preset == "NoSuchGPU" and outcome.report is None
+        assert outcome.wall_seconds > 0 and "NoSuchGPU" in outcome.error
+        # an unknown preset cannot be retried into existence
+        assert outcome.error_kind == "permanent" and outcome.attempts == 1
 
 
 class TestFleetResult:
@@ -158,18 +160,25 @@ class TestErrorFallback:
                 raise ValueError()  # deliberately message-less
 
         monkeypatch.setattr(fleet_mod, "SimulatedGPU", ExplodingGPU)
-        name, report, wall, error = _discover_one(
-            "TestGPU-AMD", 0, "PreferL1", "analytic", False
-        )
-        assert report is None and error == "ValueError"
+        outcome = _discover_one("TestGPU-AMD", 0, "PreferL1", "analytic", False)
+        assert outcome.report is None and outcome.error == "ValueError"
 
     def test_sequential_loop_empty_message_falls_back_to_type(self, monkeypatch):
         import repro.validate.fleet as fleet_mod
 
-        def boom(preset, seed, cache_config, engine, validate, cache_dir=None):
+        def boom(preset, seed, cache_config, engine, validate, cache_dir=None,
+                 retry=None):
             raise RuntimeError()  # deliberately message-less
 
         monkeypatch.setattr(fleet_mod, "_discover_one", boom)
         result = discover_fleet(["TestGPU-AMD"], seed=0, parallel=False)
         assert result.entry("TestGPU-AMD").error == "RuntimeError"
-        assert "error: RuntimeError" in result.to_markdown()
+        assert "error[infrastructure]: RuntimeError" in result.to_markdown()
+
+    def test_handbuilt_error_entry_renders_without_kind(self):
+        from repro.validate.fleet import FleetResult
+
+        entry = FleetEntry("X", 0, None, 0.0, error="boom")
+        result = FleetResult(entries=[entry], jobs=1,
+                             total_wall_seconds=0.0, seed=0)
+        assert "error: boom" in result.to_markdown()

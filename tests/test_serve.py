@@ -179,10 +179,13 @@ class TestJobQueue:
     def test_failed_job_is_retried_not_pinned(self, store, executor, monkeypatch):
         calls = []
 
-        def flaky(preset, seed, cache_config, engine, validate, cache_dir):
+        def flaky(preset, seed, cache_config, engine, validate, cache_dir,
+                  retry=None):
             calls.append(preset)
             if len(calls) == 1:
-                return preset, None, 0.01, "injected failure"
+                from repro.validate.fleet import WorkerOutcome
+
+                return WorkerOutcome(preset, None, 0.01, error="injected failure")
             import repro.validate.fleet as fleet_mod
 
             return fleet_mod.discover_one(
@@ -192,7 +195,9 @@ class TestJobQueue:
         monkeypatch.setattr("repro.serve.jobs.discover_one", flaky)
 
         async def scenario():
-            queue = JobQueue(store, executor=executor)
+            # failure_ttl=0: this test is about the *queue* not pinning a
+            # failure; the failure memo's fast-fail window is its own test
+            queue = JobQueue(store, executor=executor, failure_ttl=0.0)
             failed = queue.submit(PRESET)
             await queue.wait(failed)
             assert failed.status == "error" and "injected" in failed.error
@@ -207,11 +212,14 @@ class TestJobQueue:
     def test_shutdown_releases_queued_waiters(self, store, monkeypatch):
         # A job still queued at shutdown never reaches _finish; its
         # waiters must be released with an error, not hung forever.
-        def slow_worker(preset, seed, cache_config, engine, validate, cache_dir):
+        def slow_worker(preset, seed, cache_config, engine, validate, cache_dir,
+                        retry=None):
             import time as _time
 
+            from repro.validate.fleet import WorkerOutcome
+
             _time.sleep(0.1)
-            return preset, None, 0.1, "fake"
+            return WorkerOutcome(preset, None, 0.1, error="fake")
 
         monkeypatch.setattr("repro.serve.jobs.discover_one", slow_worker)
         one_slot = ThreadPoolExecutor(max_workers=1)
@@ -233,14 +241,12 @@ class TestJobQueue:
             one_slot.shutdown(wait=True)
 
     def test_terminal_jobs_are_evicted_bounded(self, store, executor, monkeypatch):
+        from repro.validate.fleet import WorkerOutcome
+
         monkeypatch.setattr(
             "repro.serve.jobs.discover_one",
-            lambda preset, seed, cache_config, engine, validate, cache_dir: (
-                preset,
-                None,
-                0.01,
-                "fake",
-            ),
+            lambda preset, seed, cache_config, engine, validate, cache_dir,
+            retry=None: WorkerOutcome(preset, None, 0.01, error="fake"),
         )
 
         async def scenario():
@@ -262,9 +268,12 @@ class TestJobQueue:
         store.record_wall("TestGPU-AMD-L3", 50.0)
         order = []
 
-        def fake_worker(preset, seed, cache_config, engine, validate, cache_dir):
+        def fake_worker(preset, seed, cache_config, engine, validate, cache_dir,
+                        retry=None):
+            from repro.validate.fleet import WorkerOutcome
+
             order.append(preset)
-            return preset, None, 0.01, "fake (admission test)"
+            return WorkerOutcome(preset, None, 0.01, error="fake (admission test)")
 
         monkeypatch.setattr("repro.serve.jobs.discover_one", fake_worker)
 

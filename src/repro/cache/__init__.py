@@ -39,11 +39,26 @@ from repro.cache.keys import (
     report_key,
     spec_fingerprint,
 )
+from repro.cache.ring import HashRing, normalize_node
 from repro.cache.store import DiscoveryCache
+from repro.cache.tiers import (
+    DiskTier,
+    MemoryTier,
+    PeerTier,
+    TieredCache,
+    build_worker_cache,
+)
 
 __all__ = [
     "DiscoveryCache",
+    "DiskTier",
+    "HashRing",
+    "MemoryTier",
+    "PeerTier",
     "SCHEMA_VERSION",
+    "TieredCache",
+    "build_worker_cache",
+    "normalize_node",
     "canonical_json",
     "device_fingerprint",
     "digest",
@@ -53,3 +68,6 @@ __all__ = [
     "schedule_order",
     "spec_fingerprint",
 ]
+
+# (Tier composition and ring routing live in repro.cache.tiers /
+# repro.cache.ring; re-exported above so callers get one import site.)

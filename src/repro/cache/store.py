@@ -130,8 +130,23 @@ class DiscoveryCache:
     def _entry_path(self, key: str) -> Path:
         return self.root / "entries" / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Any | None:
-        """The payload stored under ``key``, or None (miss).
+    def _validate_blob(self, key: str, blob: bytes) -> Any:
+        """Unpickle a wrapped entry blob and check its embedded address.
+
+        Returns the payload; raises on truncation, garbage bytes, or a
+        schema/key mismatch (the callers decide how that degrades).
+        """
+        wrapped = pickle.loads(blob)
+        if (
+            not isinstance(wrapped, dict)
+            or wrapped.get("schema") != self.version
+            or wrapped.get("key") != key
+        ):
+            raise ValueError("cache entry does not match its address")
+        return wrapped["payload"]
+
+    def _read_validated(self, key: str) -> tuple[bytes, Any] | None:
+        """Read + validate ``key``'s entry: ``(raw blob, payload)`` or miss.
 
         Any failure — missing file, truncation, garbage bytes, a payload
         whose embedded key or schema does not match — is a silent miss;
@@ -149,14 +164,7 @@ class DiscoveryCache:
             self.degradations["read_error"] += 1
             return None
         try:
-            wrapped = pickle.loads(blob)
-            if (
-                not isinstance(wrapped, dict)
-                or wrapped.get("schema") != self.version
-                or wrapped.get("key") != key
-            ):
-                raise ValueError("cache entry does not match its address")
-            payload = wrapped["payload"]
+            payload = self._validate_blob(key, blob)
         except Exception:
             try:
                 path.unlink()
@@ -172,7 +180,29 @@ class DiscoveryCache:
         except OSError:
             pass
         self.hits += 1
-        return payload
+        return blob, payload
+
+    def get(self, key: str) -> Any | None:
+        """The payload stored under ``key``, or None (miss)."""
+        got = self._read_validated(key)
+        return None if got is None else got[1]
+
+    def get_blob(self, key: str, peer: bool = True) -> bytes | None:
+        """The raw wrapped entry bytes under ``key``, or None (miss).
+
+        ``peer`` is accepted (and ignored) for interface parity with
+        :class:`repro.cache.tiers.TieredCache`, where ``peer=False``
+        restricts the lookup to local tiers — a bare disk store *is*
+        local, so the flag is moot here.
+
+        The wire format of peer replication (``GET /store/{key}``): the
+        blob already embeds the key and schema salt, so the fetching
+        side re-validates it against the same address before landing it
+        — and because it is the byte-for-byte disk entry, a replica's
+        copy is identical to the owner's.
+        """
+        got = self._read_validated(key)
+        return None if got is None else got[0]
 
     def put(self, key: str, payload: Any) -> bool:
         """Store ``payload`` under ``key`` (atomic; failures are no-ops).
@@ -180,13 +210,35 @@ class DiscoveryCache:
         The payload is serialised eagerly, so later mutation of the
         in-memory object never leaks into the store.
         """
-        tmp = None
         try:
-            path = self._entry_path(key)
             blob = pickle.dumps(
                 {"schema": self.version, "key": key, "payload": payload},
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
+        except Exception:
+            self.degradations["write_error"] += 1
+            return False
+        return self._write_blob(key, blob)
+
+    def put_blob(self, key: str, blob: bytes) -> bool:
+        """Land a wrapped entry blob fetched from a peer (atomic).
+
+        Unlike :meth:`put` the bytes came over a network, so they are
+        validated against the address *before* landing: a truncated or
+        forged blob counts as a corrupt entry and never reaches disk.
+        """
+        try:
+            self._validate_blob(key, blob)
+        except Exception:
+            self.degradations["corrupt_entry"] += 1
+            return False
+        return self._write_blob(key, blob)
+
+    def _write_blob(self, key: str, blob: bytes) -> bool:
+        """Atomic write-to-temp + rename shared by put/put_blob."""
+        tmp = None
+        try:
+            path = self._entry_path(key)
             fired = faults.inject("store.put", key)
             if fired is not None and fired.kind == "corrupt":
                 # A torn write: the entry lands but holds half a pickle.

@@ -49,6 +49,7 @@ __all__ = [
     "fleet_main",
     "build_serve_parser",
     "serve_main",
+    "resolve_cache_limit",
 ]
 
 
@@ -151,6 +152,26 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the discovery cache (always measure)",
     )
+    parser.add_argument(
+        "--cache-limit",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU-prune the on-disk cache to this many bytes after a run "
+        "(precedence: this flag, then $MT4G_CACHE_LIMIT_BYTES, then the "
+        "2 GiB default)",
+    )
+
+
+def resolve_cache_limit(args: argparse.Namespace) -> int:
+    """Disk-cache byte budget: ``--cache-limit`` > env > 2 GiB default."""
+    limit = getattr(args, "cache_limit", None)
+    if limit is not None:
+        return limit
+    try:
+        return int(os.environ.get("MT4G_CACHE_LIMIT_BYTES", DEFAULT_PRUNE_BYTES))
+    except ValueError:
+        return DEFAULT_PRUNE_BYTES
 
 
 def _cache_from_args(args: argparse.Namespace) -> DiscoveryCache | None:
@@ -159,16 +180,12 @@ def _cache_from_args(args: argparse.Namespace) -> DiscoveryCache | None:
     return DiscoveryCache(Path(args.cache_dir).expanduser())
 
 
-def _prune_cache(store: DiscoveryCache | None) -> None:
+def _prune_cache(store: DiscoveryCache | None, args: argparse.Namespace) -> None:
     """Opportunistic LRU prune after a run: the default-on cache must
     not grow without bound under seed/config sweeps."""
     if store is None:
         return
-    try:
-        budget = int(os.environ.get("MT4G_CACHE_LIMIT_BYTES", DEFAULT_PRUNE_BYTES))
-    except ValueError:
-        budget = DEFAULT_PRUNE_BYTES
-    store.prune(budget)
+    store.prune(resolve_cache_limit(args))
 
 
 def _default_path(arg: str | None, gpu: str, suffix: str) -> Path | None:
@@ -224,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"mt4g: error: {exc}", file=sys.stderr)
         return 1
-    _prune_cache(cache)
+    _prune_cache(cache, args)
 
     print(to_json(report))
 
@@ -395,7 +412,7 @@ def fleet_main(argv: list[str] | None = None) -> int:
         print(f"mt4g fleet: error: {exc}", file=sys.stderr)
         return 1
     if not args.no_cache:
-        _prune_cache(DiscoveryCache(Path(args.cache_dir).expanduser()))
+        _prune_cache(DiscoveryCache(Path(args.cache_dir).expanduser()), args)
     if args.quiet:
         print(to_fleet_json(result))
     else:
@@ -483,6 +500,40 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="discovery worker processes (default: CPU count)",
     )
     parser.add_argument(
+        "--peers",
+        action="append",
+        default=None,
+        metavar="URL[,URL...]",
+        help="peer instance base URLs forming a consistent-hash ring "
+        "(repeatable or comma-separated); report keys are sharded "
+        "across the ring, local misses pull from the owning peer, and "
+        "cold discoveries route to the key's owner",
+    )
+    parser.add_argument(
+        "--advertise",
+        default=None,
+        metavar="URL",
+        help="base URL peers reach this instance under on the ring "
+        "(default: http://<bound host>:<bound port>)",
+    )
+    parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="in-process memory-tier budget in front of the disk store "
+        "(0 disables the memory tier; default: 256 MiB)",
+    )
+    parser.add_argument(
+        "--cache-limit",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU-prune the disk tier to this many bytes after each "
+        "completed discovery (precedence: this flag, then "
+        "$MT4G_CACHE_LIMIT_BYTES, then the 2 GiB default)",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -497,10 +548,20 @@ def serve_main(argv: list[str] | None = None) -> int:
     # machinery (mirrors the fleet subcommand's lazy import).
     import asyncio
 
+    from repro.cache.ring import normalize_node
+    from repro.cache.tiers import DEFAULT_MEMORY_BYTES
     from repro.serve.server import run_service
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
+    peers: list[str] = []
+    for chunk in args.peers or ():
+        peers.extend(p.strip() for p in chunk.split(",") if p.strip())
+    try:
+        peers = [normalize_node(p) for p in peers]
+    except ValueError as exc:
+        print(f"mt4g serve: error: --peers: {exc}", file=sys.stderr)
+        return 1
     try:
         asyncio.run(
             run_service(
@@ -511,6 +572,12 @@ def serve_main(argv: list[str] | None = None) -> int:
                 cache_config=args.cache_config,
                 max_workers=args.jobs,
                 quiet=args.quiet,
+                peers=peers or None,
+                advertise=args.advertise,
+                memory_limit=DEFAULT_MEMORY_BYTES
+                if args.memory_limit is None
+                else args.memory_limit,
+                cache_limit=resolve_cache_limit(args),
             )
         )
     except KeyboardInterrupt:

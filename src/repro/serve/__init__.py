@@ -14,10 +14,19 @@ DiscoveryCache` plus the fleet machinery into that long-lived service:
   ``/discover`` + ``/jobs``, ``/healthz``, ``/metrics``);
 * :mod:`repro.serve.jobs` — the single-flight discovery queue: N
   concurrent cold requests for one (preset, config, seed) cost exactly
-  one discovery, admitted longest-first into the worker pool;
+  one discovery, admitted longest-first into the worker pool; with a
+  consistent-hash ring attached, keys owned by another instance proxy
+  there (``fetch_report_for_job``) so the stampede protection holds
+  across the whole serving fleet;
 * :mod:`repro.serve.diff` — structural report-diff with tolerance
   classification (jitter vs drift);
-* :mod:`repro.serve.metrics` — hit/miss/inflight/latency counters.
+* :mod:`repro.serve.metrics` — hit/miss/inflight/latency counters, per
+  tier on a tiered store; JSON and Prometheus text exposition.
+
+Instances serve the stack of :mod:`repro.cache.tiers` (memory LRU →
+disk → ring peers): ``mt4g serve --peers`` shards the keyspace, and
+read-only ``--no-discover`` replicas pull misses from the owning
+writable peer over ``GET /store/{key}`` instead of 404ing.
 
 Entry point: ``mt4g serve`` (see :mod:`repro.core.cli`).
 """
@@ -25,8 +34,8 @@ Entry point: ``mt4g serve`` (see :mod:`repro.core.cli`).
 from repro.serve.catalog import CatalogEntry, DeviceCatalog
 from repro.serve.diff import AttributeDelta, ReportDiff, diff_reports
 from repro.serve.handlers import HTTPError, HTTPRequest, HTTPResponse
-from repro.serve.jobs import DiscoveryJob, JobQueue
-from repro.serve.metrics import ServiceMetrics
+from repro.serve.jobs import DiscoveryJob, JobQueue, fetch_report_for_job
+from repro.serve.metrics import ServiceMetrics, to_prometheus
 from repro.serve.server import TopologyService, run_service
 
 __all__ = [
@@ -42,5 +51,7 @@ __all__ = [
     "ServiceMetrics",
     "TopologyService",
     "diff_reports",
+    "fetch_report_for_job",
     "run_service",
+    "to_prometheus",
 ]

@@ -3,7 +3,16 @@
 The endpoint surface (all responses carry ``Connection: close``):
 
 * ``GET /healthz`` — liveness + store shape;
-* ``GET /metrics`` — hit/miss/inflight/latency counters;
+* ``GET /metrics`` — hit/miss/inflight/latency counters, per tier when
+  the store is tiered; JSON by default, Prometheus text format via
+  ``?format=prometheus`` or ``Accept: text/plain``;
+* ``GET /store/{key}`` — the raw wrapped entry blob under a
+  content-addressed key, **local tiers only** (a peer asking us must
+  never trigger our own peer fetch — that is what keeps the replication
+  graph loop-free); ``?discover=1&preset=…`` additionally asks this
+  instance to produce a cold entry through its single-flight queue (the
+  cross-instance stampede-protection hop, pinned local so proxy chains
+  terminate after one hop);
 * ``GET /devices`` — the catalog, filterable
   (``?vendor=NVIDIA&verdict=pass`` …);
 * ``GET /devices/{preset}/report`` — one cached report, with format
@@ -21,14 +30,18 @@ The endpoint surface (all responses carry ``Connection: close``):
 Cold keys behave uniformly: with discovery enabled the request rides the
 single-flight queue (N concurrent cold requests → one measurement) and
 responds when the entry lands; in read-only mode (``--no-discover``)
-a cold key is a 404 — the service then promises to serve exactly what
-the store holds and nothing else.
+a cold key is served from the ring peers when a ring is attached (the
+store's peer tier pulls it, the job queue proxies the discovery), and
+only a replica with nowhere to go answers 404 — a *structured* 404
+(``{"error", "status", "key", "read_only"}``) so the peer tier on the
+other side can tell "cold" from "will never have it".
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import re
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -61,13 +74,21 @@ _REPORT_FORMATS = {
     "markdown": (markdown.to_markdown, markdown.CONTENT_TYPE),
     "csv": (csv_out.to_csv, csv_out.CONTENT_TYPE),
 }
-_FORMAT_ALIASES = {"md": "markdown"}
+_FORMAT_ALIASES = {"md": "markdown", "prom": "prometheus"}
 _ACCEPT_TO_FORMAT = {
     json_out.CONTENT_TYPE: "json",
     markdown.CONTENT_TYPE: "markdown",
     csv_out.CONTENT_TYPE: "csv",
+    # what Prometheus scrapers send; only /metrics lists this format as
+    # supported, so other endpoints still 406 on a text/plain Accept.
+    "text/plain": "prometheus",
     "*/*": "json",
 }
+
+#: Prometheus exposition content type (text format 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_STORE_KEY = re.compile(r"^[0-9a-f]{64}$")
 
 
 class HTTPError(Exception):
@@ -76,15 +97,24 @@ class HTTPError(Exception):
     ``retry_after`` (seconds) marks a *temporary* condition — it becomes
     a ``Retry-After`` header so well-behaved clients back off instead of
     hammering a key whose circuit breaker is open.
+
+    ``extra`` keys are folded into the JSON error body — how a 404 tells
+    a fetching peer *which* key is missing and whether this instance is
+    read-only (i.e. will never produce it on its own).
     """
 
     def __init__(
-        self, status: int, detail: str, retry_after: float | None = None
+        self,
+        status: int,
+        detail: str,
+        retry_after: float | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         super().__init__(detail)
         self.status = status
         self.detail = detail
         self.retry_after = retry_after
+        self.extra = extra
 
 
 @dataclass
@@ -147,9 +177,15 @@ def json_response(payload: Any, status: int = 200) -> HTTPResponse:
 
 
 def error_response(
-    status: int, detail: str, retry_after: float | None = None
+    status: int,
+    detail: str,
+    retry_after: float | None = None,
+    extra: dict[str, Any] | None = None,
 ) -> HTTPResponse:
-    response = json_response({"error": detail, "status": status}, status=status)
+    body: dict[str, Any] = {"error": detail, "status": status}
+    if extra:
+        body.update(extra)
+    response = json_response(body, status=status)
     if retry_after is not None:
         # ceil — "retry after 0 seconds" would invite an immediate
         # re-request into a still-open breaker window.
@@ -170,6 +206,8 @@ def route_label(request: HTTPRequest) -> str:
         return f"{request.method} /diff/{{a}}/{{b}}"
     if len(parts) == 2 and parts[0] == "jobs":
         return f"{request.method} /jobs/{{id}}"
+    if len(parts) == 2 and parts[0] == "store":
+        return f"{request.method} /store/{{key}}"
     if len(parts) == 1:
         return f"{request.method} /{parts[0]}"
     return f"{request.method} <unmatched>"
@@ -265,16 +303,21 @@ async def _load_report(
     _known_preset(preset)
     key = service.jobs.report_key(preset, seed, validate)
     loop = asyncio.get_running_loop()
-    # store.get unpickles a whole report from disk — off the loop thread
-    # so a slow disk never stalls every other connection.
+    # store.get unpickles a whole report from disk (and, on a tiered
+    # store, may fall through memory → disk → peer fetch) — off the loop
+    # thread so a slow disk or peer never stalls every other connection.
     payload = await loop.run_in_executor(None, service.store.get, key)
     if payload is None:
-        if service.read_only:
+        if service.read_only and not service.can_proxy(key):
+            # A replica with no peer to lean on: the structured 404 the
+            # peer tier parses — key + read_only tell the fetching side
+            # this instance will never produce the entry by itself.
             raise HTTPError(
                 404,
                 f"no cached report for {preset} (seed {seed}, "
                 f"validate={validate}) and discovery is disabled "
                 "(read-only mode)",
+                extra={"key": key, "read_only": True, "preset": preset},
             )
         job = service.jobs.submit(preset, seed=seed, validate=validate)
         await service.jobs.wait(job)
@@ -335,10 +378,82 @@ async def handle_healthz(service: "TopologyService") -> HTTPResponse:
     return json_response(payload)
 
 
-def handle_metrics(service: "TopologyService") -> HTTPResponse:
-    return json_response(
-        service.metrics.snapshot(store=service.store, jobs=service.jobs)
+def handle_metrics(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
+    fmt = negotiate_format(request, supported=("json", "prometheus"))
+    snapshot = service.metrics.snapshot(store=service.store, jobs=service.jobs)
+    if fmt == "prometheus":
+        from repro.serve.metrics import to_prometheus
+
+        return HTTPResponse(
+            body=to_prometheus(snapshot).encode("utf-8"),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+    return json_response(snapshot)
+
+
+async def handle_store(
+    service: "TopologyService", request: HTTPRequest, key: str
+) -> HTTPResponse:
+    """Serve the raw wrapped entry blob under ``key`` (peer replication).
+
+    Lookup is pinned to **local tiers** (``peer=False``): if this
+    instance does not hold the entry, the answer is a structured 404 —
+    never a fetch from a third instance, so replication requests cannot
+    chain A → B → C (or loop back to A).
+
+    ``?discover=1&preset=…&seed=…&validate=…`` is the proxy hop: a
+    non-owner asks us (the ring owner) to *produce* a cold entry.  The
+    job is submitted ``force_local`` and rides this instance's
+    single-flight queue, so N proxy hops + M direct requests for one key
+    still coalesce into exactly one discovery here.  The preset triple
+    must re-derive the requested key — a mismatch is the client's bug
+    and a 400, not a discovery of something else.
+    """
+    if not _STORE_KEY.match(key):
+        raise HTTPError(400, f"not a content-addressed store key: {key!r}")
+    loop = asyncio.get_running_loop()
+    blob = await loop.run_in_executor(
+        None, lambda: service.store.get_blob(key, peer=False)
     )
+    if blob is None and _bool_param(request, "discover"):
+        if service.read_only:
+            raise HTTPError(
+                404,
+                f"no store entry {key[:12]}… and discovery is disabled "
+                "(read-only mode)",
+                extra={"key": key, "read_only": True},
+            )
+        preset = request.query.get("preset")
+        if not preset:
+            raise HTTPError(400, "store discovery needs ?preset=…")
+        _known_preset(preset)
+        seed = _seed_param(request, "seed")
+        validate = _bool_param(request, "validate")
+        expected = service.jobs.report_key(preset, seed, validate)
+        if expected != key:
+            raise HTTPError(
+                400,
+                f"key {key[:12]}… does not match preset={preset} "
+                f"seed={seed} validate={validate}",
+            )
+        job = service.jobs.submit(preset, seed=seed, validate=validate, force_local=True)
+        await service.jobs.wait(job)
+        if job.status == "error":
+            raise HTTPError(
+                503,
+                f"discovery failed for {preset}: {job.error}",
+                retry_after=job.retry_after or service.jobs.failure_ttl,
+            )
+        blob = await loop.run_in_executor(
+            None, lambda: service.store.get_blob(key, peer=False)
+        )
+    if blob is None:
+        raise HTTPError(
+            404,
+            f"no store entry {key[:12]}…",
+            extra={"key": key, "read_only": service.read_only},
+        )
+    return HTTPResponse(body=blob, content_type="application/octet-stream")
 
 
 async def handle_devices(
@@ -498,7 +613,7 @@ async def dispatch(service: "TopologyService", request: HTTPRequest) -> HTTPResp
         if parts == ["healthz"]:
             return await handle_healthz(service)
         if parts == ["metrics"]:
-            return handle_metrics(service)
+            return handle_metrics(service, request)
         if parts == ["devices"]:
             return await handle_devices(service, request)
         if len(parts) == 3 and parts[0] == "devices" and parts[2] == "report":
@@ -509,6 +624,8 @@ async def dispatch(service: "TopologyService", request: HTTPRequest) -> HTTPResp
             return await handle_diff(service, request, parts[1], parts[2])
         if len(parts) == 2 and parts[0] == "jobs":
             return handle_job(service, parts[1])
+        if len(parts) == 2 and parts[0] == "store":
+            return await handle_store(service, request, parts[1])
     elif request.method == "POST":
         if parts == ["discover"]:
             return handle_discover(service, request)

@@ -34,12 +34,28 @@ with a ``retry_after`` hint instead of re-running a doomed discovery —
 and after ``breaker_threshold`` consecutive failures the key's circuit
 breaker opens for ``breaker_cooldown`` seconds.  One probe is admitted
 once the window lapses (half-open); success heals the key entirely.
+
+Cross-instance single-flight (the sharded-fleet extension): with a
+consistent-hash ``ring`` attached, a cold key whose ring owner is
+*another* instance is not discovered here — the job becomes a **proxy**
+(:func:`fetch_report_for_job`): one bounded HTTP fetch against the
+owner's ``GET /store/{key}?discover=1`` route, which rides the *owner's*
+single-flight queue.  N cold requests across N instances therefore
+coalesce twice — locally onto one proxy job per instance, and at the
+owner onto exactly one discovery.  The fetched entry lands in the local
+store (byte-identical, it is the owner's disk blob), so every local
+waiter reads it back exactly like a locally-discovered one.  On a
+*writable* instance a failed proxy falls back to one local discovery
+(counted in ``peer_fallbacks``) — a dead owner degrades to extra work,
+never to an outage; with ``proxy_only`` (read-only replicas) the proxy
+result is final.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import os
 import time
 from collections import deque
@@ -50,7 +66,14 @@ from typing import Any
 
 from repro import faults
 from repro.cache.costs import estimate_discovery_cost
+from repro.cache.ring import HashRing
 from repro.cache.store import DiscoveryCache
+from repro.cache.tiers import (
+    DEFAULT_PEER_RETRY,
+    DEFAULT_PEER_TIMEOUT,
+    build_worker_cache,
+    peer_fetch,
+)
 from repro.core.tool import AMD_ELEMENTS, NVIDIA_ELEMENTS
 from repro.errors import is_transient
 from repro.faults.retry import DEFAULT_SERVE_RETRY, RetryPolicy
@@ -58,9 +81,113 @@ from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import get_preset
 from repro.gpuspec.spec import Vendor
 from repro.pchase.config import PChaseConfig
-from repro.validate.fleet import discover_one
+from repro.validate.fleet import WorkerOutcome, discover_one
 
-__all__ = ["DiscoveryJob", "JobQueue"]
+__all__ = ["DiscoveryJob", "JobQueue", "fetch_report_for_job"]
+
+
+def fetch_report_for_job(
+    owner: str,
+    key: str,
+    preset: str,
+    seed: int,
+    cache_config: str,
+    engine: str,
+    validate: bool,
+    cache_dir: str,
+    retry: RetryPolicy | None = None,
+    timeout: float = DEFAULT_PEER_TIMEOUT,
+) -> WorkerOutcome:
+    """Proxy worker body: pull (or trigger) the entry at the key's owner.
+
+    The proxy counterpart of :func:`repro.validate.fleet.discover_one`,
+    with the identical :class:`WorkerOutcome` contract so ``_finish``
+    cannot tell the two apart.  ``GET {owner}/store/{key}?discover=1``
+    asks the owner to serve its disk blob — producing it through its own
+    single-flight queue first if the key is cold there — and the blob
+    then lands in the *local* store via the validating
+    ``put_blob`` path: byte-for-byte the owner's entry, so the waiters
+    reading it back get bytes identical to a local discovery.
+
+    Failure taxonomy mirrors the worker's: transport errors and 5xx are
+    ``transient`` (the queue's writable-instance fallback then runs the
+    discovery locally); a structured 404 from a *read-only* owner is
+    ``permanent`` for the proxy path (that owner can never produce the
+    entry), while a 404 without the marker stays ``transient``.
+    """
+    policy = retry if retry is not None else DEFAULT_PEER_RETRY
+    start = time.perf_counter()
+    error, kind = "", "transient"
+    attempt = 0
+    while attempt < policy.attempts:
+        attempt += 1
+        try:
+            # Chaos point shared with the read-path peer tier: one site
+            # covers every HTTP hop toward a peer.
+            faults.inject("tier.peer", owner)
+            status, body = peer_fetch(
+                owner,
+                key,
+                timeout=timeout,
+                discover=True,
+                preset=preset,
+                seed=seed,
+                validate=validate,
+            )
+        except Exception as exc:
+            error = f"peer fetch from {owner} failed: {str(exc) or type(exc).__name__}"
+            kind = "transient" if is_transient(exc) else "permanent"
+            if kind == "permanent" or attempt >= policy.attempts:
+                break
+            time.sleep(policy.delay(key, attempt - 1))
+            continue
+        if status == 200:
+            store = build_worker_cache(cache_dir)
+            if not store.put_blob(key, body):
+                # Truncated in flight (or forged): treat like any other
+                # flaky transfer and retry within budget.
+                error = f"peer blob from {owner} failed validation"
+                kind = "transient"
+                if attempt >= policy.attempts:
+                    break
+                time.sleep(policy.delay(key, attempt - 1))
+                continue
+            payload = store.get(key, peer=False)
+            report = payload.get("report") if isinstance(payload, dict) else None
+            if report is None:
+                error = f"peer entry from {owner} holds no report payload"
+                kind = "permanent"
+                break
+            return WorkerOutcome(
+                preset, report, time.perf_counter() - start, attempts=attempt
+            )
+        if status == 404:
+            read_only = False
+            try:
+                detail = json.loads(body.decode("utf-8"))
+                read_only = bool(detail.get("read_only"))
+            except Exception:
+                pass
+            if read_only:
+                error = f"owner {owner} is read-only and has no entry for {preset}"
+                kind = "permanent"
+            else:
+                error = f"owner {owner} has no entry for {preset}"
+                kind = "transient"
+            break  # a discover=1 404 is authoritative; retrying is noise
+        error = f"peer {owner} answered HTTP {status}"
+        kind = "transient"
+        if attempt >= policy.attempts:
+            break
+        time.sleep(policy.delay(key, attempt - 1))
+    return WorkerOutcome(
+        preset,
+        None,
+        time.perf_counter() - start,
+        error=error,
+        error_kind=kind,
+        attempts=attempt,
+    )
 
 
 @dataclass
@@ -88,6 +215,12 @@ class DiscoveryJob:
     #: LPT admission cost (recorded wall or calibrated estimate).
     cost: float = 0.0
     wall_seconds: float = 0.0
+    #: True while this job is a peer fetch against the key's ring owner
+    #: rather than a local discovery.
+    proxied: bool = False
+    #: set when a failed proxy was re-queued as a local discovery (the
+    #: writable-instance fallback) — routing must not proxy it again.
+    force_local: bool = False
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def as_dict(self) -> dict[str, Any]:
@@ -108,6 +241,8 @@ class DiscoveryJob:
             out["attempts"] = self.attempts
         if self.retry_after is not None:
             out["retry_after"] = round(self.retry_after, 3)
+        if self.proxied or self.force_local:
+            out["proxied"] = self.proxied
         return out
 
 
@@ -138,6 +273,11 @@ class JobQueue:
         failure_ttl: float = 15.0,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 60.0,
+        ring: HashRing | None = None,
+        peer_retry: RetryPolicy | None = None,
+        peer_timeout: float = DEFAULT_PEER_TIMEOUT,
+        proxy_only: bool = False,
+        prune_bytes: int | None = None,
     ) -> None:
         self.store = store
         self.cache_config = cache_config
@@ -146,6 +286,17 @@ class JobQueue:
         self._executor = executor
         self._owns_executor = executor is None
         self.retry = retry if retry is not None else DEFAULT_SERVE_RETRY
+        #: key routing across instances; None = standalone (every job
+        #: discovers locally, the pre-ring behaviour).
+        self.ring = ring
+        self.peer_retry = peer_retry if peer_retry is not None else DEFAULT_PEER_RETRY
+        self.peer_timeout = peer_timeout
+        #: read-only replicas: never discover locally — a failed proxy
+        #: is final instead of falling back to a local discovery.
+        self.proxy_only = proxy_only
+        #: disk budget applied (off-loop) after each completed job; None
+        #: leaves pruning to the CLI, the pre---cache-limit behaviour.
+        self.prune_bytes = prune_bytes
         #: per-job wall budget, enforced on the loop (None = unbounded).
         self.deadline_seconds = deadline_seconds
         #: how long a failed key fast-fails before a retry is admitted.
@@ -174,6 +325,10 @@ class JobQueue:
         self.deadlines_expired = 0
         self.breaker_opens = 0
         self.fast_failures = 0
+        #: sharding accounting: jobs dispatched as peer fetches, and
+        #: failed proxies re-run as local discoveries.
+        self.peer_fetches = 0
+        self.peer_fallbacks = 0
         #: latched when the owned/injected pool reports itself broken —
         #: a degraded-health signal until the service is restarted.
         self.executor_broken = False
@@ -202,17 +357,29 @@ class JobQueue:
     # submission (single-flight) + LPT admission                          #
     # ------------------------------------------------------------------ #
 
-    def submit(self, preset: str, seed: int = 0, validate: bool = False) -> DiscoveryJob:
+    def submit(
+        self,
+        preset: str,
+        seed: int = 0,
+        validate: bool = False,
+        force_local: bool = False,
+    ) -> DiscoveryJob:
         """Enqueue a discovery, coalescing onto an in-flight twin.
 
         Raises :class:`repro.errors.UnknownGPUError` for unknown presets
         (before any key work).  The returned job may already be running —
         await :meth:`wait` for completion.
+
+        ``force_local`` pins the job to a local discovery regardless of
+        ring ownership — the ``/store/{key}?discover=1`` route uses it,
+        which is what terminates proxy chains: the hop a peer sends us
+        runs here or fails here, it never hops again.
         """
         key = self.report_key(preset, seed, validate)
         inflight = self._by_key.get(key)
         if inflight is not None and inflight.status in ("queued", "running"):
             inflight.requests += 1
+            inflight.force_local = inflight.force_local or force_local
             self.coalesced += 1
             return inflight
         blocked_for = self._blocked_for(key)
@@ -225,6 +392,7 @@ class JobQueue:
             seed=seed,
             validate=validate,
             cost=self._estimate_cost(preset),
+            force_local=force_local,
         )
         self._jobs[job.id] = job
         self._by_key[key] = job
@@ -322,6 +490,25 @@ class JobQueue:
             self._pending.remove(job)
             self._start(job)
 
+    def _proxy_target(self, job: DiscoveryJob) -> str | None:
+        """Where this job's discovery should run, or None for "here".
+
+        A remote ring owner is always the target (that is what makes the
+        owner the fleet-wide single-flight anchor).  When *we* own the
+        key, ``proxy_only`` instances (read-only replicas) still proxy —
+        to the owner's first successor, the nearest instance that might
+        be able to produce the entry — because they can never run the
+        discovery themselves.
+        """
+        if self.ring is None or job.force_local:
+            return None
+        owner = self.ring.owner(job.key)
+        if owner != self.ring.self_node:
+            return owner
+        if self.proxy_only:
+            return self.ring.peer_target(job.key)
+        return None
+
     def _start(self, job: DiscoveryJob) -> None:
         try:
             # "serve.job" chaos point: admission-time failures (the job
@@ -336,22 +523,44 @@ class JobQueue:
             job.done.set()
             self._retire(job)
             return
+        target = self._proxy_target(job)
+        job.proxied = target is not None
         job.status = "running"
         self._running += 1
-        self.discoveries_started += 1
         start = time.perf_counter()
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(
-            self._ensure_executor(),
-            discover_one,
-            job.preset,
-            job.seed,
-            self.cache_config,
-            self.engine,
-            job.validate,
-            str(self.store.root),
-            self.retry,
-        )
+        if job.proxied:
+            # Not a discovery: ``discoveries_started`` stays untouched,
+            # which is exactly what lets the acceptance check pin "one
+            # discovery, on the owner" from each instance's /metrics.
+            self.peer_fetches += 1
+            future = loop.run_in_executor(
+                self._ensure_executor(),
+                fetch_report_for_job,
+                target,
+                job.key,
+                job.preset,
+                job.seed,
+                self.cache_config,
+                self.engine,
+                job.validate,
+                str(self.store.root),
+                self.peer_retry,
+                self.peer_timeout,
+            )
+        else:
+            self.discoveries_started += 1
+            future = loop.run_in_executor(
+                self._ensure_executor(),
+                discover_one,
+                job.preset,
+                job.seed,
+                self.cache_config,
+                self.engine,
+                job.validate,
+                str(self.store.root),
+                self.retry,
+            )
         if self.deadline_seconds is not None:
             self._deadline_handles[job.id] = loop.call_later(
                 self.deadline_seconds, self._expire, job
@@ -411,6 +620,18 @@ class JobQueue:
                 self.executor_broken = True
         job.wall_seconds = wall
         if report is None or error:
+            if job.proxied and not self.proxy_only:
+                # Writable-instance fallback: the owner could not serve
+                # this key, so run the discovery here — one local job,
+                # same waiters, no failure recorded against the key (the
+                # key did nothing wrong; a peer did).
+                self.peer_fallbacks += 1
+                job.proxied = False
+                job.force_local = True
+                job.status = "queued"
+                self._pending.append(job)
+                self._pump()
+                return
             job.status = "error"
             job.error = error or "discovery produced no report"
             self.discoveries_failed += 1
@@ -420,12 +641,20 @@ class JobQueue:
             self.discoveries_completed += 1
             self._heal(job.key)
             # Feed the LPT scheduler exactly like the fleet parent does:
-            # only genuinely measured walls, never hash-lookup hits.
+            # only genuinely measured walls, never hash-lookup hits —
+            # and never peer-fetch walls, which measure the network, not
+            # the discovery this preset would cost here.
             # Off the loop thread — record_wall takes a sidecar lock and
             # may briefly sleep-retry under writer contention.
-            if report.meta.get("cache", {}).get("status") != "hit":
+            if not job.proxied and report.meta.get("cache", {}).get("status") != "hit":
                 asyncio.get_running_loop().run_in_executor(
                     None, self.store.record_wall, job.preset, wall
+                )
+            if self.prune_bytes is not None:
+                # Opportunistic budget enforcement after every landed
+                # entry (the serve-side twin of the CLI's post-run prune).
+                asyncio.get_running_loop().run_in_executor(
+                    None, self.store.prune, self.prune_bytes
                 )
         job.done.set()
         self._retire(job)

@@ -16,7 +16,7 @@ from typing import Any
 
 from repro import faults
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "to_prometheus"]
 
 
 class ServiceMetrics:
@@ -76,6 +76,11 @@ class ServiceMetrics:
                 #: write_error, lock_timeout, stats_corrupt).
                 "degradations": dict(store.degradations),
             }
+            tier_stats = getattr(store, "tier_stats", None)
+            if callable(tier_stats):
+                # A tiered store: the aggregate above answers "did the
+                # stack carry the traffic", this answers "which tier".
+                out["store"]["tiers"] = tier_stats()
         if jobs is not None:
             out["jobs"] = {
                 "inflight": jobs.inflight,
@@ -89,6 +94,8 @@ class ServiceMetrics:
                 "fast_failures": jobs.fast_failures,
                 "open_breakers": len(jobs.open_breakers()),
                 "executor_broken": jobs.executor_broken,
+                "peer_fetches": jobs.peer_fetches,
+                "peer_fallbacks": jobs.peer_fallbacks,
             }
         out["resilience"] = {
             "stale_served": self.stale_served,
@@ -97,3 +104,131 @@ class ServiceMetrics:
             "faults_injected": faults.injected_counts(),
         }
         return out
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition (0.0.4)                                       #
+# ---------------------------------------------------------------------- #
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a :meth:`ServiceMetrics.snapshot` dict as Prometheus text.
+
+    A pure function of the JSON snapshot (no second metric registry to
+    drift from the JSON endpoint): same counters, standard exposition —
+    ``mt4g_``-prefixed names, label-per-route/status/tier/kind, one
+    ``# TYPE`` line per family.  Gauges are the point-in-time values
+    (inflight, open breakers, uptime); everything else is a counter.
+    """
+    lines: list[str] = []
+
+    def family(name: str, kind: str, samples: "list[tuple[str, Any]]") -> None:
+        if not samples:
+            return
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            if isinstance(value, bool):
+                value = int(value)
+            lines.append(f"{name}{labels} {value}")
+
+    def label(**kv: str) -> str:
+        inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in kv.items())
+        return f"{{{inner}}}"
+
+    family("mt4g_uptime_seconds", "gauge", [("", snapshot.get("uptime_seconds", 0))])
+    http = snapshot.get("http", {})
+    family(
+        "mt4g_http_requests_total", "counter", [("", http.get("requests_total", 0))]
+    )
+    family(
+        "mt4g_http_bad_requests_total", "counter", [("", http.get("bad_requests", 0))]
+    )
+    family(
+        "mt4g_http_responses_total",
+        "counter",
+        [(label(status=s), v) for s, v in http.get("by_status", {}).items()],
+    )
+    routes = http.get("routes", {})
+    family(
+        "mt4g_http_route_requests_total",
+        "counter",
+        [(label(route=r), b.get("count", 0)) for r, b in routes.items()],
+    )
+    family(
+        "mt4g_http_route_seconds_total",
+        "counter",
+        [(label(route=r), b.get("seconds_total", 0.0)) for r, b in routes.items()],
+    )
+    family(
+        "mt4g_http_route_seconds_max",
+        "gauge",
+        [(label(route=r), b.get("seconds_max", 0.0)) for r, b in routes.items()],
+    )
+
+    store = snapshot.get("store")
+    if store is not None:
+        family("mt4g_store_hits_total", "counter", [("", store.get("hits", 0))])
+        family("mt4g_store_misses_total", "counter", [("", store.get("misses", 0))])
+        family("mt4g_store_stores_total", "counter", [("", store.get("stores", 0))])
+        family(
+            "mt4g_store_degradations_total",
+            "counter",
+            [(label(kind=k), v) for k, v in store.get("degradations", {}).items()],
+        )
+        tiers = store.get("tiers", {})
+        for counter in ("hits", "misses", "stores"):
+            family(
+                f"mt4g_store_tier_{counter}_total",
+                "counter",
+                [(label(tier=t), s.get(counter, 0)) for t, s in tiers.items()],
+            )
+        family(
+            "mt4g_store_tier_degradations_total",
+            "counter",
+            [
+                (label(tier=t, kind=k), v)
+                for t, s in tiers.items()
+                for k, v in s.get("degradations", {}).items()
+            ],
+        )
+
+    jobs = snapshot.get("jobs")
+    if jobs is not None:
+        family("mt4g_jobs_inflight", "gauge", [("", jobs.get("inflight", 0))])
+        family("mt4g_jobs_open_breakers", "gauge", [("", jobs.get("open_breakers", 0))])
+        family(
+            "mt4g_jobs_executor_broken", "gauge", [("", jobs.get("executor_broken", 0))]
+        )
+        for counter in (
+            "started",
+            "completed",
+            "failed",
+            "coalesced",
+            "retries",
+            "deadlines_expired",
+            "breaker_opens",
+            "fast_failures",
+            "peer_fetches",
+            "peer_fallbacks",
+        ):
+            family(
+                f"mt4g_jobs_{counter}_total", "counter", [("", jobs.get(counter, 0))]
+            )
+
+    resilience = snapshot.get("resilience", {})
+    family(
+        "mt4g_stale_served_total", "counter", [("", resilience.get("stale_served", 0))]
+    )
+    family(
+        "mt4g_faults_injected_total",
+        "counter",
+        [
+            (label(site=s), v)
+            for s, v in resilience.get("faults_injected", {}).items()
+        ],
+    )
+    return "\n".join(lines) + "\n"

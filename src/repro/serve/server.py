@@ -29,7 +29,15 @@ from concurrent.futures import Executor
 from pathlib import Path
 from time import perf_counter
 
+from repro.cache.ring import HashRing
 from repro.cache.store import DiscoveryCache
+from repro.cache.tiers import (
+    DEFAULT_MEMORY_BYTES,
+    DEFAULT_PEER_RETRY,
+    DEFAULT_PEER_TIMEOUT,
+    PeerTier,
+    build_worker_cache,
+)
 from repro.core.report import TopologyReport
 from repro.faults.retry import RetryPolicy
 from repro.serve.catalog import DeviceCatalog
@@ -75,6 +83,7 @@ class TopologyService:
         failure_ttl: float = 15.0,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 60.0,
+        prune_bytes: int | None = None,
     ) -> None:
         self.store = store
         self.read_only = read_only
@@ -90,8 +99,13 @@ class TopologyService:
             failure_ttl=failure_ttl,
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
+            proxy_only=read_only,
+            prune_bytes=prune_bytes,
         )
         self.metrics = ServiceMetrics()
+        #: consistent-hash membership; None until attach_ring() (post-
+        #: bind, because the advertise URL may need the ephemeral port).
+        self.ring: HashRing | None = None
         #: report key -> pickled last-good report (pickled so every
         #: fallback read deserialises a fresh object, exactly like a
         #: store hit — handlers may mutate what they are given).
@@ -115,6 +129,43 @@ class TopologyService:
         return pickle.loads(blob) if blob is not None else None
 
     # ------------------------------------------------------------------ #
+    # ring membership (sharding + replication)                            #
+    # ------------------------------------------------------------------ #
+
+    def attach_ring(
+        self,
+        ring: HashRing,
+        peer_retry: RetryPolicy | None = None,
+        peer_timeout: float = DEFAULT_PEER_TIMEOUT,
+    ) -> None:
+        """Join a consistent-hash ring: route jobs, fetch misses.
+
+        Wires the ring into both halves of the serving stack — the job
+        queue (cold keys owned elsewhere become proxy jobs) and, when
+        the store is tiered, a :class:`PeerTier` appended below disk (a
+        local read miss falls through to the key's peers).  Called after
+        :meth:`start` so a port-0 bind can advertise its real port.
+        """
+        self.ring = ring
+        self.jobs.ring = ring
+        self.jobs.peer_retry = peer_retry if peer_retry is not None else DEFAULT_PEER_RETRY
+        self.jobs.peer_timeout = peer_timeout
+        add_tier = getattr(self.store, "add_tier", None)
+        if add_tier is not None:
+            add_tier(
+                PeerTier(
+                    ring,
+                    retry=self.jobs.peer_retry,
+                    timeout=peer_timeout,
+                    version=self.store.version,
+                )
+            )
+
+    def can_proxy(self, key: str) -> bool:
+        """True when a cold ``key`` has a peer that might produce it."""
+        return self.ring is not None and self.ring.peer_target(key) is not None
+
+    # ------------------------------------------------------------------ #
     # request handling (transport-independent)                            #
     # ------------------------------------------------------------------ #
 
@@ -124,7 +175,7 @@ class TopologyService:
         try:
             response = await dispatch(self, request)
         except HTTPError as exc:
-            response = error_response(exc.status, exc.detail, exc.retry_after)
+            response = error_response(exc.status, exc.detail, exc.retry_after, exc.extra)
         except Exception as exc:  # a handler bug must not kill the server
             response = error_response(500, str(exc) or type(exc).__name__)
         self.metrics.observe(route_label(request), response.status, perf_counter() - start)
@@ -236,20 +287,44 @@ async def run_service(
     cache_config: str = "PreferL1",
     max_workers: int | None = None,
     quiet: bool = False,
+    peers: "list[str] | None" = None,
+    advertise: str | None = None,
+    memory_limit: int = DEFAULT_MEMORY_BYTES,
+    cache_limit: int | None = None,
 ) -> None:
-    """Run the service until cancelled (the ``mt4g serve`` entry point)."""
+    """Run the service until cancelled (the ``mt4g serve`` entry point).
+
+    The store is the standard tier stack (memory LRU over disk;
+    ``memory_limit=0`` disables the memory tier).  ``peers`` joins a
+    consistent-hash ring with those instances — each must be started
+    with the member list naming everyone else, and ``advertise`` is the
+    URL *they* reach this instance under (default: the bound
+    host:port).  ``cache_limit`` prunes the disk tier to that many
+    bytes after every completed discovery.
+    """
+    store = build_worker_cache(
+        Path(cache_dir).expanduser(), memory_bytes=memory_limit
+    )
     service = TopologyService(
-        DiscoveryCache(Path(cache_dir).expanduser()),
+        store,
         read_only=read_only,
         cache_config=cache_config,
         max_workers=max_workers,
+        prune_bytes=cache_limit,
     )
     bound_host, bound_port = await service.start(host, port)
+    if peers:
+        # After bind, so a port-0 instance advertises its real port.
+        ring = HashRing(advertise or f"http://{bound_host}:{bound_port}", peers)
+        service.attach_ring(ring)
     if not quiet:
+        ring_note = (
+            f", ring of {len(service.ring.nodes)}" if service.ring is not None else ""
+        )
         print(
             f"# mt4g serve listening on http://{bound_host}:{bound_port} "
             f"(store {service.store.root}"
-            f"{', read-only' if read_only else ''})",
+            f"{', read-only' if read_only else ''}{ring_note})",
             file=sys.stderr,
             flush=True,
         )

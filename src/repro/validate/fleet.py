@@ -42,6 +42,7 @@ from typing import Any, Sequence
 from repro import faults
 from repro.cache.costs import estimate_discovery_cost, schedule_order
 from repro.cache.store import DiscoveryCache
+from repro.cache.tiers import build_worker_cache
 from repro.core.report import TopologyReport
 from repro.core.tool import MT4G
 from repro.errors import ReproError, is_transient
@@ -355,7 +356,10 @@ def _discover_one(
             # so a recorded plan can fail attempt 0 and spare attempt 1
             # regardless of which process runs the worker.
             faults.inject("fleet.worker", f"{preset}@{attempt - 1}")
-            store = DiscoveryCache(cache_dir) if cache_dir else None
+            # The standard tier stack (memory LRU over the shared disk
+            # store): reads within this worker's retries hit memory,
+            # writes land through to disk where every worker sees them.
+            store = build_worker_cache(cache_dir)
             device = SimulatedGPU(
                 get_preset(preset), seed=seed, cache_config=cache_config
             )

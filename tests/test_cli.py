@@ -314,3 +314,72 @@ class TestServeCLI:
         rc = serve_main(["--host", "999.invalid.example.", "-q"])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+    def test_serve_parser_tiering_flags(self):
+        args = build_serve_parser().parse_args([
+            "--peers", "http://a:1,http://b:2", "--peers", "http://c:3",
+            "--advertise", "http://me:8734",
+            "--memory-limit", "1048576", "--cache-limit", "2097152",
+        ])
+        # repeatable AND comma-separated (serve_main flattens the chunks)
+        assert args.peers == ["http://a:1,http://b:2", "http://c:3"]
+        assert args.advertise == "http://me:8734"
+        assert args.memory_limit == 1048576 and args.cache_limit == 2097152
+        defaults = build_serve_parser().parse_args([])
+        assert defaults.peers is None and defaults.advertise is None
+        assert defaults.memory_limit is None and defaults.cache_limit is None
+
+    def test_serve_main_rejects_unusable_peer_urls(self, capsys):
+        from repro.core.cli import serve_main
+
+        rc = serve_main(["--port", "0", "-q", "--peers", "http://"])
+        assert rc == 1
+        assert "--peers" in capsys.readouterr().err
+
+
+class TestCacheLimitPrecedence:
+    """--cache-limit > $MT4G_CACHE_LIMIT_BYTES > the 2 GiB default."""
+
+    def _resolve(self, argv):
+        from repro.core.cli import resolve_cache_limit
+
+        return resolve_cache_limit(build_parser().parse_args(argv))
+
+    def test_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("MT4G_CACHE_LIMIT_BYTES", "111")
+        assert self._resolve(["--cache-limit", "222"]) == 222
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("MT4G_CACHE_LIMIT_BYTES", "333")
+        assert self._resolve([]) == 333
+
+    def test_default_is_two_gib(self, monkeypatch):
+        from repro.cache.store import DEFAULT_PRUNE_BYTES
+
+        monkeypatch.delenv("MT4G_CACHE_LIMIT_BYTES", raising=False)
+        assert self._resolve([]) == DEFAULT_PRUNE_BYTES == 2 << 30
+
+    def test_unparseable_env_falls_back_to_default(self, monkeypatch):
+        from repro.cache.store import DEFAULT_PRUNE_BYTES
+
+        monkeypatch.setenv("MT4G_CACHE_LIMIT_BYTES", "a lot")
+        assert self._resolve([]) == DEFAULT_PRUNE_BYTES
+
+    def test_all_parsers_carry_the_flag(self):
+        for build in (build_parser, build_fleet_parser, build_serve_parser):
+            args = build().parse_args(["--cache-limit", "444"])
+            assert args.cache_limit == 444
+
+    def test_prune_honours_the_flag(self, tmp_path, capsys):
+        # Two single-device runs with different seeds under a 1-byte
+        # budget: the post-run prune must leave at most one entry.
+        from repro.cache.store import DiscoveryCache
+
+        cache_dir = str(tmp_path / "cache")
+        for seed in ("0", "1"):
+            assert main([
+                "--gpu", "TestGPU-NV", "--seed", seed, "-q",
+                "--cache-dir", cache_dir, "--cache-limit", "1",
+            ]) == 0
+        capsys.readouterr()
+        assert DiscoveryCache(tmp_path / "cache").entry_count() <= 1

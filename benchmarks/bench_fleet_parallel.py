@@ -62,6 +62,12 @@ def results():
         "reports_identical": _reports_digest(sequential) == _reports_digest(concurrent),
         "verdicts": concurrent.verdicts(),
     }
+    if (os.cpu_count() or 1) < 2:
+        out["note"] = (
+            "recorded on a single-core host: the speedup column measures "
+            "process-pool overhead only, not the min(jobs, cores) scaling; "
+            "re-record on a multi-core host for a meaningful figure"
+        )
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     return out
 

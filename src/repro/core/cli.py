@@ -12,10 +12,12 @@ on"), ``--seed``, ``--validate`` (the post-hoc validation pass), the
 prints a cross-device comparison matrix, the ``mt4g serve`` subcommand
 that runs the long-lived topology query service (catalog + reports +
 compare/diff over the discovery cache, with single-flight cold-request
-coalescing), and the discovery cache flags ``--cache-dir`` (default
-``~/.cache/mt4g``) / ``--no-cache`` — repeat runs with identical inputs
-are served from the content-addressed store byte-identically instead of
-re-measured.
+coalescing), the ``mt4g graph`` subcommand that renders the canonical
+topology graph (JSON or Graphviz DOT, byte-identical to what
+``GET /graph/{preset}`` serves, with opt-in ``--host`` context), and
+the discovery cache flags ``--cache-dir`` (default ``~/.cache/mt4g``) /
+``--no-cache`` — repeat runs with identical inputs are served from the
+content-addressed store byte-identically instead of re-measured.
 """
 
 from __future__ import annotations
@@ -47,6 +49,8 @@ __all__ = [
     "build_parser",
     "build_fleet_parser",
     "fleet_main",
+    "build_graph_parser",
+    "graph_main",
     "build_serve_parser",
     "serve_main",
     "resolve_cache_limit",
@@ -200,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
         return fleet_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "graph":
+        return graph_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -449,6 +455,108 @@ def fleet_main(argv: list[str] | None = None) -> int:
             print(f"# fleet worker/infrastructure FAILURE: {kinds}", file=sys.stderr)
         return 3
     return 0 if entries_ok and fleet_ok else 2
+
+
+def build_graph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mt4g graph",
+        description=(
+            "Render the canonical topology graph of one preset (typed "
+            "nodes/edges, canonical ordering).  The JSON bytes equal "
+            "GET /graph/{preset} on a service warmed from the same "
+            "cache — the graph is a pure function of report content."
+        ),
+    )
+    parser.add_argument(
+        "--gpu",
+        default="H100-80",
+        help="GPU preset to render (see mt4g --list)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    parser.add_argument(
+        "--cache-config",
+        default="PreferL1",
+        choices=("PreferL1", "PreferShared", "PreferEqual"),
+        help="NVIDIA L1/shared carveout (cudaDeviceSetCacheConfig)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="discover with the post-hoc validation pass (changes the "
+        "cache key, so it must match how a peer service was warmed)",
+    )
+    parser.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "dot"),
+        help="rendering: canonical JSON (default) or Graphviz DOT",
+    )
+    parser.add_argument(
+        "--host",
+        action="store_true",
+        help="attach best-effort host context (CPU/NUMA/PCIe from /proc "
+        "and /sys); collectors that cannot read degrade silently and "
+        "the graph records why under meta.host_degraded — host facts "
+        "are per-machine, so this breaks byte-identity with a served "
+        "graph by design",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the rendering to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress progress messages"
+    )
+    _add_cache_args(parser)
+    return parser
+
+
+def graph_main(argv: list[str] | None = None) -> int:
+    """``mt4g graph``: the canonical topology graph, offline."""
+    # Imported here so plain discovery runs never pay for the graph
+    # machinery (mirrors the fleet/serve subcommands' lazy imports).
+    from repro.graph import build_graph, collect_host, to_dot, to_graph_json
+
+    parser = build_graph_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = get_preset(args.gpu)
+        device = SimulatedGPU(spec, seed=args.seed, cache_config=args.cache_config)
+        cache = _cache_from_args(args)
+        tool = MT4G(device, cache=cache)
+        if not args.quiet:
+            print(
+                f"# graphing {spec.name} ({spec.vendor.value}), seed {args.seed}",
+                file=sys.stderr,
+            )
+        report = tool.discover(validate=args.validate)
+    except ReproError as exc:
+        print(f"mt4g graph: error: {exc}", file=sys.stderr)
+        return 1
+    _prune_cache(cache, args)
+    host = None
+    if args.host:
+        host = collect_host()
+        if host.degraded and not args.quiet:
+            print(
+                "# host collectors degraded: "
+                + ", ".join(sorted(host.degraded)),
+                file=sys.stderr,
+            )
+    graph = build_graph(report, host=host)
+    rendered = to_graph_json(graph) if args.format == "json" else to_dot(graph)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + "\n", encoding="utf-8")
+        if not args.quiet:
+            print(f"# graph -> {path}", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0
 
 
 def build_serve_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,58 @@
+"""Canonical topology graph model (the toposcope-shaped normalisation).
+
+One ``nodes``/``edges`` representation of a discovered topology, shared
+by every consumer that previously re-interpreted the flat report:
+
+* :mod:`repro.graph.ids` — the element/node addressing scheme
+  (``cache:L2[segment=1]``) used by the graph builder, the sys-sage
+  component tree, and the drift diff alike;
+* :mod:`repro.graph.model` — typed nodes (gpu / cluster / sm / cache /
+  memory / host …), typed edges (contains / reaches / shares),
+  content-derived ids and canonical ordering, so
+  :func:`~repro.graph.model.to_graph_json` is byte-stable;
+* :mod:`repro.graph.build` — :func:`~repro.graph.build.build_graph`
+  (one report → one graph, optional MIG overlay + host context) and
+  :func:`~repro.graph.build.build_fleet_graph` (catalog → grouped
+  fleet view);
+* :mod:`repro.graph.host` — best-effort ``/proc``//``/sys`` collectors
+  with per-collector timeouts and a degradation counter; they can make
+  a graph richer, never make a build fail.
+
+Entry points: ``mt4g graph`` (CLI) and ``GET /graph/{preset}`` /
+``GET /graph?group=…`` (serve); both render identical bytes.
+"""
+
+from repro.graph.build import FLEET_GROUPINGS, build_fleet_graph, build_graph
+from repro.graph.host import HostTopology, collect_host
+from repro.graph.ids import element_kind, element_node_id, node_id
+from repro.graph.model import (
+    EDGE_KINDS,
+    GRAPH_SCHEMA,
+    NODE_KINDS,
+    GraphEdge,
+    GraphError,
+    GraphNode,
+    TopologyGraph,
+    to_dot,
+    to_graph_json,
+)
+
+__all__ = [
+    "EDGE_KINDS",
+    "FLEET_GROUPINGS",
+    "GRAPH_SCHEMA",
+    "GraphEdge",
+    "GraphError",
+    "GraphNode",
+    "HostTopology",
+    "NODE_KINDS",
+    "TopologyGraph",
+    "build_fleet_graph",
+    "build_graph",
+    "collect_host",
+    "element_kind",
+    "element_node_id",
+    "node_id",
+    "to_dot",
+    "to_graph_json",
+]

@@ -1,0 +1,332 @@
+"""Report → graph conversion: the one place topology structure is built.
+
+:func:`build_graph` turns a :class:`~repro.core.report.TopologyReport`
+into the canonical :class:`~repro.graph.model.TopologyGraph`; every
+consumer that used to re-interpret the flat element dict (the sys-sage
+tree, the drift diff, the serving layer, the CLI) now derives from this
+one conversion.  The function is a pure function of report *content*:
+
+* nothing from ``report.meta`` (cache provenance) or
+  ``report.validation`` leaks into the graph, so a graph built from a
+  cold discovery, a warm cache hit, or a peer-replicated blob is
+  byte-identical once rendered;
+* optional dynamic state (the current MIG partition) and optional host
+  context are explicit arguments — absent by default, so the default
+  build is exactly as reproducible as the report itself.
+
+:func:`build_fleet_graph` is the catalog-level sibling: every cached
+device under grouping nodes (vendor or microarchitecture), which is what
+``GET /graph?group=…`` serves for fleet-wide views.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.benchmarks.base import Source
+from repro.core.report import ATTRIBUTES, TopologyReport
+from repro.graph.host import HostTopology
+from repro.graph.ids import element_kind, element_node_id, node_id
+from repro.graph.model import GraphError, TopologyGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.catalog import CatalogEntry
+
+__all__ = ["build_graph", "build_fleet_graph", "FLEET_GROUPINGS"]
+
+#: Per-vendor compute terminology: (cluster name, SM/CU node kind).
+_COMPUTE_KINDS = {"NVIDIA": ("GPC", "sm"), "AMD": ("SE", "cu")}
+
+#: Elements one SM/CU reaches directly (the level-1 spaces).
+_SM_LEVEL = {
+    "NVIDIA": ("L1", "Texture", "Readonly", "ConstL1", "SharedMem"),
+    "AMD": ("vL1", "sL1d", "LDS"),
+}
+
+#: Upstream candidates per element, nearest first: a ``reaches`` edge
+#: goes to the first candidate the report actually discovered, so a
+#: report without a ConstL1.5 (or an AMD part without an L3) still gets
+#: a connected data path.
+_UPSTREAM = {
+    "NVIDIA": {
+        "L1": ("L2", "DeviceMemory"),
+        "Texture": ("L2", "DeviceMemory"),
+        "Readonly": ("L2", "DeviceMemory"),
+        "ConstL1": ("ConstL1.5", "L2", "DeviceMemory"),
+        "ConstL1.5": ("L2", "DeviceMemory"),
+        "L2": ("DeviceMemory",),
+    },
+    "AMD": {
+        "vL1": ("L2", "DeviceMemory"),
+        "sL1d": ("L2", "DeviceMemory"),
+        "L2": ("L3", "DeviceMemory"),
+        "L3": ("DeviceMemory",),
+    },
+}
+
+#: Groupings ``build_fleet_graph`` (and ``GET /graph?group=…``) accepts.
+FLEET_GROUPINGS = ("vendor", "microarchitecture")
+
+
+def _element_attrs(report: TopologyReport, element: str) -> dict[str, Any]:
+    """The element's attribute payloads, provenance included.
+
+    Not-applicable attributes are omitted (absence of a fact is not a
+    fact); unavailable ones are kept — "we tried and could not measure"
+    is information a consumer should see.
+    """
+    out: dict[str, Any] = {}
+    for attribute in ATTRIBUTES:
+        av = report.memory[element].get(attribute)
+        if av.source is Source.NOT_APPLICABLE:
+            continue
+        out[attribute] = av.as_dict()
+    return out
+
+
+def _derived_preset(report: TopologyReport) -> str:
+    """Preset name recovered from the model string (catalog convention)."""
+    vendor, model = report.general.vendor, report.general.model
+    if model.startswith(f"{vendor} "):
+        return model[len(vendor) + 1 :]
+    return model
+
+
+def _l2_segment_count(report: TopologyReport) -> int:
+    if "L2" not in report.memory:
+        return 0
+    amount = report.memory["L2"].get("amount").value
+    if isinstance(amount, bool) or not isinstance(amount, int):
+        return 0
+    return amount if amount >= 1 else 0
+
+
+def build_graph(
+    report: TopologyReport,
+    mig_profile: str = "full",
+    visible_sms: int | None = None,
+    visible_dram_bytes: int | None = None,
+    host: HostTopology | None = None,
+) -> TopologyGraph:
+    """The canonical graph of one device report.
+
+    ``mig_profile`` / ``visible_sms`` / ``visible_dram_bytes`` overlay
+    the *current* dynamic partition onto the static report (the sys-sage
+    combination); callers without dynamic state — the serving layer, the
+    CLI — pass nothing and get the full device.  ``host`` attaches
+    best-effort machine context from :func:`repro.graph.host.collect_host`.
+    """
+    general, compute = report.general, report.compute
+    vendor = general.vendor
+    cluster_name, sm_kind = _COMPUTE_KINDS.get(vendor, ("Cluster", "sm"))
+    sm_level = _SM_LEVEL.get(vendor, ())
+    upstream = _UPSTREAM.get(vendor, {})
+
+    graph = TopologyGraph(
+        meta={
+            "kind": "device",
+            "preset": _derived_preset(report),
+            "seed": int(report.seed),
+            "mig_profile": mig_profile,
+        }
+    )
+
+    # ---- the GPU --------------------------------------------------------
+    gpu = graph.add_node(
+        node_id("gpu", general.model),
+        "gpu",
+        general.model,
+        vendor=vendor,
+        microarchitecture=general.microarchitecture,
+        compute_capability=general.compute_capability,
+        clock_rate_hz=general.clock_rate_hz,
+        memory_clock_rate_hz=general.memory_clock_rate_hz,
+        memory_bus_width_bits=general.memory_bus_width_bits,
+        mig_profile=mig_profile,
+    )
+
+    # ---- compute hierarchy: cluster -> SMs/CUs --------------------------
+    sms = compute.num_sms if visible_sms is None else int(visible_sms)
+    cluster = graph.add_node(
+        node_id("cluster", cluster_name),
+        "cluster",
+        cluster_name,
+        sms=sms,
+        total_sms=compute.num_sms,
+        warp_size=compute.warp_size,
+    )
+    graph.add_edge(gpu, cluster, "contains")
+    sm_ids = []
+    physical = compute.physical_cu_ids
+    for i in range(sms):
+        attrs: dict[str, Any] = {
+            "cores": compute.cores_per_sm,
+            "max_threads": compute.max_threads_per_sm,
+        }
+        if compute.simds_per_sm:
+            attrs["simds"] = compute.simds_per_sm
+        if i < len(physical):
+            attrs["physical_id"] = physical[i]
+        sm = graph.add_node(node_id(sm_kind, str(i)), sm_kind, str(i), **attrs)
+        graph.add_edge(cluster, sm, "contains")
+        sm_ids.append(sm)
+
+    # ---- memory elements ------------------------------------------------
+    element_ids: dict[str, str] = {}
+    for element in report.memory:
+        kind = element_kind(element)
+        element_ids[element] = graph.add_node(
+            element_node_id(element), kind, element, **_element_attrs(report, element)
+        )
+        graph.add_edge(gpu, element_ids[element], "contains")
+
+    # DeviceMemory under MIG: the slice the current instance can address.
+    if visible_dram_bytes is not None and "DeviceMemory" in element_ids:
+        dram = graph.node(element_ids["DeviceMemory"])
+        dram.attrs["visible_bytes"] = int(visible_dram_bytes)
+
+    # L2 segments: the MT4G "Amount" made structural (Fig. 5's insight —
+    # one SM reaches one segment, so the segment is a real component).
+    segments = _l2_segment_count(report)
+    if segments:
+        size = report.memory["L2"].get("size").value
+        seg_size = int(size) // segments if isinstance(size, (int, float)) else None
+        for seg in range(segments):
+            attrs = {"segment": seg}
+            if seg_size is not None:
+                attrs["size"] = seg_size
+            seg_id = graph.add_node(
+                element_node_id("L2", segment=seg), "cache", "L2", **attrs
+            )
+            graph.add_edge(element_ids["L2"], seg_id, "contains")
+
+    # ---- data-path (reaches) edges --------------------------------------
+    for sm in sm_ids:
+        for element in sm_level:
+            if element in element_ids:
+                graph.add_edge(sm, element_ids[element], "reaches")
+    for element, candidates in upstream.items():
+        if element not in element_ids:
+            continue
+        for upper in candidates:
+            if upper in element_ids:
+                graph.add_edge(element_ids[element], element_ids[upper], "reaches")
+                break
+
+    # ---- physical sharing (shares) edges --------------------------------
+    for element in report.memory:
+        shared = report.memory[element].get("shared_with")
+        if shared.unit != "elements" or not isinstance(shared.value, (tuple, list)):
+            continue
+        for partner in shared.value:
+            if partner not in element_ids:
+                continue
+            # canonical direction: lexicographically smaller element
+            # first, so A→B and B→A collapse to one edge.
+            a, b = sorted((element, partner))
+            graph.add_edge(element_ids[a], element_ids[b], "shares")
+
+    # ---- optional host context ------------------------------------------
+    if host is not None:
+        _attach_host(graph, gpu, host)
+
+    graph.validate()
+    return graph
+
+
+def _attach_host(graph: TopologyGraph, gpu: str, host: HostTopology) -> None:
+    """Attach whatever the collectors managed to learn; never raises.
+
+    The degradation counter rides in ``meta["host_degraded"]`` so a
+    graph with no host nodes still records *why* (the acceptance
+    criterion: collectors degrade, builds never fail).
+    """
+    graph.meta["host_degraded"] = dict(host.degraded)
+    attrs: dict[str, Any] = {}
+    if host.memory_bytes is not None:
+        attrs["memory_bytes"] = host.memory_bytes
+    host_id = graph.add_node(
+        node_id("host", host.hostname or "unknown-host"),
+        "host",
+        host.hostname or "unknown-host",
+        **attrs,
+    )
+    graph.add_edge(host_id, gpu, "contains")
+
+    if host.cpu is not None:
+        cpu = graph.add_node(node_id("cpu", "cpu0"), "cpu", "cpu0", **host.cpu)
+        graph.add_edge(host_id, cpu, "contains")
+
+    numa_ids: dict[int, str] = {}
+    for entry in host.numa_nodes:
+        index = entry.get("node")
+        if not isinstance(index, int):
+            continue
+        numa_attrs = {k: v for k, v in entry.items() if k != "node"}
+        numa_ids[index] = graph.add_node(
+            node_id("numa", str(index)), "numa", str(index), **numa_attrs
+        )
+        graph.add_edge(host_id, numa_ids[index], "contains")
+
+    for dev in host.pci_gpus:
+        address = dev.get("address")
+        if not address:
+            continue
+        pci_attrs = {k: v for k, v in dev.items() if k != "address"}
+        pci = graph.add_node(node_id("pci", address), "pci", address, **pci_attrs)
+        graph.add_edge(host_id, pci, "contains")
+        # PCIe is how the machine reaches the accelerator; NUMA affinity
+        # (when /sys knows it) localises that link.
+        graph.add_edge(pci, gpu, "reaches")
+        numa_node = dev.get("numa_node")
+        if isinstance(numa_node, int) and numa_node in numa_ids:
+            graph.add_edge(numa_ids[numa_node], pci, "reaches")
+
+
+def build_fleet_graph(
+    entries: "Iterable[CatalogEntry]", group: str = "vendor"
+) -> TopologyGraph:
+    """The catalog as one graph: fleet → group → device.
+
+    ``group`` picks the grouping attribute (:data:`FLEET_GROUPINGS`).
+    Only content-deterministic catalog fields become node attributes —
+    recorded walls vary per instance and would break the byte-stability
+    the rest of the graph layer guarantees.
+    """
+    if group not in FLEET_GROUPINGS:
+        raise GraphError(
+            f"unknown fleet grouping {group!r}; supported: {', '.join(FLEET_GROUPINGS)}"
+        )
+    ordered = sorted(entries, key=lambda e: (e.preset, e.seed, e.key))
+    graph = TopologyGraph(meta={"kind": "fleet", "group_by": group})
+    root = graph.add_node(
+        node_id("fleet", "catalog"), "fleet", "catalog", devices=len(ordered)
+    )
+    counts: dict[str, int] = {}
+    for entry in ordered:
+        counts[getattr(entry, group)] = counts.get(getattr(entry, group), 0) + 1
+    group_ids: dict[str, str] = {}
+    for name in sorted(counts):
+        group_ids[name] = graph.add_node(
+            node_id("group", name), "group", name, devices=counts[name]
+        )
+        graph.add_edge(root, group_ids[name], "contains")
+    for entry in ordered:
+        device = graph.add_node(
+            # key[:12] disambiguates same (preset, seed) discoveries that
+            # differ elsewhere in identity (validated vs not, carveout).
+            node_id("gpu", entry.model, preset=entry.preset, seed=entry.seed,
+                    key=entry.key[:12]),
+            "gpu",
+            entry.model,
+            preset=entry.preset,
+            seed=entry.seed,
+            vendor=entry.vendor,
+            microarchitecture=entry.microarchitecture,
+            verdict=entry.verdict,
+            key=entry.key,
+            elements=list(entry.elements),
+        )
+        graph.add_edge(group_ids[getattr(entry, group)], device, "contains")
+    graph.validate()
+    return graph

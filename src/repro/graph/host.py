@@ -1,0 +1,214 @@
+"""Best-effort host context collectors (toposcope-style).
+
+The topology graph is a *GPU* model until something places the GPU in a
+machine: which CPU package, which NUMA node, which PCIe device.  These
+collectors read that context from ``/proc`` and ``/sys`` — and nothing
+else: no root, no vendor tools, no subprocesses — with the two rules the
+toposcope lineage teaches:
+
+* **graceful skip** — a missing path, unreadable file, or malformed
+  payload never raises past the collector; it lands in
+  :attr:`HostTopology.degraded` as ``{collector: reason}`` and the graph
+  simply lacks those nodes;
+* **per-collector timeouts** — every collector runs under its own wall
+  budget (a wedged ``/sys`` read on one collector must not stall the
+  graph build), enforced with a worker thread per collector.
+
+Host context is opt-in (``mt4g graph --host``) and never part of the
+served ``/graph/{preset}`` bytes: host facts are per-machine, and the
+serving contract is that graph bytes depend on report *content* only.
+"""
+
+from __future__ import annotations
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["HostTopology", "collect_host", "DEFAULT_COLLECTOR_TIMEOUT"]
+
+#: Wall budget per collector (seconds).  File reads are normally
+#: microseconds; the budget exists for pathological /sys backends.
+DEFAULT_COLLECTOR_TIMEOUT = 2.0
+
+#: PCI class prefixes that are display/GPU devices (0x03xxxx).
+_GPU_PCI_CLASS_PREFIX = "0x03"
+
+
+@dataclass
+class HostTopology:
+    """Everything the collectors managed to learn about this machine.
+
+    Every field is optional by construction: an empty ``HostTopology``
+    (all collectors degraded) is a valid, attachable result — the graph
+    builder simply attaches nothing for the missing parts.
+    """
+
+    hostname: str | None = None
+    cpu: dict[str, Any] | None = None
+    memory_bytes: int | None = None
+    numa_nodes: list[dict[str, Any]] = field(default_factory=list)
+    pci_gpus: list[dict[str, Any]] = field(default_factory=list)
+    #: collector name -> reason it produced nothing ("missing: …",
+    #: "timeout", "error: …").  The degradation counter the acceptance
+    #: criterion asks for: a graph build can always report *why* host
+    #: context is absent without ever failing because of it.
+    degraded: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hostname": self.hostname,
+            "cpu": self.cpu,
+            "memory_bytes": self.memory_bytes,
+            "numa_nodes": self.numa_nodes,
+            "pci_gpus": self.pci_gpus,
+            "degraded": dict(self.degraded),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# individual collectors (each may raise; the harness catches)             #
+# ---------------------------------------------------------------------- #
+
+
+def _read_text(path: Path) -> str:
+    return path.read_text(encoding="utf-8", errors="replace")
+
+
+def _collect_hostname(proc: Path, sys: Path) -> str:
+    hostname = socket.gethostname()
+    if not hostname:
+        raise FileNotFoundError("empty hostname")
+    return hostname
+
+
+def _collect_cpu(proc: Path, sys: Path) -> dict[str, Any]:
+    cpuinfo = proc / "cpuinfo"
+    text = _read_text(cpuinfo)
+    model, processors = None, 0
+    for line in text.splitlines():
+        key, _, value = line.partition(":")
+        key = key.strip()
+        if key == "processor":
+            processors += 1
+        elif key in ("model name", "Model", "cpu model") and model is None:
+            model = value.strip()
+    if processors == 0:
+        raise ValueError(f"no processors listed in {cpuinfo}")
+    return {"model": model or "unknown", "logical_cpus": processors}
+
+
+def _collect_memory(proc: Path, sys: Path) -> int:
+    for line in _read_text(proc / "meminfo").splitlines():
+        if line.startswith("MemTotal:"):
+            kib = int(line.split()[1])
+            return kib * 1024
+    raise ValueError("no MemTotal in meminfo")
+
+
+def _collect_numa(proc: Path, sys: Path) -> list[dict[str, Any]]:
+    root = sys / "devices" / "system" / "node"
+    nodes = []
+    for node_dir in sorted(root.glob("node[0-9]*"), key=lambda p: p.name):
+        entry: dict[str, Any] = {"node": int(node_dir.name[len("node") :])}
+        cpulist = node_dir / "cpulist"
+        if cpulist.is_file():
+            entry["cpus"] = _read_text(cpulist).strip()
+        meminfo = node_dir / "meminfo"
+        if meminfo.is_file():
+            for line in _read_text(meminfo).splitlines():
+                if "MemTotal:" in line:
+                    entry["memory_bytes"] = int(line.split()[-2]) * 1024
+                    break
+        nodes.append(entry)
+    if not nodes:
+        raise FileNotFoundError(f"no NUMA nodes under {root}")
+    return nodes
+
+
+def _collect_pci_gpus(proc: Path, sys: Path) -> list[dict[str, Any]]:
+    root = sys / "bus" / "pci" / "devices"
+    if not root.is_dir():
+        raise FileNotFoundError(f"no PCI device tree under {root}")
+    gpus = []
+    for dev in sorted(root.iterdir(), key=lambda p: p.name):
+        class_file = dev / "class"
+        if not class_file.is_file():
+            continue
+        pci_class = _read_text(class_file).strip()
+        if not pci_class.startswith(_GPU_PCI_CLASS_PREFIX):
+            continue
+        entry: dict[str, Any] = {"address": dev.name, "class": pci_class}
+        for attr in ("vendor", "device", "numa_node"):
+            attr_file = dev / attr
+            if attr_file.is_file():
+                value = _read_text(attr_file).strip()
+                entry[attr] = int(value, 0) if attr == "numa_node" else value
+        gpus.append(entry)
+    return gpus
+
+
+_COLLECTORS: tuple[tuple[str, Callable[[Path, Path], Any]], ...] = (
+    ("hostname", _collect_hostname),
+    ("cpu", _collect_cpu),
+    ("memory", _collect_memory),
+    ("numa", _collect_numa),
+    ("pci", _collect_pci_gpus),
+)
+
+
+# ---------------------------------------------------------------------- #
+# the harness                                                             #
+# ---------------------------------------------------------------------- #
+
+
+def collect_host(
+    proc_root: str | Path = "/proc",
+    sys_root: str | Path = "/sys",
+    timeout: float = DEFAULT_COLLECTOR_TIMEOUT,
+) -> HostTopology:
+    """Run every collector best-effort; never raises.
+
+    Each collector gets its own thread and its own ``timeout`` — one
+    wedged read degrades one collector, not the scan.  ``proc_root`` /
+    ``sys_root`` exist so tests (and containers with bind-mounted
+    pseudo-filesystems) can point the collectors anywhere.
+    """
+    proc, sys = Path(proc_root), Path(sys_root)
+    host = HostTopology()
+    # One worker per collector: a timed-out collector's thread must not
+    # hold up the next collector's slot.  shutdown(wait=False) below —
+    # a context manager would block on the very thread that timed out.
+    pool = ThreadPoolExecutor(
+        max_workers=len(_COLLECTORS), thread_name_prefix="mt4g-host"
+    )
+    try:
+        futures = {name: pool.submit(fn, proc, sys) for name, fn in _COLLECTORS}
+        for name, future in futures.items():
+            try:
+                result = future.result(timeout=timeout)
+            except FutureTimeout:
+                host.degraded[name] = f"timeout after {timeout:g}s"
+                continue
+            except (OSError, ValueError) as exc:
+                host.degraded[name] = f"{type(exc).__name__}: {exc}"
+                continue
+            except Exception as exc:  # collector bug: degrade, never fail
+                host.degraded[name] = f"error: {type(exc).__name__}: {exc}"
+                continue
+            if name == "hostname":
+                host.hostname = result
+            elif name == "cpu":
+                host.cpu = result
+            elif name == "memory":
+                host.memory_bytes = result
+            elif name == "numa":
+                host.numa_nodes = result
+            elif name == "pci":
+                host.pci_gpus = result
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return host

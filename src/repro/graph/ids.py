@@ -1,0 +1,102 @@
+"""The one element/node addressing scheme every topology layer shares.
+
+Three layers address the same hardware elements: the sys-sage component
+tree (``cache:L2[segment=1]`` nodes), the structural report diff (which
+must say *which* element drifted), and the canonical topology graph.
+Before this module each of them formatted its own identifiers, which is
+exactly how ``cache:L2.1`` in one view and ``L2/seg1`` in another drift
+apart.  Now all three call :func:`node_id` / :func:`element_node_id`, so
+an element has one address everywhere it appears.
+
+The grammar is deliberately tiny and deterministic::
+
+    <kind>:<name>                      e.g.  cache:L2, sm:3, gpu:NVIDIA A100
+    <kind>:<name>[k=v,k2=v2]           e.g.  cache:L2[segment=1]
+                                             cache:L1[sm=0]
+
+Qualifiers are sorted by key, so the same logical element can never
+serialise to two different strings — the property the graph model's
+byte-stable JSON rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ELEMENT_KINDS",
+    "element_kind",
+    "element_node_id",
+    "node_id",
+]
+
+#: Report memory-element name -> graph node kind.  Everything the tool
+#: can discover (NVIDIA_ELEMENTS + AMD_ELEMENTS) is listed explicitly;
+#: unknown names default to "cache" — a future logical cache space is a
+#: cache until declared otherwise.
+ELEMENT_KINDS = {
+    "L1": "cache",
+    "L2": "cache",
+    "L3": "cache",
+    "vL1": "cache",
+    "sL1d": "cache",
+    "Texture": "cache",
+    "Readonly": "cache",
+    "ConstL1": "cache",
+    "ConstL1.5": "cache",
+    "SharedMem": "scratchpad",
+    "LDS": "scratchpad",
+    "DeviceMemory": "memory",
+}
+
+
+def element_kind(element: str) -> str:
+    """The node kind of a report memory element (cache / scratchpad / memory)."""
+    return ELEMENT_KINDS.get(element, "cache")
+
+
+def node_id(kind: str, name: str, **qualifiers: Any) -> str:
+    """The canonical node identifier for (kind, name, qualifiers).
+
+    >>> node_id("cache", "L2")
+    'cache:L2'
+    >>> node_id("cache", "L2", segment=1)
+    'cache:L2[segment=1]'
+    >>> node_id("cache", "L1", sm=0)
+    'cache:L1[sm=0]'
+    >>> node_id("gpu", "NVIDIA A100", seed=0, preset="A100")
+    'gpu:NVIDIA A100[preset=A100,seed=0]'
+    """
+    if not kind or not name:
+        raise ValueError(f"node id needs a kind and a name, got {kind!r}:{name!r}")
+    if any(ch in kind for ch in ":[],="):
+        raise ValueError(f"reserved character in node kind {kind!r}")
+    # The kind/name separator is the *first* colon, so names may carry
+    # colons of their own (PCI addresses: "pci:0000:00:02.0").
+    if any(ch in str(name) for ch in "[],="):
+        raise ValueError(f"reserved character in node name {name!r}")
+    out = f"{kind}:{name}"
+    if qualifiers:
+        parts = []
+        for key in sorted(qualifiers):
+            value = str(qualifiers[key])
+            # checked per key/value — a comma inside one value would be
+            # indistinguishable from the qualifier separator.
+            if any(ch in key for ch in ":[],=") or any(ch in value for ch in ":[],="):
+                raise ValueError(f"reserved character in qualifier {key}={value!r}")
+            parts.append(f"{key}={value}")
+        out += f"[{','.join(parts)}]"
+    return out
+
+
+def element_node_id(element: str, **qualifiers: Any) -> str:
+    """The canonical node id of a report memory element.
+
+    >>> element_node_id("L2")
+    'cache:L2'
+    >>> element_node_id("L2", segment=1)
+    'cache:L2[segment=1]'
+    >>> element_node_id("SharedMem", sm=2)
+    'scratchpad:SharedMem[sm=2]'
+    """
+    return node_id(element_kind(element), element, **qualifiers)

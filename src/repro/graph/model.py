@@ -1,0 +1,299 @@
+"""Canonical topology graph model: typed nodes, typed edges, stable bytes.
+
+This is the normalized ``nodes``/``edges`` shape (toposcope-style) every
+topology consumer shares.  Three properties carry the whole design:
+
+* **typed** — node kinds and edge kinds come from closed vocabularies
+  (:data:`NODE_KINDS`, :data:`EDGE_KINDS`); a consumer switching on
+  ``kind`` can enumerate its cases;
+* **content-derived identifiers** — node ids are produced by
+  :mod:`repro.graph.ids` from what the node *is* (kind, name,
+  qualifiers), never from insertion order or object identity, so two
+  builds of the same topology agree on every id;
+* **canonical ordering** — serialisation sorts nodes by (kind rank, id)
+  and edges by (kind rank, src, dst, sorted attrs), and
+  :func:`to_graph_json` sorts every attribute key, so the JSON is a pure
+  function of graph *content*: build order cannot leak into the bytes.
+
+That last property is what the serving layer's byte-identity contract
+extends onto graphs: a graph built from a cold discovery, a warm cache
+hit, or a peer-replicated blob serialises to identical bytes, and CI
+``cmp``s the CLI rendering against the HTTP one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.output.json_out import to_jsonable
+from repro.errors import ReproError
+
+__all__ = [
+    "EDGE_KINDS",
+    "GRAPH_SCHEMA",
+    "GraphEdge",
+    "GraphNode",
+    "NODE_KINDS",
+    "TopologyGraph",
+    "to_dot",
+    "to_graph_json",
+]
+
+GRAPH_SCHEMA = "mt4g-repro-graph/1"
+
+#: Closed node vocabulary, in canonical serialisation order: fleet
+#: grouping first, then host context, then the GPU hierarchy from the
+#: device down to memory.
+NODE_KINDS = (
+    "fleet",
+    "group",
+    "host",
+    "cpu",
+    "numa",
+    "pci",
+    "machine",
+    "gpu",
+    "cluster",
+    "sm",
+    "cu",
+    "cache",
+    "scratchpad",
+    "memory",
+)
+
+#: Closed edge vocabulary: ``contains`` is the component hierarchy,
+#: ``reaches`` is the data path (what a load from here can hit next),
+#: ``shares`` marks logical spaces backed by the same physical silicon
+#: (the report's ``shared_with`` protocol result).
+EDGE_KINDS = ("contains", "reaches", "shares")
+
+_NODE_RANK = {kind: i for i, kind in enumerate(NODE_KINDS)}
+_EDGE_RANK = {kind: i for i, kind in enumerate(EDGE_KINDS)}
+
+
+class GraphError(ReproError):
+    """A structural violation: duplicate id, dangling edge, unknown kind."""
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One typed node; ``id`` is content-derived (see :mod:`.ids`)."""
+
+    id: str
+    kind: str
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "name": self.name,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One typed edge between two existing node ids."""
+
+    src: str
+    dst: str
+    kind: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "attrs": self.attrs,
+        }
+
+    def sort_key(self) -> tuple:
+        return (
+            _EDGE_RANK.get(self.kind, len(EDGE_KINDS)),
+            self.src,
+            self.dst,
+            tuple(sorted((k, str(v)) for k, v in self.attrs.items())),
+        )
+
+
+class TopologyGraph:
+    """A validated, canonically-serialisable nodes/edges topology."""
+
+    def __init__(self, meta: dict[str, Any] | None = None) -> None:
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._nodes: dict[str, GraphNode] = {}
+        self._edges: list[GraphEdge] = []
+        self._edge_seen: set[tuple] = set()
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node_id: str, kind: str, name: str, **attrs: Any) -> str:
+        """Add one node; re-adding an *identical* node is a no-op.
+
+        Two different payloads under one id would make the graph depend
+        on insertion order — that is a builder bug, and it raises.
+        """
+        if kind not in NODE_KINDS:
+            raise GraphError(f"unknown node kind {kind!r}; known: {NODE_KINDS}")
+        node = GraphNode(id=node_id, kind=kind, name=str(name), attrs=attrs)
+        existing = self._nodes.get(node_id)
+        if existing is not None:
+            if existing.as_dict() != node.as_dict():
+                raise GraphError(f"conflicting re-definition of node {node_id!r}")
+            return node_id
+        self._nodes[node_id] = node
+        return node_id
+
+    def add_edge(self, src: str, dst: str, kind: str = "contains", **attrs: Any) -> None:
+        """Add one edge; duplicate (src, dst, kind) edges collapse."""
+        if kind not in EDGE_KINDS:
+            raise GraphError(f"unknown edge kind {kind!r}; known: {EDGE_KINDS}")
+        for endpoint in (src, dst):
+            if endpoint not in self._nodes:
+                raise GraphError(f"edge endpoint {endpoint!r} is not a node")
+        dedupe = (src, dst, kind)
+        if dedupe in self._edge_seen:
+            return
+        self._edge_seen.add(dedupe)
+        self._edges.append(GraphEdge(src=src, dst=dst, kind=kind, attrs=attrs))
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> dict[str, GraphNode]:
+        return dict(self._nodes)
+
+    @property
+    def edges(self) -> list[GraphEdge]:
+        return list(self._edges)
+
+    def node(self, node_id: str) -> GraphNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"no node {node_id!r}") from None
+
+    def nodes_of_kind(self, *kinds: str) -> list[GraphNode]:
+        """All nodes of the given kinds, in canonical order."""
+        picked = [n for n in self._nodes.values() if n.kind in kinds]
+        picked.sort(key=lambda n: (_NODE_RANK.get(n.kind, len(NODE_KINDS)), n.id))
+        return picked
+
+    def children(self, node_id: str, kind: str = "contains") -> list[GraphNode]:
+        """Edge targets of ``node_id`` for one edge kind, canonical order."""
+        targets = [e.dst for e in self._edges if e.src == node_id and e.kind == kind]
+        out = [self.node(t) for t in targets]
+        out.sort(key=lambda n: (_NODE_RANK.get(n.kind, len(NODE_KINDS)), n.id))
+        return out
+
+    def __iter__(self) -> Iterator[GraphNode]:
+        return iter(self.sorted_nodes())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # validation + canonical serialisation                                #
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Re-assert the structural invariants (cheap; builders call it
+        once after assembly, property tests call it adversarially)."""
+        for edge in self._edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in self._nodes:
+                    raise GraphError(f"dangling edge endpoint {endpoint!r}")
+            if edge.kind not in EDGE_KINDS:
+                raise GraphError(f"unknown edge kind {edge.kind!r}")
+        for node in self._nodes.values():
+            if node.kind not in NODE_KINDS:
+                raise GraphError(f"unknown node kind {node.kind!r}")
+
+    def sorted_nodes(self) -> list[GraphNode]:
+        return sorted(
+            self._nodes.values(),
+            key=lambda n: (_NODE_RANK.get(n.kind, len(NODE_KINDS)), n.id),
+        )
+
+    def sorted_edges(self) -> list[GraphEdge]:
+        return sorted(self._edges, key=GraphEdge.sort_key)
+
+    def as_dict(self) -> dict[str, Any]:
+        self.validate()
+        return {
+            "schema": GRAPH_SCHEMA,
+            "meta": dict(self.meta),
+            "node_count": len(self._nodes),
+            "edge_count": len(self._edges),
+            "nodes": [n.as_dict() for n in self.sorted_nodes()],
+            "edges": [e.as_dict() for e in self.sorted_edges()],
+        }
+
+
+def to_graph_json(graph: TopologyGraph, indent: int = 2) -> str:
+    """The canonical JSON rendering (no trailing newline).
+
+    ``sort_keys`` + the model's canonical node/edge ordering make this a
+    pure function of graph content — the byte-identity the CLI and the
+    serve layer both stand on.
+    """
+    return json.dumps(to_jsonable(graph.as_dict()), indent=indent, sort_keys=True)
+
+
+_DOT_SHAPES = {
+    "gpu": "box3d",
+    "host": "house",
+    "machine": "house",
+    "fleet": "folder",
+    "group": "folder",
+    "memory": "cylinder",
+    "cache": "box",
+    "scratchpad": "component",
+}
+_DOT_STYLES = {"reaches": "dashed", "shares": "dotted"}
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _dot_quote(text: str) -> str:
+    return f'"{_dot_escape(text)}"'
+
+
+def to_dot(graph: TopologyGraph) -> str:
+    """Deterministic Graphviz DOT rendering (no trailing newline).
+
+    Same canonical ordering as the JSON, so the DOT bytes are equally
+    stable; ``shares`` edges render undirected-looking (``dir=none``)
+    because physical sharing has no direction.
+    """
+    lines = ["digraph mt4g {", "  rankdir=TB;", "  node [fontsize=10];"]
+    for node in graph.sorted_nodes():
+        shape = _DOT_SHAPES.get(node.kind, "ellipse")
+        # \n inside a DOT label is a line break — added after escaping so
+        # it survives as a break instead of a literal backslash-n.
+        label = f'"{_dot_escape(node.name)}\\n({node.kind})"'
+        lines.append(f"  {_dot_quote(node.id)} [label={label} shape={shape}];")
+    for edge in graph.sorted_edges():
+        attrs = [f"label={_dot_quote(edge.kind)}"]
+        style = _DOT_STYLES.get(edge.kind)
+        if style:
+            attrs.append(f"style={style}")
+        if edge.kind == "shares":
+            attrs.append("dir=none")
+        lines.append(
+            f"  {_dot_quote(edge.src)} -> {_dot_quote(edge.dst)} "
+            f"[{' '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

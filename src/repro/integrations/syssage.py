@@ -29,6 +29,7 @@ from repro.errors import ReproError, SpecError
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.mig import resolve_mig
 from repro.gpuspec.spec import Vendor
+from repro.graph import TopologyGraph, build_graph, element_node_id
 
 __all__ = ["SysSageTopology"]
 
@@ -119,62 +120,98 @@ class SysSageTopology:
     # the component tree                                                  #
     # ------------------------------------------------------------------ #
 
+    def graph(self) -> TopologyGraph:
+        """The canonical topology graph under the *current* MIG view.
+
+        This is :func:`repro.graph.build.build_graph` with the dynamic
+        partition overlaid — the one representation :meth:`tree` (and
+        anything else sys-sage-shaped) derives from.
+        """
+        return build_graph(
+            self.report,
+            mig_profile=self._mig.profile,
+            visible_sms=self.visible_sms,
+            visible_dram_bytes=self.visible_dram_bytes,
+        )
+
     def tree(self, max_sms: int = 4) -> nx.DiGraph:
         """Render the combined topology as a component tree.
 
-        ``max_sms`` limits the expanded SM subtrees (a H100 has 132; the
-        tree keeps the first few and a summary node, like sys-sage GUIs
-        do).
+        Derived from the canonical graph (:meth:`graph`) rather than by
+        re-interpreting the report: the tree is a *view* — per-SM cache
+        instances expanded, SM subtrees truncated — over the same nodes
+        the serving layer and the CLI render.  ``max_sms`` limits the
+        expanded SM subtrees (a H100 has 132; the tree keeps the first
+        few and a summary node, like sys-sage GUIs do).
         """
-        r = self.report
+        topo = self.graph()
+        nodes = topo.nodes
+
+        def value(element_id: str, attribute: str):
+            payload = nodes[element_id].attrs.get(attribute)
+            return payload.get("value") if isinstance(payload, dict) else None
+
         g = nx.DiGraph()
         g.add_node("machine", kind="Machine")
-        gpu_node = f"gpu:{self.device.name}"
+        gpu = topo.nodes_of_kind("gpu")[0]
         g.add_node(
-            gpu_node,
+            gpu.id,
             kind="Chip",
-            vendor=r.general.vendor,
-            microarchitecture=r.general.microarchitecture,
+            vendor=gpu.attrs["vendor"],
+            microarchitecture=gpu.attrs["microarchitecture"],
             mig_profile=self._mig.profile,
         )
-        g.add_edge("machine", gpu_node)
+        g.add_edge("machine", gpu.id)
 
-        dram = "memory:DRAM"
+        dram_id = element_node_id("DeviceMemory")
+        dram = nodes[dram_id]
         g.add_node(
-            dram,
+            dram_id,
             kind="MemoryRegion",
-            size=self.visible_dram_bytes,
-            latency=r.attribute("DeviceMemory", "load_latency").value,
+            size=dram.attrs.get("visible_bytes", value(dram_id, "size")),
+            latency=value(dram_id, "load_latency"),
         )
-        g.add_edge(gpu_node, dram)
+        g.add_edge(gpu.id, dram_id)
 
-        segment_size = self.l2_total_size() // self.l2_segment_count()
-        for seg in range(self.l2_segment_count()):
-            node = f"cache:L2.{seg}"
-            g.add_node(node, kind="Cache", level=2, size=segment_size)
-            g.add_edge(gpu_node, node)
+        # L2 segments are first-class graph nodes (the MT4G "Amount"
+        # made structural); a report whose amount stayed unmeasured has
+        # no segment children, so the L2 itself stands in for its one.
+        l2_id = element_node_id("L2")
+        segments = [n for n in topo.children(l2_id) if "segment" in n.attrs]
+        if segments:
+            for seg in segments:
+                g.add_node(seg.id, kind="Cache", level=2, size=seg.attrs.get("size"))
+                g.add_edge(gpu.id, seg.id)
+        else:
+            g.add_node(l2_id, kind="Cache", level=2, size=self.l2_total_size())
+            g.add_edge(gpu.id, l2_id)
 
-        l1_name = "L1" if "L1" in r.memory else "vL1"
-        scratch = "SharedMem" if "SharedMem" in r.memory else "LDS"
-        shown = min(max_sms, self.visible_sms)
-        for sm in range(shown):
-            sm_node = f"sm:{sm}"
-            g.add_node(sm_node, kind="SM", cores=r.compute.cores_per_sm)
-            g.add_edge(gpu_node, sm_node)
-            l1_node = f"cache:{l1_name}.sm{sm}"
+        l1_name = "L1" if element_node_id("L1") in nodes else "vL1"
+        scratch = "SharedMem" if element_node_id("SharedMem") in nodes else "LDS"
+        sm_nodes = sorted(
+            topo.nodes_of_kind("sm", "cu"), key=lambda n: int(n.name)
+        )
+        shown = min(max_sms, len(sm_nodes))
+        for sm in sm_nodes[:shown]:
+            index = int(sm.name)
+            g.add_node(sm.id, kind="SM", cores=sm.attrs["cores"])
+            g.add_edge(gpu.id, sm.id)
+            l1_node = element_node_id(l1_name, sm=index)
             g.add_node(
                 l1_node,
                 kind="Cache",
                 level=1,
-                size=r.attribute(l1_name, "size").value,
-                shared_with=r.attribute(l1_name, "shared_with").value,
+                size=value(element_node_id(l1_name), "size"),
+                shared_with=value(element_node_id(l1_name), "shared_with"),
             )
-            g.add_edge(sm_node, l1_node)
-            sp_node = f"scratchpad:{scratch}.sm{sm}"
-            g.add_node(sp_node, kind="Scratchpad", size=r.attribute(scratch, "size").value)
-            g.add_edge(sm_node, sp_node)
-        if self.visible_sms > shown:
-            rest = f"sm:+{self.visible_sms - shown}more"
-            g.add_node(rest, kind="SMGroup", count=self.visible_sms - shown)
-            g.add_edge(gpu_node, rest)
+            g.add_edge(sm.id, l1_node)
+            sp_node = element_node_id(scratch, sm=index)
+            g.add_node(
+                sp_node, kind="Scratchpad", size=value(element_node_id(scratch), "size")
+            )
+            g.add_edge(sm.id, sp_node)
+        if len(sm_nodes) > shown:
+            rest = f"sm:+{len(sm_nodes) - shown}more"
+            g.add_node(rest, kind="SMGroup", count=len(sm_nodes) - shown)
+            g.add_edge(gpu.id, rest)
         return g

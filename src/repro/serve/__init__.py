@@ -10,7 +10,8 @@ DiscoveryCache` plus the fleet machinery into that long-lived service:
   (enumerate cached discoveries with metadata, filter by attribute);
 * :mod:`repro.serve.server` / :mod:`repro.serve.handlers` — the
   stdlib-asyncio HTTP API (``/devices``, report format negotiation,
-  ``/compare`` with the fleet judge, ``/diff`` drift detection,
+  ``/compare`` with the fleet judge, ``/diff`` drift detection with a
+  graph-keyed ``?view=graph``, ``/graph`` canonical topology graphs,
   ``/discover`` + ``/jobs``, ``/healthz``, ``/metrics``);
 * :mod:`repro.serve.jobs` — the single-flight discovery queue: N
   concurrent cold requests for one (preset, config, seed) cost exactly

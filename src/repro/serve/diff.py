@@ -35,6 +35,7 @@ from typing import Any
 
 from repro.core.benchmarks.base import Source
 from repro.core.report import ATTRIBUTES, TopologyReport
+from repro.graph.ids import element_kind, element_node_id
 from repro.stats.compare import relative_error, within_tolerance
 from repro.validate.validator import DEFAULT_TOLERANCES
 
@@ -42,6 +43,11 @@ __all__ = ["AttributeDelta", "ReportDiff", "diff_reports"]
 
 #: Statuses that mean "the two reports genuinely disagree".
 _DIVERGENT = ("drift", "changed", "only_a", "only_b")
+
+#: Ascending severity: a node's drift status is the *worst* status any
+#: of its attributes carries.
+_SEVERITY = ("identical", "within_tolerance", "only_b", "only_a", "changed", "drift")
+_SEVERITY_RANK = {status: i for i, status in enumerate(_SEVERITY)}
 
 
 @dataclass(frozen=True)
@@ -105,6 +111,46 @@ class ReportDiff:
             "verdict": self.verdict,
             "summary": self.summary(),
             "deltas": [d.as_dict() for d in self.deltas],
+        }
+
+    def to_graph_view(self) -> dict[str, Any]:
+        """The diff folded onto the canonical topology graph's nodes.
+
+        Every drifted element becomes one entry addressed by its shared
+        graph node id (:func:`repro.graph.ids.element_node_id` — the same
+        id the sys-sage tree and ``GET /graph/{preset}`` use), carrying
+        the *worst* per-attribute status as the node status plus the full
+        per-attribute deltas.  The classification itself is untouched —
+        the same tolerance predicates, re-keyed onto graph nodes so a
+        drift alert can point at the exact node a dashboard renders.
+        """
+        by_element: dict[str, list[AttributeDelta]] = {}
+        for delta in self.deltas:
+            by_element.setdefault(delta.element, []).append(delta)
+        nodes = []
+        for element in sorted(by_element, key=element_node_id):
+            deltas = by_element[element]
+            status = max(
+                (d.status for d in deltas),
+                key=lambda s: _SEVERITY_RANK.get(s, len(_SEVERITY)),
+            )
+            nodes.append(
+                {
+                    "id": element_node_id(element),
+                    "kind": element_kind(element),
+                    "element": element,
+                    "status": status,
+                    "deltas": [d.as_dict() for d in deltas],
+                }
+            )
+        return {
+            "schema": "mt4g-repro-graph-diff/1",
+            "a": self.a_label,
+            "b": self.b_label,
+            "verdict": self.verdict,
+            "summary": self.summary(),
+            "node_count": len(nodes),
+            "nodes": nodes,
         }
 
     def to_markdown_lines(self) -> list[str]:

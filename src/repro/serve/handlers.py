@@ -24,6 +24,14 @@ The endpoint surface (all responses carry ``Connection: close``):
 * ``GET /compare?presets=a,b,…`` — the fleet comparison matrix plus the
   fleet judge's cross-device verdict over cached reports;
 * ``GET /diff/{a}/{b}`` — the structural drift diff of two reports;
+  ``?view=graph`` re-keys the same per-attribute tolerance
+  classification onto canonical graph node ids;
+* ``GET /graph/{preset}`` — the canonical topology graph of one cached
+  report (``?format=json|dot`` or ``Accept: text/vnd.graphviz``); the
+  JSON bytes equal ``mt4g graph`` for the same (preset, seed), because
+  the graph is a pure function of report content;
+* ``GET /graph?group=vendor|microarchitecture`` — the whole catalog as
+  one fleet graph, devices under grouping nodes;
 * ``POST /discover`` — enqueue a discovery (single-flight), 202 + job;
 * ``GET /jobs/{id}`` — job status.
 
@@ -50,6 +58,7 @@ from repro.core.output import csv_out, json_out, markdown
 from repro.core.report import TopologyReport
 from repro.errors import ReproError
 from repro.gpuspec.presets import get_preset
+from repro.graph import FLEET_GROUPINGS, build_fleet_graph, build_graph, to_dot, to_graph_json
 from repro.serve.diff import diff_reports
 from repro.validate.fleet import FleetEntry, FleetResult
 
@@ -74,7 +83,7 @@ _REPORT_FORMATS = {
     "markdown": (markdown.to_markdown, markdown.CONTENT_TYPE),
     "csv": (csv_out.to_csv, csv_out.CONTENT_TYPE),
 }
-_FORMAT_ALIASES = {"md": "markdown", "prom": "prometheus"}
+_FORMAT_ALIASES = {"md": "markdown", "prom": "prometheus", "graphviz": "dot"}
 _ACCEPT_TO_FORMAT = {
     json_out.CONTENT_TYPE: "json",
     markdown.CONTENT_TYPE: "markdown",
@@ -82,11 +91,16 @@ _ACCEPT_TO_FORMAT = {
     # what Prometheus scrapers send; only /metrics lists this format as
     # supported, so other endpoints still 406 on a text/plain Accept.
     "text/plain": "prometheus",
+    # Graphviz renderers; only the /graph endpoints support it.
+    "text/vnd.graphviz": "dot",
     "*/*": "json",
 }
 
 #: Prometheus exposition content type (text format 0.0.4).
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Graphviz DOT content type (the IANA-registered vnd tree name).
+DOT_CONTENT_TYPE = "text/vnd.graphviz; charset=utf-8"
 
 _STORE_KEY = re.compile(r"^[0-9a-f]{64}$")
 
@@ -204,6 +218,8 @@ def route_label(request: HTTPRequest) -> str:
         return f"{request.method} /devices/{{preset}}/report"
     if len(parts) == 3 and parts[0] == "diff":
         return f"{request.method} /diff/{{a}}/{{b}}"
+    if len(parts) == 2 and parts[0] == "graph":
+        return f"{request.method} /graph/{{preset}}"
     if len(parts) == 2 and parts[0] == "jobs":
         return f"{request.method} /jobs/{{id}}"
     if len(parts) == 2 and parts[0] == "store":
@@ -555,7 +571,13 @@ async def handle_compare(
 async def handle_diff(
     service: "TopologyService", request: HTTPRequest, a: str, b: str
 ) -> HTTPResponse:
-    fmt = negotiate_format(request, supported=("json", "markdown"))
+    view = request.query.get("view", "flat")
+    if view not in ("flat", "graph"):
+        raise HTTPError(400, f"unknown diff view {view!r}; supported: flat, graph")
+    # The graph view is a JSON-only re-keying of the classification —
+    # negotiating markdown against it would silently drop the node ids.
+    supported = ("json",) if view == "graph" else ("json", "markdown")
+    fmt = negotiate_format(request, supported=supported)
     seed = _seed_param(request, "seed")
     seed_a = _seed_param(request, "seed_a", seed)
     seed_b = _seed_param(request, "seed_b", seed)
@@ -570,12 +592,62 @@ async def handle_diff(
         a_label=f"{a}@seed{seed_a}",
         b_label=f"{b}@seed{seed_b}",
     )
+    if view == "graph":
+        return json_response(diff.to_graph_view())
     if fmt == "markdown":
         return HTTPResponse(
             body=diff.to_markdown().encode("utf-8"),
             content_type=markdown.CONTENT_TYPE,
         )
     return json_response(diff.as_dict())
+
+
+def _graph_response(graph, fmt: str) -> HTTPResponse:
+    """Render one graph; JSON bytes match the CLI's ``mt4g graph`` output
+    (canonical rendering + one trailing newline) so CI can ``cmp`` them."""
+    if fmt == "dot":
+        return HTTPResponse(
+            body=(to_dot(graph) + "\n").encode("utf-8"),
+            content_type=DOT_CONTENT_TYPE,
+        )
+    return HTTPResponse(
+        body=(to_graph_json(graph) + "\n").encode("utf-8"),
+        content_type=json_out.CONTENT_TYPE,
+    )
+
+
+async def handle_graph(
+    service: "TopologyService", request: HTTPRequest, preset: str
+) -> HTTPResponse:
+    """The canonical topology graph of one cached report.
+
+    No stale fallback: the contract is byte-identity with the CLI for
+    the same (preset, seed), and silently rendering yesterday's report
+    as today's graph would break exactly that.
+    """
+    fmt = negotiate_format(request, supported=("json", "dot"))
+    seed = _seed_param(request, "seed")
+    validate = _bool_param(request, "validate")
+    report, _ = await _load_report(service, preset, seed, validate)
+    return _graph_response(build_graph(report), fmt)
+
+
+async def handle_fleet_graph(
+    service: "TopologyService", request: HTTPRequest
+) -> HTTPResponse:
+    """The whole catalog as one fleet graph (``?group=…`` picks the axis)."""
+    fmt = negotiate_format(request, supported=("json", "dot"))
+    group = request.query.get("group", "vendor")
+    if group not in FLEET_GROUPINGS:
+        raise HTTPError(
+            400,
+            f"unknown grouping {group!r}; supported: {', '.join(FLEET_GROUPINGS)}",
+        )
+    # Catalog enumeration unpickles every store entry — off the loop.
+    entries = await asyncio.get_running_loop().run_in_executor(
+        None, service.catalog.entries
+    )
+    return _graph_response(build_fleet_graph(entries, group=group), fmt)
 
 
 def handle_discover(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
@@ -622,6 +694,10 @@ async def dispatch(service: "TopologyService", request: HTTPRequest) -> HTTPResp
             return await handle_compare(service, request)
         if len(parts) == 3 and parts[0] == "diff":
             return await handle_diff(service, request, parts[1], parts[2])
+        if parts == ["graph"]:
+            return await handle_fleet_graph(service, request)
+        if len(parts) == 2 and parts[0] == "graph":
+            return await handle_graph(service, request, parts[1])
         if len(parts) == 2 and parts[0] == "jobs":
             return handle_job(service, parts[1])
         if len(parts) == 2 and parts[0] == "store":

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.cli import (
     build_fleet_parser,
+    build_graph_parser,
     build_parser,
     build_serve_parser,
     fleet_main,
@@ -258,6 +259,54 @@ class TestFleetCLI:
         assert "fleet validation FAILED" in captured.err
         assert "NVIDIA/Hopper:L1.cache_line_size" in captured.err
         assert "Verdict: **fail**" in captured.out
+
+
+class TestGraphCLI:
+    def test_graph_parser_defaults(self):
+        args = build_graph_parser().parse_args([])
+        assert args.gpu == "H100-80" and args.format == "json"
+        assert not args.host and args.output is None
+
+    def test_graph_quiet_json(self, capsys):
+        rc = main(["graph", "--gpu", "TestGPU-NV", "--no-cache", "-q"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "mt4g-repro-graph/1"
+        assert payload["meta"]["preset"] == "TestGPU-NV"
+        kinds = {n["kind"] for n in payload["nodes"]}
+        assert {"gpu", "cluster", "sm", "cache", "scratchpad", "memory"} <= kinds
+
+    def test_graph_bytes_stable_across_cache_hit(self, tmp_path, capsys):
+        argv = ["graph", "--gpu", "TestGPU-NV", "-q",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        hit = capsys.readouterr().out
+        assert main(["graph", "--gpu", "TestGPU-NV", "-q", "--no-cache"]) == 0
+        uncached = capsys.readouterr().out
+        assert cold == hit == uncached
+
+    def test_graph_dot_output_file(self, tmp_path, capsys):
+        out = tmp_path / "g.dot"
+        rc = main(["graph", "--gpu", "TestGPU-NV", "--no-cache", "-q",
+                   "--format", "dot", "-o", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("digraph mt4g {") and text.endswith("}\n")
+
+    def test_graph_host_flag_never_fails(self, capsys):
+        # Wherever this runs — bare metal, container, sandbox — host
+        # collectors degrade silently; the command still exits 0 and
+        # renders a valid graph with the degradation recorded.
+        rc = main(["graph", "--gpu", "TestGPU-NV", "--no-cache", "-q", "--host"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["meta"]["host_degraded"], dict)
+
+    def test_graph_unknown_gpu_fails(self, capsys):
+        assert main(["graph", "--gpu", "B200", "--no-cache"]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestServeCLI:

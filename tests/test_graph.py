@@ -1,0 +1,468 @@
+"""Tests for the canonical topology graph subsystem (repro.graph).
+
+The contracts under test:
+
+* the shared id grammar (``cache:L2[segment=1]``) is deterministic and
+  rejects anything that would make two ids collide or un-parse;
+* the model's structural invariants hold adversarially (property
+  tests): unique node ids, no dangling edge endpoints, canonical
+  ordering independent of insertion order;
+* ``build_graph(report)`` renders byte-stable JSON across repeated
+  builds, across the analytic and exact measurement engines, and across
+  cold discovery vs cache hit — the invariant the serving layer's
+  ``cmp``-level byte-identity contract extends;
+* host collectors degrade per-collector and never fail a build.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MT4G, DiscoveryCache, SimulatedGPU
+from repro.graph import (
+    EDGE_KINDS,
+    NODE_KINDS,
+    GraphError,
+    TopologyGraph,
+    build_fleet_graph,
+    build_graph,
+    collect_host,
+    element_kind,
+    element_node_id,
+    node_id,
+    to_dot,
+    to_graph_json,
+)
+from repro.serve.catalog import CatalogEntry
+
+
+class TestIdGrammar:
+    def test_plain_and_qualified_forms(self):
+        assert node_id("cache", "L2") == "cache:L2"
+        assert node_id("cache", "L2", segment=1) == "cache:L2[segment=1]"
+        assert node_id("cache", "L1", sm=0) == "cache:L1[sm=0]"
+
+    def test_qualifiers_sort_by_key(self):
+        a = node_id("gpu", "A100", seed=0, preset="A100")
+        b = node_id("gpu", "A100", preset="A100", seed=0)
+        assert a == b == "gpu:A100[preset=A100,seed=0]"
+
+    def test_element_kinds(self):
+        assert element_node_id("L2") == "cache:L2"
+        assert element_node_id("SharedMem", sm=2) == "scratchpad:SharedMem[sm=2]"
+        assert element_node_id("LDS") == "scratchpad:LDS"
+        assert element_node_id("DeviceMemory") == "memory:DeviceMemory"
+        assert element_kind("SomeFutureCache") == "cache"
+
+    def test_names_may_carry_colons_kinds_may_not(self):
+        # PCI addresses are names with colons; the first colon splits.
+        assert node_id("pci", "0000:00:02.0") == "pci:0000:00:02.0"
+        with pytest.raises(ValueError):
+            node_id("pc:i", "x")
+
+    @pytest.mark.parametrize("bad", ["L2[0]", "a,b", "k=v"])
+    def test_reserved_characters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            node_id("cache", bad)
+        with pytest.raises(ValueError):
+            node_id("cache", "L2", q=bad)
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError):
+            node_id("", "L2")
+        with pytest.raises(ValueError):
+            node_id("cache", "")
+
+
+class TestModel:
+    def test_identical_readd_is_noop_conflict_raises(self):
+        g = TopologyGraph()
+        g.add_node("cache:L2", "cache", "L2", size=1024)
+        g.add_node("cache:L2", "cache", "L2", size=1024)  # idempotent
+        assert len(g) == 1
+        with pytest.raises(GraphError):
+            g.add_node("cache:L2", "cache", "L2", size=2048)
+
+    def test_unknown_kinds_raise(self):
+        g = TopologyGraph()
+        with pytest.raises(GraphError):
+            g.add_node("x:y", "warp", "y")
+        g.add_node("cache:L2", "cache", "L2")
+        g.add_node("memory:DeviceMemory", "memory", "DeviceMemory")
+        with pytest.raises(GraphError):
+            g.add_edge("cache:L2", "memory:DeviceMemory", "points_at")
+
+    def test_dangling_edges_raise(self):
+        g = TopologyGraph()
+        g.add_node("cache:L2", "cache", "L2")
+        with pytest.raises(GraphError):
+            g.add_edge("cache:L2", "memory:DeviceMemory", "reaches")
+
+    def test_duplicate_edges_collapse(self):
+        g = TopologyGraph()
+        a = g.add_node("cache:L1", "cache", "L1")
+        b = g.add_node("cache:L2", "cache", "L2")
+        g.add_edge(a, b, "reaches")
+        g.add_edge(a, b, "reaches")
+        assert len(g.edges) == 1
+
+    def test_children_and_kind_queries(self):
+        g = TopologyGraph()
+        gpu = g.add_node("gpu:X", "gpu", "X")
+        l2 = g.add_node("cache:L2", "cache", "L2")
+        dram = g.add_node("memory:DeviceMemory", "memory", "DeviceMemory")
+        g.add_edge(gpu, dram, "contains")
+        g.add_edge(gpu, l2, "contains")
+        assert [n.id for n in g.children(gpu)] == [l2, dram]  # cache ranks first
+        assert [n.id for n in g.nodes_of_kind("memory")] == [dram]
+
+    def test_as_dict_shape_and_counts(self):
+        g = TopologyGraph(meta={"kind": "device"})
+        a = g.add_node("gpu:X", "gpu", "X")
+        b = g.add_node("cache:L2", "cache", "L2")
+        g.add_edge(a, b, "contains")
+        payload = g.as_dict()
+        assert payload["schema"] == "mt4g-repro-graph/1"
+        assert payload["meta"] == {"kind": "device"}
+        assert payload["node_count"] == 2 and payload["edge_count"] == 1
+        assert [n["id"] for n in payload["nodes"]] == ["gpu:X", "cache:L2"]
+
+    def test_dot_escapes_quotes(self):
+        g = TopologyGraph()
+        g.add_node('gpu:weird "name"', "gpu", 'weird "name"')
+        dot = to_dot(g)
+        assert '\\"name\\"' in dot
+        assert dot.startswith("digraph mt4g {") and dot.endswith("}")
+
+
+# --------------------------------------------------------------------- #
+# property tests: invariants under arbitrary construction               #
+# --------------------------------------------------------------------- #
+
+_names = st.text(
+    alphabet=st.characters(
+        codec="ascii", categories=("L", "N"), include_characters="._- "
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s)
+
+_node_specs = st.lists(
+    st.tuples(st.sampled_from(NODE_KINDS), _names, st.integers(0, 3)),
+    min_size=1,
+    max_size=12,
+    unique_by=lambda t: (t[0], t[1], t[2]),
+)
+
+
+def _assemble(specs, edge_picks, shuffle=None):
+    """Build a graph from drawn specs (optionally permuted), with edges
+    among the declared nodes chosen by ``edge_picks`` indexes."""
+    order = list(range(len(specs)))
+    if shuffle is not None:
+        order = shuffle
+    g = TopologyGraph()
+    ids = {}
+    for i in order:
+        kind, name, qual = specs[i]
+        ids[i] = g.add_node(node_id(kind, name, q=qual), kind, name, q=qual)
+    for a, b, k in edge_picks:
+        g.add_edge(ids[a % len(specs)], ids[b % len(specs)], EDGE_KINDS[k % 3])
+    return g
+
+
+@given(
+    specs=_node_specs,
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(0, 2)),
+        max_size=20,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_graph_invariants_hold_for_any_construction(specs, edges, data):
+    g = _assemble(specs, edges)
+    g.validate()
+    nodes = g.sorted_nodes()
+    # node ids unique
+    assert len({n.id for n in nodes}) == len(nodes)
+    # every edge endpoint exists
+    ids = {n.id for n in nodes}
+    for e in g.sorted_edges():
+        assert e.src in ids and e.dst in ids
+    # canonical ordering: serialisation is sorted by (kind rank, id)
+    ranks = [(NODE_KINDS.index(n.kind), n.id) for n in nodes]
+    assert ranks == sorted(ranks)
+    # insertion order cannot leak into the bytes
+    shuffled = data.draw(st.permutations(list(range(len(specs)))))
+    assert to_graph_json(_assemble(specs, edges, shuffle=shuffled)) == to_graph_json(g)
+
+
+@given(specs=_node_specs)
+@settings(max_examples=40, deadline=None)
+def test_json_roundtrip_counts(specs):
+    g = _assemble(specs, [])
+    payload = json.loads(to_graph_json(g))
+    assert payload["node_count"] == len(payload["nodes"]) == len(specs)
+    assert payload["edge_count"] == len(payload["edges"]) == 0
+
+
+# --------------------------------------------------------------------- #
+# building from real reports                                            #
+# --------------------------------------------------------------------- #
+
+
+class TestBuildFromReports:
+    def test_nvidia_shape(self, nv_report):
+        g = build_graph(nv_report)
+        g.validate()
+        assert g.meta["preset"] == "TestGPU-NV" and g.meta["kind"] == "device"
+        gpu = g.nodes_of_kind("gpu")[0]
+        assert gpu.attrs["vendor"] == "NVIDIA"
+        cluster = g.nodes_of_kind("cluster")[0]
+        assert cluster.name == "GPC"
+        assert len(g.nodes_of_kind("sm")) == nv_report.compute.num_sms
+        assert not g.nodes_of_kind("cu")
+        # every element of the report is a node under the shared scheme
+        for element in nv_report.memory:
+            assert element_node_id(element) in g.nodes
+
+    def test_amd_shape(self, amd_l3_report):
+        g = build_graph(amd_l3_report)
+        assert g.nodes_of_kind("cluster")[0].name == "SE"
+        assert len(g.nodes_of_kind("cu")) == amd_l3_report.compute.num_sms
+        # the data path threads L2 -> L3 -> DeviceMemory when L3 exists
+        reaches = {(e.src, e.dst) for e in g.edges if e.kind == "reaches"}
+        assert ("cache:L2", "cache:L3") in reaches
+        assert ("cache:L3", "memory:DeviceMemory") in reaches
+        assert ("cache:L2", "memory:DeviceMemory") not in reaches
+
+    def test_l2_segments_become_nodes(self, nv2seg_report):
+        g = build_graph(nv2seg_report)
+        segments = [n for n in g.children(element_node_id("L2")) if "segment" in n.attrs]
+        amount = nv2seg_report.memory["L2"].get("amount").value
+        assert len(segments) == amount == 2
+        total = nv2seg_report.memory["L2"].get("size").value
+        assert all(n.attrs["size"] == total // amount for n in segments)
+
+    def test_sm_level_reaches_edges(self, nv_report):
+        g = build_graph(nv_report)
+        reaches = {(e.src, e.dst) for e in g.edges if e.kind == "reaches"}
+        for sm in g.nodes_of_kind("sm"):
+            assert (sm.id, "cache:L1") in reaches
+            assert (sm.id, "scratchpad:SharedMem") in reaches
+
+    def test_shares_edges_mirror_shared_with(self, nv_report):
+        g = build_graph(nv_report)
+        shares = {(e.src, e.dst) for e in g.edges if e.kind == "shares"}
+        for element in nv_report.memory:
+            av = nv_report.memory[element].get("shared_with")
+            if av.unit != "elements" or not isinstance(av.value, (tuple, list)):
+                continue
+            for partner in av.value:
+                if partner in nv_report.memory:
+                    a, b = sorted((element, partner))
+                    assert (element_node_id(a), element_node_id(b)) in shares
+
+    def test_mig_overlay(self, nv_report):
+        g = build_graph(nv_report, mig_profile="1g.5gb", visible_sms=2,
+                        visible_dram_bytes=5 * 2**30)
+        assert g.meta["mig_profile"] == "1g.5gb"
+        assert len(g.nodes_of_kind("sm")) == 2
+        assert g.node("memory:DeviceMemory").attrs["visible_bytes"] == 5 * 2**30
+
+    def test_meta_never_leaks_into_graph(self, nv_report):
+        baseline = to_graph_json(build_graph(nv_report))
+        nv_report.meta["cache"] = {"status": "hit", "key": "f" * 64, "store": "/x"}
+        try:
+            assert to_graph_json(build_graph(nv_report)) == baseline
+        finally:
+            nv_report.meta.pop("cache", None)
+
+
+class TestByteStability:
+    def test_repeated_builds_identical(self, nv_report):
+        assert to_graph_json(build_graph(nv_report)) == to_graph_json(
+            build_graph(nv_report)
+        )
+        assert to_dot(build_graph(nv_report)) == to_dot(build_graph(nv_report))
+
+    def test_across_measurement_engines(self):
+        from repro.pchase.config import PChaseConfig
+
+        analytic = MT4G(SimulatedGPU.from_preset("TestGPU-NV", seed=3)).discover()
+        exact = MT4G(
+            SimulatedGPU.from_preset("TestGPU-NV", seed=3),
+            config=PChaseConfig(engine="exact"),
+        ).discover()
+        assert to_graph_json(build_graph(analytic)) == to_graph_json(
+            build_graph(exact)
+        )
+
+    def test_across_cache_hit_and_cold(self, tmp_path):
+        store = DiscoveryCache(tmp_path / "store")
+        cold = MT4G(
+            SimulatedGPU.from_preset("TestGPU-NV", seed=7), cache=store
+        ).discover()
+        hit = MT4G(
+            SimulatedGPU.from_preset("TestGPU-NV", seed=7), cache=store
+        ).discover()
+        assert hit.meta["cache"]["status"] == "hit"
+        uncached = MT4G(SimulatedGPU.from_preset("TestGPU-NV", seed=7)).discover()
+        rendered = {
+            to_graph_json(build_graph(r)) for r in (cold, hit, uncached)
+        }
+        assert len(rendered) == 1
+
+
+# --------------------------------------------------------------------- #
+# host collectors                                                       #
+# --------------------------------------------------------------------- #
+
+
+def _fake_sysfs(tmp_path, with_gpu=True):
+    proc = tmp_path / "proc"
+    sys_root = tmp_path / "sys"
+    proc.mkdir()
+    (proc / "cpuinfo").write_text(
+        "processor\t: 0\nmodel name\t: Fake CPU 9000\nprocessor\t: 1\n"
+    )
+    (proc / "meminfo").write_text("MemTotal:       16384 kB\n")
+    node0 = sys_root / "devices" / "system" / "node" / "node0"
+    node0.mkdir(parents=True)
+    (node0 / "cpulist").write_text("0-1\n")
+    (node0 / "meminfo").write_text("Node 0 MemTotal:       16384 kB\n")
+    pci = sys_root / "bus" / "pci" / "devices" / "0000:00:02.0"
+    pci.mkdir(parents=True)
+    (pci / "class").write_text("0x030000\n" if with_gpu else "0x010000\n")
+    (pci / "vendor").write_text("0x10de\n")
+    (pci / "device").write_text("0x20b0\n")
+    (pci / "numa_node").write_text("0\n")
+    return proc, sys_root
+
+
+class TestHostCollectors:
+    def test_collects_from_fake_roots(self, tmp_path):
+        proc, sys_root = _fake_sysfs(tmp_path)
+        host = collect_host(proc_root=proc, sys_root=sys_root)
+        assert host.cpu == {"model": "Fake CPU 9000", "logical_cpus": 2}
+        assert host.memory_bytes == 16384 * 1024
+        assert host.numa_nodes[0]["cpus"] == "0-1"
+        assert host.pci_gpus[0]["address"] == "0000:00:02.0"
+        assert host.pci_gpus[0]["numa_node"] == 0
+        assert set(host.degraded) == set()
+
+    def test_missing_roots_degrade_not_raise(self, tmp_path):
+        host = collect_host(
+            proc_root=tmp_path / "nope", sys_root=tmp_path / "nada"
+        )
+        # hostname still works (socket, not /proc); the file-backed
+        # collectors all degrade with a reason
+        for name in ("cpu", "memory", "numa", "pci"):
+            assert name in host.degraded
+
+    def test_wedged_collector_times_out(self, monkeypatch, tmp_path):
+        import time
+
+        import repro.graph.host as host_mod
+
+        def wedged(proc, sys):
+            time.sleep(10)
+
+        collectors = tuple(
+            (name, wedged if name == "memory" else fn)
+            for name, fn in host_mod._COLLECTORS
+        )
+        monkeypatch.setattr(host_mod, "_COLLECTORS", collectors)
+        proc, sys_root = _fake_sysfs(tmp_path)
+        host = collect_host(proc_root=proc, sys_root=sys_root, timeout=0.05)
+        assert host.degraded.get("memory", "").startswith("timeout")
+        assert host.memory_bytes is None
+        assert host.cpu is not None  # the others still landed
+
+    def test_degraded_host_never_fails_a_build(self, nv_report, tmp_path):
+        host = collect_host(proc_root=tmp_path / "x", sys_root=tmp_path / "y")
+        g = build_graph(nv_report, host=host)
+        g.validate()
+        assert set(g.meta["host_degraded"]) >= {"cpu", "memory", "numa", "pci"}
+
+    def test_host_attaches_pci_and_numa(self, nv_report, tmp_path):
+        proc, sys_root = _fake_sysfs(tmp_path)
+        host = collect_host(proc_root=proc, sys_root=sys_root)
+        g = build_graph(nv_report, host=host)
+        gpu = g.nodes_of_kind("gpu")[0]
+        reaches = {(e.src, e.dst) for e in g.edges if e.kind == "reaches"}
+        assert ("pci:0000:00:02.0", gpu.id) in reaches
+        assert ("numa:0", "pci:0000:00:02.0") in reaches
+        host_node = g.nodes_of_kind("host")[0]
+        assert g.children(host_node.id)  # cpu/numa/pci under the host
+
+
+# --------------------------------------------------------------------- #
+# the fleet graph                                                       #
+# --------------------------------------------------------------------- #
+
+
+def _entry(preset, vendor, microarch, key):
+    return CatalogEntry(
+        key=key,
+        preset=preset,
+        vendor=vendor,
+        microarchitecture=microarch,
+        model=f"{vendor} {preset}",
+        seed=0,
+        schema_version="mt4g-repro/1",
+        verdict="unvalidated",
+        wall_seconds=1.23,
+        benchmarks_executed=10,
+        elements=("L1", "L2"),
+    )
+
+
+class TestFleetGraph:
+    def test_groups_by_vendor(self):
+        entries = [
+            _entry("TestGPU-NV", "NVIDIA", "Test", "a" * 64),
+            _entry("TestGPU-AMD", "AMD", "Test", "b" * 64),
+            _entry("A100", "NVIDIA", "Ampere", "c" * 64),
+        ]
+        g = build_fleet_graph(entries, group="vendor")
+        assert g.meta == {"kind": "fleet", "group_by": "vendor"}
+        groups = {n.name: n.attrs["devices"] for n in g.nodes_of_kind("group")}
+        assert groups == {"NVIDIA": 2, "AMD": 1}
+        assert g.node("fleet:catalog").attrs["devices"] == 3
+        assert len(g.nodes_of_kind("gpu")) == 3
+
+    def test_groups_by_microarchitecture(self):
+        entries = [
+            _entry("TestGPU-NV", "NVIDIA", "Test", "a" * 64),
+            _entry("A100", "NVIDIA", "Ampere", "c" * 64),
+        ]
+        g = build_fleet_graph(entries, group="microarchitecture")
+        assert {n.name for n in g.nodes_of_kind("group")} == {"Test", "Ampere"}
+
+    def test_unknown_grouping_raises(self):
+        with pytest.raises(GraphError):
+            build_fleet_graph([], group="bogus")
+
+    def test_wall_seconds_stay_out_of_the_bytes(self):
+        import dataclasses
+
+        a = _entry("TestGPU-NV", "NVIDIA", "Test", "a" * 64)
+        b = dataclasses.replace(a, wall_seconds=99.9)
+        assert to_graph_json(build_fleet_graph([a])) == to_graph_json(
+            build_fleet_graph([b])
+        )
+
+    def test_entry_order_cannot_leak(self):
+        entries = [
+            _entry("TestGPU-NV", "NVIDIA", "Test", "a" * 64),
+            _entry("TestGPU-AMD", "AMD", "Test", "b" * 64),
+        ]
+        assert to_graph_json(build_fleet_graph(entries)) == to_graph_json(
+            build_fleet_graph(list(reversed(entries)))
+        )

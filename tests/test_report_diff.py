@@ -160,6 +160,79 @@ class TestRendering:
         assert "| Element |" not in md
 
 
+class TestMigSlicedVsFull:
+    """``only_a``/``only_b`` fixtures: a full device against its MIG slice.
+
+    A discovery run inside a small MIG instance can lack whole elements
+    the full device exposes (no texture path schedulable from the
+    slice), report less of what both sides share (a carved DeviceMemory)
+    and measure things the full run skipped — those asymmetries must
+    render as explicit one-sided rows in *both* the JSON and the
+    Markdown views, never vanish into "no delta".
+    """
+
+    @pytest.fixture
+    def full(self):
+        return _report(
+            {
+                "L1": {"size": _attr(128 * KiB)},
+                "Texture": {"size": _attr(24 * KiB)},
+                "L2": {"size": _attr(4096 * KiB), "amount": _attr(2, "count")},
+                "DeviceMemory": {"size": _attr(16 * 1024 * 1024 * KiB)},
+            }
+        )
+
+    @pytest.fixture
+    def sliced(self):
+        return _report(
+            {
+                "L1": {"size": _attr(128 * KiB)},
+                "L2": {"size": _attr(2048 * KiB), "amount": _attr(1, "count")},
+                "DeviceMemory": {"size": _attr(2 * 1024 * 1024 * KiB)},
+                # the sliced run additionally measured its scratchpad
+                "SharedMem": {"size": _attr(100 * KiB)},
+            }
+        )
+
+    def test_json_rendering_of_one_sided_elements(self, full, sliced):
+        payload = diff_reports(full, sliced, a_label="full", b_label="1g.5gb").as_dict()
+        rows = {(d["element"], d["attribute"]): d for d in payload["deltas"]}
+        texture = rows[("Texture", "*")]
+        assert texture["status"] == "only_a"
+        assert texture["a_value"] == "present" and texture["b_value"] is None
+        shared = rows[("SharedMem", "*")]
+        assert shared["status"] == "only_b"
+        assert shared["a_value"] is None and shared["b_value"] == "present"
+        # the carved memory and halved L2 drift; the L1 stays identical
+        assert rows[("DeviceMemory", "size")]["status"] == "drift"
+        assert rows[("L2", "amount")]["status"] == "drift"
+        assert rows[("L1", "size")]["status"] == "identical"
+        assert payload["verdict"] == "drift"
+        assert payload["summary"]["only_a"] == 1
+        assert payload["summary"]["only_b"] == 1
+
+    def test_markdown_rendering_of_one_sided_elements(self, full, sliced):
+        md = diff_reports(full, sliced, a_label="full", b_label="1g.5gb").to_markdown()
+        assert "# MT4G Report Diff — full vs 1g.5gb" in md
+        assert "| Texture | * | present | None | — | only_a |" in md
+        assert "| SharedMem | * | None | present | — | only_b |" in md
+        assert "| DeviceMemory | size |" in md
+        # identical attributes stay out of the divergence table
+        assert "| L1 |" not in md
+
+    def test_graph_view_keys_one_sided_elements_by_node_id(self, full, sliced):
+        view = diff_reports(full, sliced).to_graph_view()
+        assert view["schema"] == "mt4g-repro-graph-diff/1"
+        nodes = {n["id"]: n for n in view["nodes"]}
+        assert nodes["cache:Texture"]["status"] == "only_a"
+        assert nodes["scratchpad:SharedMem"]["status"] == "only_b"
+        # worst-of-attribute severity: L2 drifted on amount
+        assert nodes["cache:L2"]["status"] == "drift"
+        assert nodes["cache:L1"]["status"] == "identical"
+        ids = [n["id"] for n in view["nodes"]]
+        assert ids == sorted(ids)
+
+
 class TestRealReports:
     def test_same_discovery_diffs_identical(self, nv_report):
         assert diff_reports(nv_report, nv_report).identical

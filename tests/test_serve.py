@@ -581,6 +581,108 @@ class TestServiceEndpoints:
         assert "boom" in json.loads(response.body)["error"]
 
 
+class TestGraphEndpoints:
+    def test_served_graph_matches_offline_bytes(self, store, executor):
+        """GET /graph/{preset} == `mt4g graph` for the same identity —
+        the byte-identity contract extended from reports to graphs."""
+        from repro.graph import build_graph, to_graph_json
+
+        report = warm(store)
+        service = make_service(store, executor)
+        response = asyncio.run(get(service, f"/graph/{PRESET}"))
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        assert response.body == (to_graph_json(build_graph(report)) + "\n").encode()
+        assert service.jobs.discoveries_started == 0
+
+    def test_cold_graph_request_discovers_and_matches_warm(self, store, executor):
+        service = make_service(store, executor)
+        cold = asyncio.run(get(service, f"/graph/{PRESET}"))
+        assert cold.status == 200 and service.jobs.discoveries_started == 1
+        hot = asyncio.run(get(service, f"/graph/{PRESET}"))
+        assert hot.body == cold.body
+
+    def test_dot_negotiation(self, store, executor):
+        warm(store)
+        service = make_service(store, executor)
+
+        async def scenario():
+            by_query = await get(service, f"/graph/{PRESET}", {"format": "dot"})
+            by_accept = await get(
+                service, f"/graph/{PRESET}", headers={"accept": "text/vnd.graphviz"}
+            )
+            bad = await get(service, f"/graph/{PRESET}", {"format": "csv"})
+            return by_query, by_accept, bad
+
+        by_query, by_accept, bad = asyncio.run(scenario())
+        assert by_query.status == 200
+        assert by_query.content_type.startswith("text/vnd.graphviz")
+        assert by_query.body.startswith(b"digraph mt4g {")
+        assert by_accept.body == by_query.body
+        assert bad.status == 406
+
+    def test_fleet_graph_groups_the_catalog(self, store, executor):
+        warm(store)
+        warm(store, preset="TestGPU-AMD")
+        service = make_service(store, executor)
+
+        async def scenario():
+            default = await get(service, "/graph")
+            by_arch = await get(service, "/graph", {"group": "microarchitecture"})
+            bad = await get(service, "/graph", {"group": "bogus"})
+            return default, by_arch, bad
+
+        default, by_arch, bad = asyncio.run(scenario())
+        payload = json.loads(default.body)
+        assert payload["meta"]["group_by"] == "vendor"
+        groups = {
+            n["name"]: n["attrs"]["devices"]
+            for n in payload["nodes"]
+            if n["kind"] == "group"
+        }
+        assert groups == {"NVIDIA": 1, "AMD": 1}
+        assert json.loads(by_arch.body)["meta"]["group_by"] == "microarchitecture"
+        assert bad.status == 400
+
+    def test_diff_graph_view(self, store, executor):
+        warm(store)
+        warm(store, preset="TestGPU-NV-2SEG")
+        service = make_service(store, executor)
+
+        async def scenario():
+            view = await get(
+                service, f"/diff/{PRESET}/TestGPU-NV-2SEG", {"view": "graph"}
+            )
+            md = await get(
+                service,
+                f"/diff/{PRESET}/TestGPU-NV-2SEG",
+                {"view": "graph", "format": "markdown"},
+            )
+            bad = await get(
+                service, f"/diff/{PRESET}/TestGPU-NV-2SEG", {"view": "sideways"}
+            )
+            return view, md, bad
+
+        view, md, bad = asyncio.run(scenario())
+        payload = json.loads(view.body)
+        assert payload["schema"] == "mt4g-repro-graph-diff/1"
+        assert payload["verdict"] == "drift"
+        statuses = {n["id"]: n["status"] for n in payload["nodes"]}
+        assert statuses["cache:L2"] == "drift"  # segmentation differs
+        # the graph view is JSON-only; markdown against it is a 406
+        assert md.status == 406
+        assert bad.status == 400
+
+    def test_graph_routes_have_metric_labels(self, store, executor):
+        from repro.serve.handlers import route_label
+
+        assert (
+            route_label(HTTPRequest("GET", "/graph/TestGPU-NV"))
+            == "GET /graph/{preset}"
+        )
+        assert route_label(HTTPRequest("GET", "/graph")) == "GET /graph"
+
+
 # ---------------------------------------------------------------------- #
 # socket transport                                                        #
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,387 @@
+"""Serve-path load harness: keep-alive + hot-cache RPS vs the baseline.
+
+Scenario/trial/driver structure (the hpc-benchmark-toolkit shape): a
+**scenario** is one server configuration x endpoint mix x concurrency
+level; each scenario runs as one **trial** (fixed requests per worker,
+after a warmup) under a thread-per-connection **driver** whose clients
+speak real keep-alive HTTP/1.1 over real sockets — reconnecting when
+the server closes, exactly like a well-behaved client.  Every trial
+records p50/p99 latency and RPS to ``BENCH_serve.json`` at the repo
+root:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s
+
+Two server configurations bound the tentpole claim:
+
+* ``baseline`` — PR-5 behaviour: ``Connection: close`` per request, no
+  hot-report cache, catalog re-walked per request;
+* ``optimized`` — the PR-9 hot path: keep-alive connections, the
+  pre-rendered hot-report cache, the short-TTL catalog snapshot.
+
+Asserted invariants (the acceptance bar of this PR):
+
+* warm-path RPS on the report-json mix improves >= 5x over the
+  baseline (both sides recorded in the same artifact);
+* a report fetched over a reused keep-alive connection — served from
+  the hot cache — is byte-identical to ``mt4g --no-cache -j`` for the
+  same (preset, config, seed).
+
+``MT4G_BENCH_SERVE_SCALE=smoke`` shrinks the sweep for CI; the
+committed artifact is a full-scale recording.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro import MT4G, SimulatedGPU
+from repro.cache.tiers import build_worker_cache
+from repro.core.output.json_out import to_json
+from repro.serve import TopologyService
+
+PRESET = "TestGPU-NV"
+SEED = 0
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The acceptance floor: optimized RPS / baseline RPS on the warm
+#: report-json path, best concurrency level.
+MIN_WARM_SPEEDUP = 5.0
+
+SCALE = os.environ.get("MT4G_BENCH_SERVE_SCALE", "full")
+CONCURRENCY = (1, 4) if SCALE == "smoke" else (1, 4, 16)
+REQUESTS_PER_WORKER = 40 if SCALE == "smoke" else 150
+WARMUP_REQUESTS = 10 if SCALE == "smoke" else 25
+
+REPORT_PATH = f"/devices/{PRESET}/report?seed={SEED}"
+MIXES = {
+    # The tentpole's hot path: one endpoint, hammered.
+    "report-json": (REPORT_PATH,),
+    # A realistic request blend: every render format, the graph, the
+    # catalog, and the liveness probe.
+    "mixed": (
+        REPORT_PATH,
+        f"{REPORT_PATH}&format=markdown",
+        f"{REPORT_PATH}&format=csv",
+        f"/graph/{PRESET}?seed={SEED}",
+        "/devices",
+        "/healthz",
+    ),
+}
+
+SERVERS = {
+    "baseline": {"keep_alive_timeout": 0.0, "hot_cache_bytes": 0, "catalog_ttl": 0.0},
+    "optimized": {
+        "keep_alive_timeout": 60.0,
+        "hot_cache_bytes": 64 << 20,
+        "catalog_ttl": 2.0,
+    },
+}
+
+
+# ---------------------------------------------------------------------- #
+# SUT: the service on a background event loop                             #
+# ---------------------------------------------------------------------- #
+
+
+class ServeHarness:
+    """One TopologyService instance, driven from plain threads."""
+
+    def __init__(self, store, **service_kw) -> None:
+        service_kw.setdefault("read_only", True)  # warm-path bench: no pool
+        self.service = TopologyService(store, **service_kw)
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.host = ""
+        self.port = 0
+
+    def __enter__(self) -> "ServeHarness":
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.host, self.port = self.loop.run_until_complete(
+                self.service.start(port=0)
+            )
+            started.set()
+            self.loop.run_forever()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        if not started.wait(10):
+            raise RuntimeError("service failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(10)
+        self.loop.close()
+
+
+# ---------------------------------------------------------------------- #
+# driver: a keep-alive HTTP/1.1 client per worker thread                  #
+# ---------------------------------------------------------------------- #
+
+
+class KeepAliveClient:
+    """Minimal blocking HTTP/1.1 client that reuses its connection.
+
+    Against the baseline server every response says ``Connection:
+    close`` and the client transparently reconnects — so one client
+    implementation measures both worlds, connection cost included.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host, self.port = host, port
+        self._sock: socket.socket | None = None
+        self._buf = b""
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        self._buf = b""
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port), timeout=10)
+        self._buf = b""
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buf:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-response")
+            self._buf += chunk
+        data, self._buf = self._buf.split(marker, 1)
+        return data
+
+    def _read_exactly(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-body")
+            self._buf += chunk
+        data, self._buf = self._buf[:n], self._buf[n:]
+        return data
+
+    def request(self, path: str) -> tuple[int, bytes]:
+        """GET ``path``; returns (status, body).  Reconnects as needed."""
+        for attempt in (1, 2):
+            if self._sock is None:
+                self._connect()
+            try:
+                self._sock.sendall(
+                    f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+                )
+                head = self._read_until(b"\r\n\r\n")
+            except (ConnectionError, OSError):
+                # A keep-alive socket the server already closed (idle
+                # reap, request cap): reconnect once and retry.
+                self.close()
+                if attempt == 2:
+                    raise
+                continue
+            status = int(head.split(b" ", 2)[1])
+            length = 0
+            close = False
+            for line in head.split(b"\r\n")[1:]:
+                name, _, value = line.partition(b":")
+                name = name.strip().lower()
+                if name == b"content-length":
+                    length = int(value)
+                elif name == b"connection" and value.strip().lower() == b"close":
+                    close = True
+            body = self._read_exactly(length)
+            if close:
+                self.close()
+            return status, body
+        raise RuntimeError("unreachable")
+
+
+@dataclass
+class TrialResult:
+    server: str
+    mix: str
+    concurrency: int
+    requests: int
+    p50_ms: float
+    p99_ms: float
+    rps: float
+
+    def as_dict(self) -> dict:
+        return {
+            "server": self.server,
+            "mix": self.mix,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "rps": self.rps,
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_trial(
+    harness: ServeHarness, server: str, mix: str, concurrency: int
+) -> TrialResult:
+    """One scenario: ``concurrency`` workers, fixed requests each."""
+    paths = MIXES[mix]
+    latencies_per_worker: list[list[float]] = [[] for _ in range(concurrency)]
+    errors: list[Exception] = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(slot: int) -> None:
+        client = KeepAliveClient(harness.host, harness.port)
+        try:
+            barrier.wait(timeout=30)
+            for i in range(REQUESTS_PER_WORKER):
+                start = time.perf_counter()
+                status, _ = client.request(paths[i % len(paths)])
+                latencies_per_worker[slot].append(time.perf_counter() - start)
+                if status != 200:
+                    raise RuntimeError(f"{paths[i % len(paths)]} -> HTTP {status}")
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise errors[0]
+    latencies = sorted(lat for per in latencies_per_worker for lat in per)
+    total = len(latencies)
+    return TrialResult(
+        server=server,
+        mix=mix,
+        concurrency=concurrency,
+        requests=total,
+        p50_ms=round(_percentile(latencies, 0.50) * 1e3, 4),
+        p99_ms=round(_percentile(latencies, 0.99) * 1e3, 4),
+        rps=round(total / wall, 1),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the sweep                                                               #
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def results():
+    out: dict = {
+        "schema": "mt4g-bench-serve/1",
+        "preset": PRESET,
+        "seed": SEED,
+        "scale": SCALE,
+        "requests_per_worker": REQUESTS_PER_WORKER,
+        "scenarios": [],
+        "cold_first_request_ms": {},
+        "warm_speedup": {},
+    }
+    cli_bytes = (
+        to_json(MT4G(SimulatedGPU.from_preset(PRESET, seed=SEED)).discover()) + "\n"
+    ).encode()
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        # Warm the store once, outside any trial: this bench measures
+        # the serve path, not discovery.
+        warm_store = build_worker_cache(store_dir)
+        MT4G(
+            SimulatedGPU.from_preset(PRESET, seed=SEED), cache=warm_store
+        ).discover()
+        for server, config in SERVERS.items():
+            store = build_worker_cache(store_dir)
+            with ServeHarness(store, **config) as harness:
+                probe = KeepAliveClient(harness.host, harness.port)
+                start = time.perf_counter()
+                status, body = probe.request(REPORT_PATH)
+                out["cold_first_request_ms"][server] = round(
+                    (time.perf_counter() - start) * 1e3, 3
+                )
+                assert status == 200 and body == cli_bytes
+                for _ in range(WARMUP_REQUESTS):
+                    for path in MIXES["mixed"]:
+                        probe.request(path)
+                probe.close()
+                for mix in MIXES:
+                    for concurrency in CONCURRENCY:
+                        trial = run_trial(harness, server, mix, concurrency)
+                        out["scenarios"].append(trial.as_dict())
+                if server == "optimized":
+                    # Byte-identity over a *reused* connection, straight
+                    # from the hot cache (the warmup populated it).
+                    client = KeepAliveClient(harness.host, harness.port)
+                    _, first = client.request(REPORT_PATH)
+                    _, second = client.request(REPORT_PATH)
+                    client.close()
+                    out["keep_alive_bytes_identical"] = (
+                        first == cli_bytes and second == cli_bytes
+                    )
+                    out["hot_cache_hits"] = harness.service.hot_cache.hits
+                    out["connections_reused"] = harness.service.metrics.connections[
+                        "reused"
+                    ]
+    by_key = {
+        (s["server"], s["mix"], s["concurrency"]): s["rps"]
+        for s in out["scenarios"]
+    }
+    for mix in MIXES:
+        for concurrency in CONCURRENCY:
+            baseline = by_key[("baseline", mix, concurrency)]
+            optimized = by_key[("optimized", mix, concurrency)]
+            out["warm_speedup"][f"{mix}@{concurrency}"] = round(
+                optimized / baseline, 2
+            )
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    return out
+
+
+def test_warm_path_rps_floor(results):
+    speedups = [
+        speedup
+        for scenario, speedup in results["warm_speedup"].items()
+        if scenario.startswith("report-json@")
+    ]
+    best = max(speedups)
+    assert best >= MIN_WARM_SPEEDUP, (
+        f"optimized/baseline RPS on report-json is {best:.2f}x, "
+        f"below the {MIN_WARM_SPEEDUP}x floor ({results['warm_speedup']})"
+    )
+
+
+def test_keep_alive_bytes_are_cli_identical(results):
+    assert results["keep_alive_bytes_identical"] is True
+    assert results["hot_cache_hits"] > 0  # the fast path actually served
+    assert results["connections_reused"] > 0  # over a reused connection
+
+
+def test_every_scenario_recorded_latency_and_rps(results):
+    expected = len(SERVERS) * len(MIXES) * len(CONCURRENCY)
+    assert len(results["scenarios"]) == expected
+    for scenario in results["scenarios"]:
+        assert scenario["p50_ms"] > 0
+        assert scenario["p99_ms"] >= scenario["p50_ms"]
+        assert scenario["rps"] > 0

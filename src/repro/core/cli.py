@@ -642,6 +642,41 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "$MT4G_CACHE_LIMIT_BYTES, then the 2 GiB default)",
     )
     parser.add_argument(
+        "--keep-alive-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="idle seconds a keep-alive connection is held open for its "
+        "next request; 0 disables keep-alive entirely, closing after "
+        "every response (default: 60)",
+    )
+    parser.add_argument(
+        "--hot-cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for the hot-report render cache of "
+        "pre-rendered response bodies; 0 disables it "
+        "(default: 64 MiB)",
+    )
+    parser.add_argument(
+        "--pool",
+        default="warm",
+        choices=("warm", "lazy"),
+        help="discovery worker-pool lifecycle: 'warm' spawns and "
+        "pre-warms the persistent pool at service start, 'lazy' "
+        "creates it on the first cold request (default: warm)",
+    )
+    parser.add_argument(
+        "--catalog-ttl",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds the /devices and /healthz catalog snapshot stays "
+        "valid before the store is re-walked; 0 re-walks per request "
+        "(default: 2)",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -658,6 +693,7 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     from repro.cache.ring import normalize_node
     from repro.cache.tiers import DEFAULT_MEMORY_BYTES
+    from repro.serve.hotcache import DEFAULT_HOT_CACHE_BYTES
     from repro.serve.server import run_service
 
     parser = build_serve_parser()
@@ -686,6 +722,12 @@ def serve_main(argv: list[str] | None = None) -> int:
                 if args.memory_limit is None
                 else args.memory_limit,
                 cache_limit=resolve_cache_limit(args),
+                keep_alive_timeout=args.keep_alive_timeout,
+                hot_cache_bytes=DEFAULT_HOT_CACHE_BYTES
+                if args.hot_cache_bytes is None
+                else args.hot_cache_bytes,
+                catalog_ttl=args.catalog_ttl,
+                pool_mode=args.pool,
             )
         )
     except KeyboardInterrupt:

@@ -21,8 +21,13 @@ DiscoveryCache` plus the fleet machinery into that long-lived service:
   across the whole serving fleet;
 * :mod:`repro.serve.diff` — structural report-diff with tolerance
   classification (jitter vs drift);
+* :mod:`repro.serve.hotcache` — the hot-report render cache: a
+  byte-bounded LRU of *pre-rendered response bytes* keyed
+  ``(report_key, format)``, safe by content-addressing, making a warm
+  keep-alive report read a dict lookup plus a socket write;
 * :mod:`repro.serve.metrics` — hit/miss/inflight/latency counters, per
-  tier on a tiered store; JSON and Prometheus text exposition.
+  tier on a tiered store, plus connection-lifecycle and hot-cache
+  counters; JSON and Prometheus text exposition.
 
 Instances serve the stack of :mod:`repro.cache.tiers` (memory LRU →
 disk → ring peers): ``mt4g serve --peers`` shards the keyspace, and
@@ -35,6 +40,7 @@ Entry point: ``mt4g serve`` (see :mod:`repro.core.cli`).
 from repro.serve.catalog import CatalogEntry, DeviceCatalog
 from repro.serve.diff import AttributeDelta, ReportDiff, diff_reports
 from repro.serve.handlers import HTTPError, HTTPRequest, HTTPResponse
+from repro.serve.hotcache import HotReportCache
 from repro.serve.jobs import DiscoveryJob, JobQueue, fetch_report_for_job
 from repro.serve.metrics import ServiceMetrics, to_prometheus
 from repro.serve.server import TopologyService, run_service
@@ -47,6 +53,7 @@ __all__ = [
     "HTTPError",
     "HTTPRequest",
     "HTTPResponse",
+    "HotReportCache",
     "JobQueue",
     "ReportDiff",
     "ServiceMetrics",

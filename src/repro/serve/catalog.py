@@ -9,14 +9,27 @@ does exactly that: every whole-report entry becomes a
 validation verdict), built on the store's ``entries()`` walk, which
 skips corrupted or concurrently-pruned files silently.
 
-Enumeration unpickles every entry, so a catalog listing is O(store); the
-service recomputes it per ``GET /devices`` request rather than caching,
-because a concurrent worker may land a new discovery at any moment and a
-stale listing would hide it.
+Enumeration unpickles every entry, so a catalog listing is O(store).
+Recomputing it per request kept ``GET /devices`` honest but made the
+registry view (and ``/healthz``'s entry count) re-walk the cache
+directory for every poll — with keep-alive connections (PR 9) a single
+client can poll hundreds of times a second.  The catalog therefore
+keeps a **short-TTL snapshot** (``ttl`` seconds; 0 restores the
+recompute-always behaviour): within the window every request filters
+the same walked list, and the service *invalidates* the snapshot the
+moment a discovery lands a new entry
+(:meth:`~repro.serve.server.TopologyService._entry_landed`), so the
+only staleness a client can observe is a concurrent writer outside
+this process — bounded by the TTL.
+
+Snapshot state is guarded by a lock because handlers call
+:meth:`DeviceCatalog.entries` from executor threads, not the loop.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -69,8 +82,24 @@ class DeviceCatalog:
     #: compared as strings so ``seed=7`` and ``vendor=AMD`` read alike.
     FILTERS = ("preset", "vendor", "microarchitecture", "verdict", "seed")
 
-    def __init__(self, store: DiscoveryCache) -> None:
+    def __init__(
+        self, store: DiscoveryCache, ttl: float = 0.0, clock=time.monotonic
+    ) -> None:
         self.store = store
+        #: seconds a walked snapshot stays valid; 0 disables caching.
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._snapshot: list[CatalogEntry] | None = None
+        self._snapshot_at = 0.0
+        self._count: int | None = None
+        self._count_at = 0.0
+
+    def invalidate(self) -> None:
+        """Drop the snapshot (a discovery just landed an entry)."""
+        with self._lock:
+            self._snapshot = None
+            self._count = None
 
     def entries(self, **filters: str) -> list[CatalogEntry]:
         """All cached discoveries matching ``filters``, deterministically
@@ -86,18 +115,58 @@ class DeviceCatalog:
                 f"unknown catalog filter(s) {sorted(unknown)}; "
                 f"supported: {', '.join(self.FILTERS)}"
             )
+        entries = self._all_entries()
+        # Filters always apply to the snapshot afresh — only the O(store)
+        # walk is cached, never any one query's view of it.
+        out = [
+            entry
+            for entry in entries
+            if all(
+                str(getattr(entry, name)) == str(wanted)
+                for name, wanted in filters.items()
+            )
+        ]
+        return out
+
+    def entry_count(self) -> int:
+        """The store's entry count, behind the same TTL as the listing.
+
+        Counted directly on the store (not ``len(entries())``): the raw
+        count includes non-report payloads such as escalation memos,
+        matching what ``/healthz`` reported before the snapshot existed.
+        """
+        if self.ttl <= 0:
+            return self.store.entry_count()
+        with self._lock:
+            if self._count is not None and self._clock() - self._count_at < self.ttl:
+                return self._count
+        count = self.store.entry_count()
+        with self._lock:
+            self._count = count
+            self._count_at = self._clock()
+        return count
+
+    def _all_entries(self) -> list[CatalogEntry]:
+        """The walked (unfiltered, sorted) listing, TTL-cached."""
+        if self.ttl > 0:
+            with self._lock:
+                if (
+                    self._snapshot is not None
+                    and self._clock() - self._snapshot_at < self.ttl
+                ):
+                    return self._snapshot
         walls = self.store.recorded_walls()
         out: list[CatalogEntry] = []
         for key, payload in self.store.entries():
             entry = self._entry_from_payload(key, payload, walls)
             if entry is None:  # escalation memo entries are not devices
                 continue
-            if all(
-                str(getattr(entry, name)) == str(wanted)
-                for name, wanted in filters.items()
-            ):
-                out.append(entry)
+            out.append(entry)
         out.sort(key=lambda e: (e.preset, e.seed, e.key))
+        if self.ttl > 0:
+            with self._lock:
+                self._snapshot = out
+                self._snapshot_at = self._clock()
         return out
 
     def _entry_from_payload(

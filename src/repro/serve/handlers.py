@@ -1,6 +1,7 @@
 """HTTP route handlers of the topology query service.
 
-The endpoint surface (all responses carry ``Connection: close``):
+The endpoint surface (responses are keep-alive-framed — bounded
+``Content-Length`` bodies, ``Connection`` negotiated by the transport):
 
 * ``GET /healthz`` — liveness + store shape;
 * ``GET /metrics`` — hit/miss/inflight/latency counters, per tier when
@@ -20,7 +21,11 @@ The endpoint surface (all responses carry ``Connection: close``):
   csv`` or an ``Accept`` header); JSON is byte-identical to the CLI's
   ``mt4g --no-cache -j`` output for the same (preset, config, seed),
   because the store archives reports *before* per-run cache provenance
-  is attached — served bytes are content, not run history;
+  is attached — served bytes are content, not run history.  A warm
+  request is served from the :class:`~repro.serve.hotcache.
+  HotReportCache` — the pre-rendered response bytes per (report key,
+  format), no unpickle and no re-render — when the service enables it;
+  byte-identity holds either way because keys are content-addressed;
 * ``GET /compare?presets=a,b,…`` — the fleet comparison matrix plus the
   fleet judge's cross-device verdict over cached reports;
 * ``GET /diff/{a}/{b}`` — the structural drift diff of two reports;
@@ -140,6 +145,9 @@ class HTTPRequest:
     query: dict[str, str] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: protocol version off the request line — keep-alive defaults
+    #: differ between HTTP/1.1 (persist) and HTTP/1.0 (close).
+    version: str = "HTTP/1.1"
 
     @property
     def parts(self) -> list[str]:
@@ -163,6 +171,7 @@ class HTTPResponse:
         404: "Not Found",
         405: "Method Not Allowed",
         406: "Not Acceptable",
+        413: "Payload Too Large",
         500: "Internal Server Error",
         502: "Bad Gateway",
         503: "Service Unavailable",
@@ -172,14 +181,17 @@ class HTTPResponse:
     def reason(self) -> str:
         return self._REASONS.get(self.status, "Unknown")
 
-    def encode(self) -> bytes:
+    def encode(self, close: bool = True) -> bytes:
+        """The response's wire bytes; ``close`` picks the Connection
+        header (the transport decides — per-connection state lives
+        there, not on the response)."""
         extra = "".join(f"{k}: {v}\r\n" for k, v in self.headers.items())
         head = (
             f"HTTP/1.1 {self.status} {self.reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
             f"{extra}"
-            "Connection: close\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"
         )
         return head.encode("ascii") + self.body
@@ -295,12 +307,28 @@ def _known_preset(name: str) -> str:
     return name
 
 
+def _report_key(
+    service: "TopologyService", preset: str, seed: int, validate: bool
+) -> str:
+    """The content-addressed key these request parameters resolve to.
+
+    An unknown preset surfaces as the same 404 :func:`_known_preset`
+    raises — key derivation validates the preset as a side effect, so
+    hot-cache lookups need no separate existence check.
+    """
+    try:
+        return service.jobs.report_key(preset, seed, validate)
+    except ReproError as exc:
+        raise HTTPError(404, str(exc)) from None
+
+
 async def _load_report(
     service: "TopologyService",
     preset: str,
     seed: int,
     validate: bool,
     allow_stale: bool = False,
+    key: str | None = None,
 ) -> tuple[TopologyReport, bool]:
     """The cached report for (preset, config, seed) — discovering on a
     miss through the single-flight queue unless the service is read-only.
@@ -316,8 +344,9 @@ async def _load_report(
     (the fleet judge recalibrates confidences in place) without
     poisoning later requests.
     """
-    _known_preset(preset)
-    key = service.jobs.report_key(preset, seed, validate)
+    if key is None:
+        _known_preset(preset)
+        key = service.jobs.report_key(preset, seed, validate)
     loop = asyncio.get_running_loop()
     # store.get unpickles a whole report from disk (and, on a tiered
     # store, may fall through memory → disk → peer fetch) — off the loop
@@ -369,9 +398,11 @@ async def _load_report(
 
 async def handle_healthz(service: "TopologyService") -> HTTPResponse:
     # entry_count globs the whole entries/ tree — off the loop thread,
-    # because liveness probes are the highest-frequency caller.
+    # because liveness probes are the highest-frequency caller; the
+    # catalog's short-TTL snapshot means repeated polls don't re-walk
+    # the cache directory at all.
     entries = await asyncio.get_running_loop().run_in_executor(
-        None, service.store.entry_count
+        None, service.catalog.entry_count
     )
     # "degraded" is still a 200 — the service is alive and serving what
     # it can; the reasons tell an operator (or orchestrator) why some
@@ -396,7 +427,9 @@ async def handle_healthz(service: "TopologyService") -> HTTPResponse:
 
 def handle_metrics(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
     fmt = negotiate_format(request, supported=("json", "prometheus"))
-    snapshot = service.metrics.snapshot(store=service.store, jobs=service.jobs)
+    snapshot = service.metrics.snapshot(
+        store=service.store, jobs=service.jobs, hot_cache=service.hot_cache
+    )
     if fmt == "prometheus":
         from repro.serve.metrics import to_prometheus
 
@@ -502,11 +535,25 @@ async def handle_report(
     fmt = negotiate_format(request)
     seed = _seed_param(request, "seed")
     validate = _bool_param(request, "validate")
-    report, stale = await _load_report(service, preset, seed, validate, allow_stale=True)
-    render, content_type = _REPORT_FORMATS[fmt]
-    response = HTTPResponse(
-        body=render(report).encode("utf-8"), content_type=content_type
+    hot = service.hot_cache
+    key = _report_key(service, preset, seed, validate) if hot is not None else None
+    if hot is not None:
+        cached = hot.get(key, f"report:{fmt}")
+        if cached is not None:
+            # The warm path: pre-rendered bytes, no store read, no
+            # renderer — byte-identical by content-addressing.
+            body, content_type = cached
+            return HTTPResponse(body=body, content_type=content_type)
+    report, stale = await _load_report(
+        service, preset, seed, validate, allow_stale=True, key=key
     )
+    render, content_type = _REPORT_FORMATS[fmt]
+    body = render(report).encode("utf-8")
+    if hot is not None and not stale:
+        # Stale fallbacks are never cached: staleness must be
+        # re-evaluated (and re-marked) on every request.
+        hot.put(key, f"report:{fmt}", body, content_type)
+    response = HTTPResponse(body=body, content_type=content_type)
     if stale:
         # The bytes are a previously-served known-good report, not the
         # (currently failing) discovery — staleness is never silent.
@@ -628,8 +675,18 @@ async def handle_graph(
     fmt = negotiate_format(request, supported=("json", "dot"))
     seed = _seed_param(request, "seed")
     validate = _bool_param(request, "validate")
-    report, _ = await _load_report(service, preset, seed, validate)
-    return _graph_response(build_graph(report), fmt)
+    hot = service.hot_cache
+    key = _report_key(service, preset, seed, validate) if hot is not None else None
+    if hot is not None:
+        cached = hot.get(key, f"graph:{fmt}")
+        if cached is not None:
+            body, content_type = cached
+            return HTTPResponse(body=body, content_type=content_type)
+    report, _ = await _load_report(service, preset, seed, validate, key=key)
+    response = _graph_response(build_graph(report), fmt)
+    if hot is not None:
+        hot.put(key, f"graph:{fmt}", response.body, response.content_type)
+    return response
 
 
 async def handle_fleet_graph(

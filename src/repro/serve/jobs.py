@@ -58,7 +58,7 @@ import itertools
 import json
 import os
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from statistics import median
@@ -84,6 +84,22 @@ from repro.pchase.config import PChaseConfig
 from repro.validate.fleet import WorkerOutcome, discover_one
 
 __all__ = ["DiscoveryJob", "JobQueue", "fetch_report_for_job"]
+
+
+def _warm_worker(cache_dir: str) -> int:
+    """Worker-pool warmup body: pay the cold-start costs before traffic.
+
+    Run once per pool slot at service start (``--pool warm``): executing
+    this in a child forces the worker process to exist *now* and to have
+    imported this module — numpy and the whole discovery stack — and
+    :func:`build_worker_cache` exercises the tier-stack construction and
+    the store's directory scaffolding that
+    :func:`~repro.validate.fleet.discover_one` performs per job, so the
+    first real discovery a worker runs pays none of the cold-start tax.
+    Returns the worker PID purely as something observable for tests.
+    """
+    build_worker_cache(cache_dir)
+    return os.getpid()
 
 
 def fetch_report_for_job(
@@ -278,6 +294,9 @@ class JobQueue:
         peer_timeout: float = DEFAULT_PEER_TIMEOUT,
         proxy_only: bool = False,
         prune_bytes: int | None = None,
+        pool_mode: str = "lazy",
+        executor_factory=None,
+        on_entry_landed=None,
     ) -> None:
         self.store = store
         self.cache_config = cache_config
@@ -285,6 +304,25 @@ class JobQueue:
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self._executor = executor
         self._owns_executor = executor is None
+        #: "warm": the service calls :meth:`prewarm` at start (pool and
+        #: worker imports paid before traffic) and a respawned pool is
+        #: re-warmed; "lazy": the pre-PR-9 behaviour, pool created on
+        #: first use.  Either way the pool persists across jobs.
+        if pool_mode not in ("warm", "lazy"):
+            raise ValueError(f"pool_mode must be 'warm' or 'lazy', not {pool_mode!r}")
+        self.pool_mode = pool_mode
+        #: how an owned executor is (re)built — injectable so tests can
+        #: watch respawns without paying real process-pool spin-up.
+        self._executor_factory = executor_factory
+        #: called with the report key after a completed job lands its
+        #: entry — the service hangs hot-cache/catalog invalidation here.
+        self.on_entry_landed = on_entry_landed
+        self._rewarm_pending = False
+        #: (preset, seed, validate) -> content-addressed report key.
+        #: Key derivation builds a SimulatedGPU and canonicalises the
+        #: whole identity dict through SHA-256 — pure, but far too slow
+        #: for a per-request hot path, hence this bounded memo.
+        self._key_memo: "OrderedDict[tuple[str, int, bool], str]" = OrderedDict()
         self.retry = retry if retry is not None else DEFAULT_SERVE_RETRY
         #: key routing across instances; None = standalone (every job
         #: discovers locally, the pre-ring behaviour).
@@ -330,28 +368,52 @@ class JobQueue:
         self.peer_fetches = 0
         self.peer_fallbacks = 0
         #: latched when the owned/injected pool reports itself broken —
-        #: a degraded-health signal until the service is restarted.
+        #: cleared again when an owned pool is respawned.
         self.executor_broken = False
+        #: owned pools discarded after breaking (and rebuilt on demand).
+        self.pool_respawns = 0
+        #: warmup bodies that completed in a pool worker.
+        self.workers_warmed = 0
 
     # ------------------------------------------------------------------ #
     # identity                                                            #
     # ------------------------------------------------------------------ #
 
+    #: distinct (preset, seed, validate) identities memoised by
+    #: :meth:`report_key`; far above any real preset x seed working set.
+    KEY_MEMO_MAX = 4096
+
     def report_key(self, preset: str, seed: int, validate: bool) -> str:
         """The content-addressed key a discovery with these inputs lands
         under — computed exactly like the worker will: a pristine device,
         the service's engine/carveout config, all elements, no extensions.
+
+        Memoised: the mapping is pure (the key is a function of nothing
+        but these inputs and the queue's fixed config), and deriving it
+        costs a SimulatedGPU construction plus a canonical-JSON SHA-256 —
+        per-request overhead the keep-alive hot path cannot afford.
+        Unknown presets raise *before* the memo is touched, so the memo
+        never caches failures.
         """
+        memo_key = (preset, int(seed), bool(validate))
+        cached = self._key_memo.get(memo_key)
+        if cached is not None:
+            self._key_memo.move_to_end(memo_key)
+            return cached
         spec = get_preset(preset)
         device = SimulatedGPU(spec, seed=seed, cache_config=self.cache_config)
         targets = NVIDIA_ELEMENTS if spec.vendor is Vendor.NVIDIA else AMD_ELEMENTS
-        return self.store.report_key(
+        key = self.store.report_key(
             device,
             PChaseConfig(engine=self.engine),
             set(targets),
             frozenset(),
             validate,
         )
+        self._key_memo[memo_key] = key
+        while len(self._key_memo) > self.KEY_MEMO_MAX:
+            self._key_memo.popitem(last=False)
+        return key
 
     # ------------------------------------------------------------------ #
     # submission (single-flight) + LPT admission                          #
@@ -617,7 +679,7 @@ class JobQueue:
             )
             job.error_kind = "infrastructure"
             if isinstance(exc, BrokenExecutor):
-                self.executor_broken = True
+                self._note_broken_pool()
         job.wall_seconds = wall
         if report is None or error:
             if job.proxied and not self.proxy_only:
@@ -658,6 +720,13 @@ class JobQueue:
                 )
         job.done.set()
         self._retire(job)
+        if job.status == "done" and self.on_entry_landed is not None:
+            try:
+                # The service invalidates its hot cache and catalog
+                # snapshot here; a broken hook must not hang waiters.
+                self.on_entry_landed(job.key)
+            except Exception:
+                pass
         self._pump()
 
     def _retire(self, job: DiscoveryJob) -> None:
@@ -670,8 +739,73 @@ class JobQueue:
 
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            if self._executor_factory is not None:
+                self._executor = self._executor_factory()
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            # A fresh pool is healthy by definition; the latch tracked
+            # the pool we just replaced.
+            self.executor_broken = False
+            if self._rewarm_pending:
+                self._rewarm_pending = False
+                self._submit_warmups()
         return self._executor
+
+    def _note_broken_pool(self) -> None:
+        """Discard an owned pool that reported itself broken.
+
+        A :class:`BrokenExecutor` poisons every future submitted to that
+        pool, so several in-flight jobs may land here — the ``None``
+        guard makes the discard (and the respawn counter) fire once per
+        breakage, not once per victim.  The replacement is built lazily
+        by :meth:`_ensure_executor` on the next job, matching the PR-6
+        taxonomy: breakage is ``infrastructure``, the *next* request
+        probes recovery.  Injected executors stay the injector's to
+        manage — the latch is set, nothing is discarded.
+        """
+        self.executor_broken = True
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.pool_respawns += 1
+            self._rewarm_pending = self.pool_mode == "warm"
+
+    # ------------------------------------------------------------------ #
+    # pre-warming (--pool warm)                                           #
+    # ------------------------------------------------------------------ #
+
+    def prewarm(self) -> None:
+        """Create the pool now and pay worker cold-start before traffic.
+
+        Called by the service at start under ``--pool warm``: the pool
+        exists before the first request, and one warmup body per slot
+        makes every worker import the discovery stack and build its tier
+        scaffolding up front.  Best-effort — a warmup failure (e.g. a
+        pool broken at boot) is recorded through the normal broken-pool
+        path on first real use, never raised here.
+        """
+        try:
+            self._ensure_executor()
+        except Exception:
+            return
+        self._submit_warmups()
+
+    def _submit_warmups(self) -> None:
+        if self._executor is None:
+            return
+        for _ in range(self.max_workers):
+            try:
+                future = self._executor.submit(_warm_worker, str(self.store.root))
+            except Exception:
+                return  # pool rejected the submit; first real job reports
+            future.add_done_callback(self._warmup_done)
+
+    def _warmup_done(self, future) -> None:
+        try:
+            future.result()
+        except BaseException:
+            return  # warmup is advisory; real jobs surface pool health
+        self.workers_warmed += 1
 
     # ------------------------------------------------------------------ #
     # queries / lifecycle                                                 #

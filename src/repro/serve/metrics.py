@@ -35,6 +35,19 @@ class ServiceMetrics:
         #: reports served from the last-known-good fallback (marked
         #: ``X-MT4G-Stale``) because their discovery was failing.
         self.stale_served = 0
+        #: connection lifecycle counters (keep-alive transport):
+        #: ``accepted`` TCP connections, ``reused`` = requests after the
+        #: first on one connection, ``closed``, ``idle_reaped`` =
+        #: keep-alive sockets reaped by the idle timeout, and
+        #: ``write_errors`` = responses lost to a client that vanished
+        #: mid-write (previously swallowed silently).
+        self.connections = {
+            "accepted": 0,
+            "reused": 0,
+            "closed": 0,
+            "idle_reaped": 0,
+            "write_errors": 0,
+        }
 
     def observe(self, route: str, status: int, seconds: float) -> None:
         """Record one handled request against its route template."""
@@ -47,7 +60,7 @@ class ServiceMetrics:
         bucket["seconds_total"] += float(seconds)
         bucket["seconds_max"] = max(bucket["seconds_max"], float(seconds))
 
-    def snapshot(self, store=None, jobs=None) -> dict[str, Any]:
+    def snapshot(self, store=None, jobs=None, hot_cache=None) -> dict[str, Any]:
         """The ``GET /metrics`` payload (JSON-ready)."""
         out: dict[str, Any] = {
             "schema": "mt4g-repro-metrics/1",
@@ -55,6 +68,7 @@ class ServiceMetrics:
             "http": {
                 "requests_total": self.requests_total,
                 "bad_requests": self.bad_requests,
+                "connections": dict(self.connections),
                 "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
                 "routes": {
                     route: {
@@ -96,7 +110,11 @@ class ServiceMetrics:
                 "executor_broken": jobs.executor_broken,
                 "peer_fetches": jobs.peer_fetches,
                 "peer_fallbacks": jobs.peer_fallbacks,
+                "pool_respawns": jobs.pool_respawns,
+                "workers_warmed": jobs.workers_warmed,
             }
+        if hot_cache is not None:
+            out["hot_cache"] = hot_cache.stats()
         out["resilience"] = {
             "stale_served": self.stale_served,
             #: faults the active plan fired in *this* process — {} in
@@ -146,6 +164,21 @@ def to_prometheus(snapshot: dict[str, Any]) -> str:
     )
     family(
         "mt4g_http_bad_requests_total", "counter", [("", http.get("bad_requests", 0))]
+    )
+    connections = http.get("connections", {})
+    family(
+        "mt4g_http_connections_total",
+        "counter",
+        [
+            (label(event=event), connections[event])
+            for event in ("accepted", "reused", "closed", "idle_reaped")
+            if event in connections
+        ],
+    )
+    family(
+        "mt4g_http_connection_write_errors_total",
+        "counter",
+        [("", connections.get("write_errors", 0))],
     )
     family(
         "mt4g_http_responses_total",
@@ -214,9 +247,22 @@ def to_prometheus(snapshot: dict[str, Any]) -> str:
             "fast_failures",
             "peer_fetches",
             "peer_fallbacks",
+            "pool_respawns",
+            "workers_warmed",
         ):
             family(
                 f"mt4g_jobs_{counter}_total", "counter", [("", jobs.get(counter, 0))]
+            )
+
+    hot = snapshot.get("hot_cache")
+    if hot is not None:
+        family("mt4g_hot_cache_bytes", "gauge", [("", hot.get("bytes", 0))])
+        family("mt4g_hot_cache_entries", "gauge", [("", hot.get("entries", 0))])
+        for counter in ("hits", "misses", "stores", "evictions", "invalidations"):
+            family(
+                f"mt4g_hot_cache_{counter}_total",
+                "counter",
+                [("", hot.get(counter, 0))],
             )
 
     resilience = snapshot.get("resilience", {})

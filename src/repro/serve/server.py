@@ -2,14 +2,36 @@
 
 :class:`TopologyService` ties the serving pieces together — the shared
 :class:`~repro.cache.DiscoveryCache`, the :class:`DeviceCatalog`, the
-single-flight :class:`JobQueue` and the :class:`ServiceMetrics` — behind
-a deliberately small HTTP/1.1 implementation on asyncio streams: parse
-one request (request line, headers, optional ``Content-Length`` body),
-dispatch through :func:`repro.serve.handlers.dispatch`, write one
-``Connection: close`` response.  No keep-alive, no chunking, no TLS —
-a fleet-internal query service fronted by whatever proxy the deployment
-already has; what matters here is that the *expensive* path (cold
-discovery) is coalesced and the hot path is a hash lookup.
+single-flight :class:`JobQueue`, the :class:`HotReportCache` and the
+:class:`ServiceMetrics` — behind a deliberately small HTTP/1.1
+implementation on asyncio streams.
+
+The transport speaks **persistent HTTP/1.1**: one connection serves many
+requests (``Connection: keep-alive``), which is what makes the warm path
+as fast as the hardware allows — a hot request costs one buffered read,
+a dict lookup in the render cache, and one write, with no TCP handshake
+amortised across it.  Framing is kept safe by construction:
+
+* bodies are ``Content-Length``-bounded (no chunked uploads) and capped
+  at :data:`MAX_BODY_BYTES` — an oversized declaration is a ``413`` and
+  the connection closes, because the body was never drained;
+* pipelined requests arriving in one TCP segment are simply buffered in
+  the :class:`~asyncio.StreamReader` — the read loop consumes them one
+  request at a time, responses in request order;
+* an idle keep-alive connection is reaped after ``keep_alive_timeout``
+  seconds (counted, never erred — idleness is normal client behaviour);
+* at most ``max_requests_per_connection`` requests are served per
+  connection, then the response carries ``Connection: close`` — a bound
+  on how long one socket can pin a connection task;
+* a client ``Connection: close`` (or an HTTP/1.0 request without
+  ``keep-alive``) is honored: the response says ``close`` and means it;
+* malformed requests (bad request line, header floods, truncated or
+  oversized bodies) are answered with ``Connection: close`` and the
+  socket drops — after a framing error the byte stream is unparseable
+  by definition, so reuse would serve garbage.
+
+Setting ``keep_alive_timeout=0`` restores the PR-5 one-request-per-
+connection behaviour (the measured baseline in ``BENCH_serve.json``).
 
 The transport and the routing are separable on purpose:
 :meth:`TopologyService.handle_request` takes an
@@ -49,6 +71,7 @@ from repro.serve.handlers import (
     error_response,
     route_label,
 )
+from repro.serve.hotcache import DEFAULT_HOT_CACHE_BYTES, HotReportCache
 from repro.serve.jobs import JobQueue
 from repro.serve.metrics import ServiceMetrics
 
@@ -61,6 +84,16 @@ MAX_BODY_BYTES = 1 << 20
 MAX_HEADER_LINES = 100
 #: Per-read timeout: a stalled client must not pin a connection task.
 READ_TIMEOUT_SECONDS = 30.0
+#: How long an idle keep-alive connection is held open for its next
+#: request before being reaped.  0 disables keep-alive entirely.
+KEEP_ALIVE_TIMEOUT_SECONDS = 60.0
+#: Requests served per connection before the server closes it — bounds
+#: how long one socket can monopolise a connection task.
+MAX_REQUESTS_PER_CONNECTION = 1000
+
+
+class _PayloadTooLarge(ValueError):
+    """A Content-Length beyond :data:`MAX_BODY_BYTES` (→ HTTP 413)."""
 
 
 class TopologyService:
@@ -84,10 +117,19 @@ class TopologyService:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 60.0,
         prune_bytes: int | None = None,
+        keep_alive_timeout: float = KEEP_ALIVE_TIMEOUT_SECONDS,
+        max_requests_per_connection: int = MAX_REQUESTS_PER_CONNECTION,
+        hot_cache_bytes: int = 0,
+        catalog_ttl: float = 0.0,
+        pool_mode: str = "lazy",
     ) -> None:
         self.store = store
         self.read_only = read_only
-        self.catalog = DeviceCatalog(store)
+        #: 0 disables keep-alive (the PR-5 Connection: close behaviour);
+        #: the ``mt4g serve`` entry point defaults it on.
+        self.keep_alive_timeout = float(keep_alive_timeout)
+        self.max_requests_per_connection = max(1, int(max_requests_per_connection))
+        self.catalog = DeviceCatalog(store, ttl=catalog_ttl)
         self.jobs = JobQueue(
             store,
             cache_config=cache_config,
@@ -101,8 +143,15 @@ class TopologyService:
             breaker_cooldown=breaker_cooldown,
             proxy_only=read_only,
             prune_bytes=prune_bytes,
+            pool_mode=pool_mode,
+            on_entry_landed=self._entry_landed,
         )
         self.metrics = ServiceMetrics()
+        #: pre-rendered response bytes per (report key, format) — the
+        #: warm read path; None when disabled (``hot_cache_bytes=0``).
+        self.hot_cache: HotReportCache | None = (
+            HotReportCache(hot_cache_bytes) if hot_cache_bytes > 0 else None
+        )
         #: consistent-hash membership; None until attach_ring() (post-
         #: bind, because the advertise URL may need the ephemeral port).
         self.ring: HashRing | None = None
@@ -113,6 +162,22 @@ class TopologyService:
         self._server: asyncio.AbstractServer | None = None
         #: (host, port) actually bound; port 0 resolves on start().
         self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # store-write invalidation                                            #
+    # ------------------------------------------------------------------ #
+
+    def _entry_landed(self, key: str) -> None:
+        """A discovery (or proxied fetch) landed ``key`` in the store.
+
+        Keys are content-addressed, so rendered bytes for a key can
+        never silently change — the invalidation is healing hygiene
+        (a re-landed entry after store corruption repairs, not refreshes,
+        the render) plus the catalog's cue that the device list grew.
+        """
+        if self.hot_cache is not None:
+            self.hot_cache.invalidate(key)
+        self.catalog.invalidate()
 
     # ------------------------------------------------------------------ #
     # last-known-good fallback                                            #
@@ -186,10 +251,19 @@ class TopologyService:
     # ------------------------------------------------------------------ #
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Bind and start accepting connections; returns (host, port)."""
+        """Bind and start accepting connections; returns (host, port).
+
+        With ``pool_mode="warm"`` on a writable instance the discovery
+        pool is created and pre-warmed here — workers pay their import
+        and tier-stack cost before the first cold request, not during it.
+        """
         self._server = await asyncio.start_server(self._handle_client, host, port)
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
+        if self.jobs.pool_mode == "warm" and not self.read_only:
+            # Read-only replicas only ever run cheap proxy fetches — a
+            # pre-spawned process pool would be idle weight there.
+            self.jobs.prewarm()
         return self.address
 
     async def serve_forever(self) -> None:
@@ -208,42 +282,123 @@ class TopologyService:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        try:
-            request = await _read_request(reader)
-        except Exception:
-            # Unparseable request line / headers / truncated body: one
-            # 400 and close; the failure is counted but never propagates.
-            self.metrics.bad_requests += 1
-            response = error_response(400, "malformed HTTP request")
-            await self._write(writer, response)
-            return
-        if request is None:  # connection closed before a request line
-            writer.close()
-            return
-        response = await self.handle_request(request)
-        await self._write(writer, response)
+        """One connection's request loop: read, dispatch, write, repeat.
 
-    @staticmethod
-    async def _write(writer: asyncio.StreamWriter, response: HTTPResponse) -> None:
+        The loop ends when the client closes, asks to close, idles past
+        the keep-alive window, exceeds the per-connection request cap,
+        or sends something unparseable (framing errors always close —
+        the stream position is unknowable afterwards).
+        """
+        connections = self.metrics.connections
+        connections["accepted"] += 1
+        served = 0
         try:
-            writer.write(response.encode())
-            await writer.drain()
-        except (ConnectionError, OSError):
-            pass  # client went away mid-response
+            while True:
+                # The *first* request gets the ordinary read timeout; a
+                # *reused* connection waits out the keep-alive window.
+                first_read = (
+                    READ_TIMEOUT_SECONDS
+                    if served == 0
+                    else max(self.keep_alive_timeout, 0.001)
+                )
+                try:
+                    request = await _read_request(reader, first_read)
+                except _PayloadTooLarge as exc:
+                    # The body was never drained: the connection cannot
+                    # be reused, and the client is told so explicitly.
+                    self.metrics.bad_requests += 1
+                    await self._write(writer, error_response(413, str(exc)), close=True)
+                    return
+                except TimeoutError:
+                    if served:
+                        # An idle keep-alive socket timing out is the
+                        # normal end of a connection's life, not an error.
+                        connections["idle_reaped"] += 1
+                        return
+                    self.metrics.bad_requests += 1
+                    await self._write(
+                        writer, error_response(400, "malformed HTTP request"), close=True
+                    )
+                    return
+                except Exception:
+                    # Unparseable request line / headers / truncated
+                    # body: one 400 with Connection: close — after a
+                    # framing error the stream is garbage by definition.
+                    self.metrics.bad_requests += 1
+                    await self._write(
+                        writer, error_response(400, "malformed HTTP request"), close=True
+                    )
+                    return
+                if request is None:  # clean EOF between requests
+                    return
+                if served:
+                    connections["reused"] += 1
+                served += 1
+                response = await self.handle_request(request)
+                close = (
+                    self.keep_alive_timeout <= 0
+                    or served >= self.max_requests_per_connection
+                    or response.status >= 500
+                    or _wants_close(request)
+                )
+                if not await self._write(writer, response, close=close) or close:
+                    return
         finally:
+            connections["closed"] += 1
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
+    async def _write(
+        self, writer: asyncio.StreamWriter, response: HTTPResponse, close: bool
+    ) -> bool:
+        """Write one response; False when the client went away mid-write.
 
-async def _read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
-    """Parse one HTTP/1.1 request off the stream (or None on EOF)."""
-    line = await asyncio.wait_for(reader.readline(), READ_TIMEOUT_SECONDS)
+        Write failures are *counted* (``connections.write_errors``) —
+        a client hanging up mid-response is survivable, but a rate of
+        them is a signal an operator needs to see in ``/metrics``.
+        """
+        try:
+            writer.write(response.encode(close=close))
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            self.metrics.connections["write_errors"] += 1
+            return False
+
+
+def _wants_close(request: HTTPRequest) -> bool:
+    """Did the client ask for this to be the connection's last response?
+
+    HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+    HTTP/1.0 defaults to close unless ``Connection: keep-alive``.
+    """
+    tokens = {
+        token.strip().lower()
+        for token in request.headers.get("connection", "").split(",")
+    }
+    if request.version == "HTTP/1.0":
+        return "keep-alive" not in tokens
+    return "close" in tokens
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+    first_read_timeout: float = READ_TIMEOUT_SECONDS,
+) -> HTTPRequest | None:
+    """Parse one HTTP/1.1 request off the stream (or None on EOF).
+
+    ``first_read_timeout`` bounds the wait for the *request line* — the
+    keep-alive idle window on a reused connection; once a request has
+    started arriving, the ordinary per-read timeout applies to headers
+    and body so a trickling client cannot pin the connection task.
+    """
+    line = await asyncio.wait_for(reader.readline(), first_read_timeout)
     if not line.strip():
         return None
-    method, target, _version = line.decode("ascii").split()
+    method, target, version = line.decode("ascii").split()
     headers: dict[str, str] = {}
     header_lines = 0
     while True:
@@ -257,8 +412,12 @@ async def _read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
         headers[name.strip().lower()] = value.strip()
     body = b""
     length = int(headers.get("content-length", "0") or "0")
-    if length < 0 or length > MAX_BODY_BYTES:
+    if length < 0:
         raise ValueError(f"unacceptable Content-Length {length}")
+    if length > MAX_BODY_BYTES:
+        raise _PayloadTooLarge(
+            f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )
     if length:
         body = await asyncio.wait_for(reader.readexactly(length), READ_TIMEOUT_SECONDS)
     path, _, query_string = target.partition("?")
@@ -276,6 +435,7 @@ async def _read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
         query=query,
         headers=headers,
         body=body,
+        version=version.upper(),
     )
 
 
@@ -291,6 +451,10 @@ async def run_service(
     advertise: str | None = None,
     memory_limit: int = DEFAULT_MEMORY_BYTES,
     cache_limit: int | None = None,
+    keep_alive_timeout: float = KEEP_ALIVE_TIMEOUT_SECONDS,
+    hot_cache_bytes: int = DEFAULT_HOT_CACHE_BYTES,
+    catalog_ttl: float = 2.0,
+    pool_mode: str = "warm",
 ) -> None:
     """Run the service until cancelled (the ``mt4g serve`` entry point).
 
@@ -301,6 +465,12 @@ async def run_service(
     URL *they* reach this instance under (default: the bound
     host:port).  ``cache_limit`` prunes the disk tier to that many
     bytes after every completed discovery.
+
+    Unlike the embeddable :class:`TopologyService` (which defaults
+    every optimisation off for test determinism), the entry point runs
+    the full hot path by default: keep-alive connections, the
+    pre-rendered hot-report cache, a short-TTL catalog snapshot, and a
+    pre-warmed persistent discovery pool.
     """
     store = build_worker_cache(
         Path(cache_dir).expanduser(), memory_bytes=memory_limit
@@ -311,6 +481,10 @@ async def run_service(
         cache_config=cache_config,
         max_workers=max_workers,
         prune_bytes=cache_limit,
+        keep_alive_timeout=keep_alive_timeout,
+        hot_cache_bytes=hot_cache_bytes,
+        catalog_ttl=catalog_ttl,
+        pool_mode=pool_mode,
     )
     bound_host, bound_port = await service.start(host, port)
     if peers:
@@ -321,10 +495,15 @@ async def run_service(
         ring_note = (
             f", ring of {len(service.ring.nodes)}" if service.ring is not None else ""
         )
+        keep_note = (
+            f"keep-alive {service.keep_alive_timeout:g}s"
+            if service.keep_alive_timeout > 0
+            else "keep-alive off"
+        )
         print(
             f"# mt4g serve listening on http://{bound_host}:{bound_port} "
             f"(store {service.store.root}"
-            f"{', read-only' if read_only else ''}{ring_note})",
+            f"{', read-only' if read_only else ''}{ring_note}, {keep_note})",
             file=sys.stderr,
             flush=True,
         )

@@ -378,6 +378,22 @@ class TestServeCLI:
         assert defaults.peers is None and defaults.advertise is None
         assert defaults.memory_limit is None and defaults.cache_limit is None
 
+    def test_serve_parser_hot_path_flags(self):
+        args = build_serve_parser().parse_args([
+            "--keep-alive-timeout", "0", "--hot-cache-bytes", "1048576",
+            "--pool", "lazy", "--catalog-ttl", "0.5",
+        ])
+        assert args.keep_alive_timeout == 0.0
+        assert args.hot_cache_bytes == 1048576
+        assert args.pool == "lazy" and args.catalog_ttl == 0.5
+        defaults = build_serve_parser().parse_args([])
+        # the entry point defaults the whole hot path ON
+        assert defaults.keep_alive_timeout == 60.0
+        assert defaults.hot_cache_bytes is None  # None -> 64 MiB default
+        assert defaults.pool == "warm" and defaults.catalog_ttl == 2.0
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--pool", "tepid"])
+
     def test_serve_main_rejects_unusable_peer_urls(self, capsys):
         from repro.core.cli import serve_main
 

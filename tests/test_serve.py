@@ -690,6 +690,9 @@ class TestGraphEndpoints:
 
 class TestHTTPTransport:
     async def _roundtrip(self, host, port, raw: bytes) -> bytes:
+        # Each roundtrip sends Connection: close (reading to EOF under
+        # the keep-alive default would wait out the idle window) — the
+        # honor-the-client's-close path, exercised on every call.
         reader, writer = await asyncio.open_connection(host, port)
         writer.write(raw)
         await writer.drain()
@@ -706,13 +709,15 @@ class TestHTTPTransport:
             host, port = await service.start(port=0)
             try:
                 health = await self._roundtrip(
-                    host, port, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+                    host,
+                    port,
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
                 )
                 report = await self._roundtrip(
                     host,
                     port,
                     f"GET /devices/{PRESET}/report?seed=0 HTTP/1.1\r\n"
-                    "Host: x\r\n\r\n".encode(),
+                    "Host: x\r\nConnection: close\r\n\r\n".encode(),
                 )
                 malformed = await self._roundtrip(host, port, b"???\r\n\r\n")
             finally:

@@ -1,0 +1,199 @@
+"""Observability overhead bench: tracing-on vs tracing-off warm RPS.
+
+Reuses the serve-path SUT harness (``bench_serve``): the service on a
+background event loop, real keep-alive HTTP/1.1 over real sockets.
+
+Two server configurations, identical except for the telemetry plane:
+
+* ``tracing-off`` — the PR-9 optimized server, observability disabled
+  (the default: a single ``None`` check on every hot-path probe);
+* ``tracing-on`` — the same server with ``--trace`` active, so every
+  request mints a root span, records its hot-cache lookup, and stamps
+  ``X-MT4G-Request-Id`` / ``traceparent`` response headers.
+
+The quantity under test is a few microseconds of per-request cost on a
+path that takes ~100µs end to end, so the measurement design matters
+more than the load volume:
+
+* **Both servers run at once** and the load alternates between them
+  **request by request**, so each paired sample executes within a few
+  hundred microseconds of its partner — machine-level drift (VM steal,
+  frequency scaling, cron) moves on multi-second scales and cancels
+  out of the pair entirely.  Which server goes first alternates every
+  pair, so ordering effects cancel too.
+* The overhead estimate is the **ratio of 20%-trimmed sums** of the
+  per-request times (a trimmed-throughput ratio), then the **median
+  across independent reps** — a descheduled request (or a polluted
+  rep) cannot drag the estimate.
+* The clients are plain in-process threads.  Benchmark runners here are
+  single-CPU, so forked load processes just hand the µs-scale signal to
+  the kernel scheduler; in-process clients alternate deterministically
+  under the GIL and tax both servers identically.
+
+Asserted invariants (the acceptance bar of PR-10):
+
+* warm report-json RPS with tracing on regresses **< 10%** against
+  tracing off (recorded in ``BENCH_obs.json`` at the repo root);
+* bytes served with tracing on are identical to ``mt4g --no-cache -j``.
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -q -s
+
+``MT4G_BENCH_SERVE_SCALE=smoke`` shrinks the sweep for CI; the
+committed artifact is a full-scale recording.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+from bench_serve import REPORT_PATH, SCALE, KeepAliveClient, ServeHarness
+
+from repro import MT4G, SimulatedGPU
+from repro.cache.tiers import build_worker_cache
+from repro.core.output.json_out import to_json
+
+PRESET = "TestGPU-NV"
+SEED = 0
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: The acceptance ceiling: tracing-on may cost at most this fraction of
+#: tracing-off warm report-json throughput.
+MAX_REGRESSION = 0.10
+
+#: Paired requests per rep.  Each pair is one request to each server,
+#: timed individually, back to back.
+PAIRS = 600 if SCALE == "smoke" else 3000
+REPS = 3 if SCALE == "smoke" else 5
+WARMUP = 300
+
+OPTIMIZED = {
+    "keep_alive_timeout": 60.0,
+    "hot_cache_bytes": 64 << 20,
+    "catalog_ttl": 2.0,
+}
+
+
+def run_paired(
+    harness_off: ServeHarness, harness_on: ServeHarness
+) -> tuple[list[float], list[float]]:
+    """Request-interleaved load over both servers; per-request times."""
+    client_off = KeepAliveClient(harness_off.host, harness_off.port)
+    client_on = KeepAliveClient(harness_on.host, harness_on.port)
+    try:
+        for _ in range(WARMUP):
+            client_off.request(REPORT_PATH)
+            client_on.request(REPORT_PATH)
+        times_off: list[float] = []
+        times_on: list[float] = []
+        for pair in range(PAIRS):
+            order = [(times_off, client_off), (times_on, client_on)]
+            if pair % 2:  # alternate which server goes first
+                order.reverse()
+            for acc, client in order:
+                start = perf_counter()
+                status, _ = client.request(REPORT_PATH)
+                acc.append(perf_counter() - start)
+                if status != 200:
+                    raise RuntimeError(f"HTTP {status} under load")
+        return times_off, times_on
+    finally:
+        client_off.close()
+        client_on.close()
+
+
+def trimmed_overhead(times_off: list[float], times_on: list[float]) -> float:
+    """Ratio of 20%-trimmed sums of per-request times, as a pct.
+
+    Trimming each side independently drops scheduler-preempted
+    outliers (a tick landing on a ~150µs request inflates it 10–30x);
+    the ratio of the surviving mass is a robust throughput ratio.
+    """
+
+    def trimmed_sum(times: list[float]) -> float:
+        ordered = sorted(times)
+        k = len(ordered) // 5
+        return sum(ordered[k : len(ordered) - k] if k else ordered)
+
+    return (trimmed_sum(times_on) / trimmed_sum(times_off) - 1.0) * 100.0
+
+
+@pytest.fixture(scope="module")
+def results():
+    out: dict = {
+        "schema": "mt4g-bench-obs/3",
+        "preset": PRESET,
+        "seed": SEED,
+        "scale": SCALE,
+        "method": "request-interleaved pairs, trimmed-sum ratio, median of reps",
+        "pairs": PAIRS,
+        "reps": REPS,
+        "rep_overhead_pct": [],
+        "warm_rps": {},
+        "tracing_overhead_pct": None,
+    }
+    cli_bytes = (
+        to_json(MT4G(SimulatedGPU.from_preset(PRESET, seed=SEED)).discover()) + "\n"
+    ).encode()
+    requests_per_side = PAIRS
+    best_rps = {"tracing-off": 0.0, "tracing-on": 0.0}
+    spans_recorded = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        warm_store = build_worker_cache(store_dir)
+        MT4G(
+            SimulatedGPU.from_preset(PRESET, seed=SEED), cache=warm_store
+        ).discover()
+        for _rep in range(REPS):
+            harness_off = ServeHarness(build_worker_cache(store_dir), **OPTIMIZED)
+            harness_on = ServeHarness(
+                build_worker_cache(store_dir), trace=True, **OPTIMIZED
+            )
+            with harness_off, harness_on:
+                for harness in (harness_off, harness_on):
+                    probe = KeepAliveClient(harness.host, harness.port)
+                    status, body = probe.request(REPORT_PATH)
+                    probe.close()
+                    assert status == 200 and body == cli_bytes
+                times_off, times_on = run_paired(harness_off, harness_on)
+                spans_recorded += harness_on.service.tracer.stats()[
+                    "spans_recorded"
+                ]
+            out["rep_overhead_pct"].append(
+                round(trimmed_overhead(times_off, times_on), 2)
+            )
+            best_rps["tracing-off"] = max(
+                best_rps["tracing-off"],
+                round(requests_per_side / sum(times_off), 1),
+            )
+            best_rps["tracing-on"] = max(
+                best_rps["tracing-on"],
+                round(requests_per_side / sum(times_on), 1),
+            )
+    out["warm_rps"] = best_rps
+    out["tracing_overhead_pct"] = round(
+        statistics.median(out["rep_overhead_pct"]), 2
+    )
+    out["spans_recorded"] = spans_recorded
+    out["traced_bytes_identical"] = True  # asserted per rep above
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    return out
+
+
+def test_tracing_overhead_under_ceiling(results):
+    overhead = results["tracing_overhead_pct"]
+    assert overhead < MAX_REGRESSION * 100.0, (
+        f"tracing-on warm report-json throughput regresses {overhead}% "
+        f"(ceiling {MAX_REGRESSION:.0%}; reps {results['rep_overhead_pct']})"
+    )
+
+
+def test_traced_server_actually_traced(results):
+    # The comparison is honest only if the traced server really
+    # recorded spans under load.
+    assert results["spans_recorded"] > 0
+    assert results["traced_bytes_identical"] is True

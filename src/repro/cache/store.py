@@ -46,6 +46,7 @@ from typing import Any, Iterator
 
 from repro import faults
 from repro.cache import keys as _keys
+from repro.obs import trace as _trace
 
 __all__ = ["DiscoveryCache", "DEFAULT_PRUNE_BYTES", "DEGRADATION_KINDS"]
 
@@ -152,6 +153,21 @@ class DiscoveryCache:
         whose embedded key or schema does not match — is a silent miss;
         unreadable entries are best-effort deleted so they heal.
         """
+        ctx = _trace.CURRENT.get()  # None = tracing off: no other cost
+        if ctx is None:
+            return self._read_validated_inner(key)
+        start = time.perf_counter()
+        got = self._read_validated_inner(key)
+        _trace.record(
+            ctx,
+            "store.read",
+            start,
+            key=key[:12],
+            outcome="hit" if got is not None else "miss",
+        )
+        return got
+
+    def _read_validated_inner(self, key: str) -> tuple[bytes, Any] | None:
         try:
             path = self._entry_path(key)
             faults.inject("store.get", key)
@@ -236,6 +252,17 @@ class DiscoveryCache:
 
     def _write_blob(self, key: str, blob: bytes) -> bool:
         """Atomic write-to-temp + rename shared by put/put_blob."""
+        ctx = _trace.CURRENT.get()
+        if ctx is None:
+            return self._write_blob_inner(key, blob)
+        start = time.perf_counter()
+        ok = self._write_blob_inner(key, blob)
+        _trace.record(
+            ctx, "store.write", start, key=key[:12], outcome="ok" if ok else "error"
+        )
+        return ok
+
+    def _write_blob_inner(self, key: str, blob: bytes) -> bool:
         tmp = None
         try:
             path = self._entry_path(key)

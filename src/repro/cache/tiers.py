@@ -58,6 +58,7 @@ from repro.cache import keys as _keys
 from repro.cache.ring import HashRing
 from repro.cache.store import DEGRADATION_KINDS, DEFAULT_PRUNE_BYTES, DiscoveryCache
 from repro.faults.retry import RetryPolicy
+from repro.obs import trace as _trace
 
 __all__ = [
     "DEFAULT_MEMORY_BYTES",
@@ -99,6 +100,7 @@ def peer_fetch(
     preset: str | None = None,
     seed: int | None = None,
     validate: bool | None = None,
+    headers: "dict[str, str] | None" = None,
 ) -> tuple[int, bytes]:
     """One ``GET {node}/store/{key}`` — ``(status, body)``.
 
@@ -123,7 +125,16 @@ def peer_fetch(
             params.append(f"validate={'1' if validate else '0'}")
     if params:
         url = f"{url}?{'&'.join(params)}"
-    request = _urlrequest.Request(url, headers={"Accept": "application/octet-stream"})
+    request_headers = {"Accept": "application/octet-stream"}
+    if headers:
+        request_headers.update(headers)
+    traceparent = _trace.outbound_traceparent()
+    if traceparent is not None and "traceparent" not in request_headers:
+        # Cross-instance trace continuity: the peer's handler joins the
+        # same trace id (it keeps its spans in its own ring; the entry
+        # instance's /traces/{id} merges them back).
+        request_headers["traceparent"] = traceparent
+    request = _urlrequest.Request(url, headers=request_headers)
     try:
         with _urlrequest.urlopen(request, timeout=timeout) as response:
             return int(response.status), response.read()
@@ -375,13 +386,24 @@ class PeerTier(CacheTier):
         Returns the validated pair, ``None`` for "this peer does not
         have it / is sick" (the caller moves on to the next candidate).
         """
+        ctx = _trace.CURRENT.get()
         for attempt in range(1, self.retry.attempts + 1):
             fired = None
+            span_start = time.perf_counter() if ctx is not None else 0.0
             try:
                 fired = faults.inject("tier.peer", node)
                 status, body = peer_fetch(node, key, timeout=self.timeout)
             except Exception:
                 status, body = None, b""  # transport failure
+            if ctx is not None:
+                _trace.record(
+                    ctx,
+                    "peer.fetch",
+                    span_start,
+                    node=node,
+                    attempt=attempt,
+                    status=status if status is not None else "transport-error",
+                )
             if fired is not None and fired.kind == "corrupt":
                 body = body[: len(body) // 2]
             if status == 200:
@@ -523,17 +545,37 @@ class TieredCache:
     # ------------------------------------------------------------------ #
 
     def _fetch(self, key: str, peer: bool) -> tuple[bytes, Any] | None:
+        ctx = _trace.CURRENT.get()  # None = tracing off (the usual case)
         consulted: list[CacheTier] = []
         for tier in self.tiers:
             if not peer and tier.name == "peer":
                 continue
+            start = time.perf_counter() if ctx is not None else 0.0
             got = tier.fetch(key)
+            if ctx is not None:
+                _trace.record(
+                    ctx,
+                    "tier.read",
+                    start,
+                    tier=tier.name,
+                    outcome="hit" if got is not None else "miss",
+                    key=key[:12],
+                )
             if got is not None:
                 blob = got[0]
                 for upper in consulted:
                     # Promotion is read-path healing, not a write: it
                     # deliberately ignores the write policy.
+                    promote_start = time.perf_counter() if ctx is not None else 0.0
                     upper.put_blob(key, blob)
+                    if ctx is not None:
+                        _trace.record(
+                            ctx,
+                            "tier.promote",
+                            promote_start,
+                            tier=upper.name,
+                            key=key[:12],
+                        )
                 return got
             consulted.append(tier)
         buffered = self._buffered(key)

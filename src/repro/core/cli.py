@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="extension: benchmark first-level cache bandwidth",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the discovery: per-element per-phase wall clock and "
+        "p-chase run counts, printed to stderr after the run (report "
+        "bytes on stdout are unchanged)",
+    )
     return parser
 
 
@@ -236,7 +243,18 @@ def main(argv: list[str] | None = None) -> int:
         tool = MT4G(device, targets=targets, extensions=extensions, cache=cache)
         if not args.quiet:
             print(f"# analysing {spec.name} ({spec.vendor.value}), seed {args.seed}", file=sys.stderr)
-        report = tool.discover(validate=args.validate)
+        if args.profile:
+            from repro.obs.profile import print_profile, profiled
+
+            with profiled() as profiler:
+                report = tool.discover(validate=args.validate)
+            # The profile is provenance, not report content: drop it from
+            # meta so stdout/report bytes match an unprofiled run exactly,
+            # and print the human table to stderr instead.
+            report.meta.pop("profile", None)
+            print_profile(profiler)
+        else:
+            report = tool.discover(validate=args.validate)
         cache_meta = report.meta.get("cache")
         if cache_meta and not args.quiet:
             print(
@@ -677,6 +695,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "(default: 2)",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request tracing: accept/emit W3C traceparent, record "
+        "spans across handler, store tiers, job queue, pool workers and "
+        "peer fetches into an in-memory ring served at GET /traces and "
+        "GET /traces/{id}",
+    )
+    parser.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --trace: emit any completed trace slower than MS as a "
+        "structured JSON log line (default: off)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("json", "text"),
+        default=None,
+        help="structured access log: one line per request (method, route, "
+        "status, duration, trace id, connection reuse) plus write/framing "
+        "error events (default: no access log)",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -728,6 +770,9 @@ def serve_main(argv: list[str] | None = None) -> int:
                 else args.hot_cache_bytes,
                 catalog_ttl=args.catalog_ttl,
                 pool_mode=args.pool,
+                trace=args.trace,
+                trace_slow_ms=args.trace_slow_ms,
+                log_format=args.log_format,
             )
         )
     except KeyboardInterrupt:

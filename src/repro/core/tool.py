@@ -23,6 +23,7 @@ Per-element pipelines (dependencies dictate the order):
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.api.hip import hip_get_device_properties
@@ -49,6 +50,7 @@ from repro.errors import ReproError, SimulationError, SpecError
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.isa import LoadKind
 from repro.gpuspec.presets.amd import CORES_PER_CU
+from repro.obs import profile as _profile
 from repro.gpuspec.presets.nvidia import CORES_PER_SM
 from repro.gpuspec.spec import Vendor
 from repro.pchase.config import PChaseConfig
@@ -119,6 +121,11 @@ _AMD_KINDS = {
 #: Seed offsets of the escalation re-measurements: three independent
 #: noise streams, far from any seed a user would pick deliberately.
 _ESCALATION_SEED_OFFSETS = (1009, 2003, 3001)
+
+#: One shared no-op context for every un-profiled phase scope: entering
+#: it allocates nothing, keeping ``MT4G._phase`` free when profiling is
+#: off (the ``faults.inject()`` zero-cost contract).
+_NULL_PHASE = nullcontext()
 
 
 class MT4G:
@@ -215,22 +222,34 @@ class MT4G:
             except Exception:
                 key = None
             if key is not None:
-                report = self._restore_cached_discovery(self.cache.get(key), key)
+                with self._phase("cache", "restore"):
+                    report = self._restore_cached_discovery(
+                        self.cache.get(key), key
+                    )
                 if report is not None:
+                    prof = _profile.ACTIVE
+                    if prof is not None:
+                        # Attached to the *returned* report only — the
+                        # stored payload predates this run, so profile
+                        # data can never leak into served bytes.
+                        report.meta["profile"] = prof.as_dict()
                     return report
-        general, compute = self._general_and_compute()
+        with self._phase("general", "api_query"):
+            general, compute = self._general_and_compute()
         if self.device.vendor is Vendor.NVIDIA:
             memory = self._discover_nvidia()
         else:
             memory = self._discover_amd()
         throughput: dict[str, AttributeValue] = {}
         if "flops" in self.extensions:
-            throughput = {
-                dtype: AttributeValue.from_measurement(m)
-                for dtype, m in measure_all_flops(self.ctx).items()
-            }
+            with self._phase("throughput", "flops"):
+                throughput = {
+                    dtype: AttributeValue.from_measurement(m)
+                    for dtype, m in measure_all_flops(self.ctx).items()
+                }
         if "lowlevel_bandwidth" in self.extensions:
-            self._extension_lowlevel_bandwidth(memory)
+            with self._phase("bandwidth", "extension"):
+                self._extension_lowlevel_bandwidth(memory)
         runtime = RuntimeReport(
             benchmarks_executed=self.ctx.benchmarks_run,
             simulated_gpu_seconds=self.device.elapsed_seconds(),
@@ -246,7 +265,8 @@ class MT4G:
             throughput=throughput,
         )
         if validate:
-            self.validate(report)
+            with self._phase("validation", "checks"):
+                self.validate(report)
         if self.cache is not None and key is not None:
             # Serialised before meta is attached: the stored payload must
             # not claim to be its own cache miss.
@@ -260,6 +280,11 @@ class MT4G:
                 },
             )
             report.meta["cache"] = self._cache_provenance("miss", key)
+        prof = _profile.ACTIVE
+        if prof is not None:
+            # After cache.put, like meta["cache"]: profiles describe this
+            # process's run, never the stored (and therefore served) bytes.
+            report.meta["profile"] = prof.as_dict()
         return report
 
     def _cache_provenance(self, status: str, key: str) -> dict[str, Any]:
@@ -376,6 +401,18 @@ class MT4G:
     # shared helpers                                                      #
     # ------------------------------------------------------------------ #
 
+    def _phase(self, element: str, phase: str):
+        """Profiler phase scope, or a shared no-op when profiling is off.
+
+        Wall-clock nests: an inner phase's time is attributed to the
+        inner entry only (:meth:`DiscoveryProfile.phase`), so wrapping a
+        whole element *and* its sub-stages double-counts nothing.
+        """
+        prof = _profile.ACTIVE
+        if prof is None:
+            return _NULL_PHASE
+        return prof.phase(element, phase)
+
     def _bench(self, element: MemoryElementReport, attribute: str, m: MeasurementResult) -> None:
         element.set(attribute, AttributeValue.from_measurement(m))
         if m.detail:
@@ -448,15 +485,20 @@ class MT4G:
             n for n in ("L1", "Texture", "Readonly") if n in self.targets
         ]
         for name in cacheable:
-            memory[name] = self._nv_generic_cache(name)
+            with self._phase(name, "measure"):
+                memory[name] = self._nv_generic_cache(name)
         if "ConstL1" in self.targets or "ConstL1.5" in self.targets:
-            memory.update(self._nv_constant_pair())
+            with self._phase("ConstL1", "measure"):
+                memory.update(self._nv_constant_pair())
         if "L2" in self.targets:
-            memory["L2"] = self._nv_l2(props.l2CacheSize)
+            with self._phase("L2", "measure"):
+                memory["L2"] = self._nv_l2(props.l2CacheSize)
         if "SharedMem" in self.targets:
-            memory["SharedMem"] = self._nv_shared(props.sharedMemPerBlock)
+            with self._phase("SharedMem", "measure"):
+                memory["SharedMem"] = self._nv_shared(props.sharedMemPerBlock)
         if "DeviceMemory" in self.targets:
-            memory["DeviceMemory"] = self._device_memory(props.totalGlobalMem)
+            with self._phase("DeviceMemory", "measure"):
+                memory["DeviceMemory"] = self._device_memory(props.totalGlobalMem)
 
         # --- physical sharing across logical spaces (Section IV-G) -----
         sharing_targets = {
@@ -469,7 +511,8 @@ class MT4G:
             if name in memory and self._measured_sizes.get(name)
         }
         if len(sharing_targets) >= 2:
-            results = measure_sharing_nvidia(self.ctx, sharing_targets)
+            with self._phase("sharing", "measure"):
+                results = measure_sharing_nvidia(self.ctx, sharing_targets)
             for name, res in results.items():
                 self._bench(memory[name], "shared_with", res)
         return memory
@@ -477,32 +520,37 @@ class MT4G:
     def _nv_generic_cache(self, name: str) -> MemoryElementReport:
         el = self._new_element(name)
         kind = _NV_KINDS[name]
-        fg = measure_fetch_granularity(self.ctx, kind, name)
+        with self._phase(name, "fetch_granularity"):
+            fg = measure_fetch_granularity(self.ctx, kind, name)
         self._bench(el, "fetch_granularity", fg)
         if fg.conclusive:
             self._measured_fg[name] = int(fg.value)
-        size = measure_cache_size(
-            self.ctx, kind, name, self._fg(name), lo=1 * KiB, hi_cap=1 * MiB
-        )
+        with self._phase(name, "size_sweep"):
+            size = measure_cache_size(
+                self.ctx, kind, name, self._fg(name), lo=1 * KiB, hi_cap=1 * MiB
+            )
         self._bench(el, "size", size)
         if size.conclusive:
             self._measured_sizes[name] = int(size.value)
-        self._latency_element(
-            el, kind, name, array_bytes=self._latency_array(name)
-        )
+        with self._phase(name, "latency"):
+            self._latency_element(
+                el, kind, name, array_bytes=self._latency_array(name)
+            )
         if size.conclusive:
-            line = measure_cache_line_size(
-                self.ctx, kind, name, int(size.value), self._fg(name)
-            )
+            with self._phase(name, "line_size"):
+                line = measure_cache_line_size(
+                    self.ctx, kind, name, int(size.value), self._fg(name)
+                )
             self._bench(el, "cache_line_size", line)
-            amount = measure_amount(
-                self.ctx,
-                kind,
-                name,
-                int(size.value),
-                self._fg(name),
-                spans_all_warps=(name == "L1"),
-            )
+            with self._phase(name, "amount"):
+                amount = measure_amount(
+                    self.ctx,
+                    kind,
+                    name,
+                    int(size.value),
+                    self._fg(name),
+                    spans_all_warps=(name == "L1"),
+                )
             self._bench(el, "amount", amount)
         self._lowlevel_bandwidth_note(el)
         return el
@@ -709,22 +757,28 @@ class MT4G:
         memory: dict[str, MemoryElementReport] = {}
 
         if "vL1" in self.targets:
-            memory["vL1"] = self._amd_l1("vL1", LoadKind.FLAT_LOAD, amount=True)
+            with self._phase("vL1", "measure"):
+                memory["vL1"] = self._amd_l1("vL1", LoadKind.FLAT_LOAD, amount=True)
         if "sL1d" in self.targets:
-            memory["sL1d"] = self._amd_l1("sL1d", LoadKind.S_LOAD, amount=False)
-            sl1d_size = self._measured_sizes.get("sL1d", 16 * KiB)
-            sharing = measure_sl1d_sharing(
-                self.ctx, sl1d_size, self._fg("sL1d", 64)
-            )
-            self._bench(memory["sL1d"], "shared_with", sharing)
+            with self._phase("sL1d", "measure"):
+                memory["sL1d"] = self._amd_l1("sL1d", LoadKind.S_LOAD, amount=False)
+                sl1d_size = self._measured_sizes.get("sL1d", 16 * KiB)
+                sharing = measure_sl1d_sharing(
+                    self.ctx, sl1d_size, self._fg("sL1d", 64)
+                )
+                self._bench(memory["sL1d"], "shared_with", sharing)
         if "L2" in self.targets:
-            memory["L2"] = self._amd_llc("L2", hsa, kfd_lines, latency=True)
+            with self._phase("L2", "measure"):
+                memory["L2"] = self._amd_llc("L2", hsa, kfd_lines, latency=True)
         if "L3" in self.targets and self.device.spec.has_cache("L3"):
-            memory["L3"] = self._amd_llc("L3", hsa, kfd_lines, latency=False)
+            with self._phase("L3", "measure"):
+                memory["L3"] = self._amd_llc("L3", hsa, kfd_lines, latency=False)
         if "LDS" in self.targets:
-            memory["LDS"] = self._amd_lds(props.sharedMemPerBlock)
+            with self._phase("LDS", "measure"):
+                memory["LDS"] = self._amd_lds(props.sharedMemPerBlock)
         if "DeviceMemory" in self.targets:
-            memory["DeviceMemory"] = self._device_memory(props.totalGlobalMem)
+            with self._phase("DeviceMemory", "measure"):
+                memory["DeviceMemory"] = self._device_memory(props.totalGlobalMem)
         return memory
 
     def _amd_l1(self, name: str, kind: LoadKind, amount: bool) -> MemoryElementReport:
@@ -1042,7 +1096,8 @@ class MT4G:
                     continue
             ctx = self._escalation_context(offset)
             try:
-                m = handler(ctx, element)
+                with self._phase(element, f"escalate:{attribute}"):
+                    m = handler(ctx, element)
             except ReproError:
                 continue
             if m is None or not m.conclusive:

@@ -1,0 +1,41 @@
+"""Observability plane: tracing, discovery profiling, structured logs.
+
+Three off-by-default instruments over the discovery/serving stack:
+
+* :mod:`repro.obs.trace` — W3C ``traceparent`` request tracing with a
+  bounded in-memory ring of completed spans (served at ``/traces``),
+  propagated across pool workers and ring peers so one cold proxied
+  request is one trace;
+* :mod:`repro.obs.profile` — per-element, per-phase discovery wall
+  profiler over ``MT4G.discover``/``PChaseRunner`` (``mt4g --profile``);
+* :mod:`repro.obs.accesslog` — structured per-request access log
+  (``mt4g serve --log-format json|text``).
+
+Everything here follows the ``faults.inject()`` contract: when not
+activated, instrumented hot paths pay a single ``None`` check and
+allocate nothing, and no instrument ever alters served report bytes.
+"""
+
+from repro.obs.accesslog import AccessLog
+from repro.obs.profile import DiscoveryProfile
+from repro.obs.trace import (
+    CURRENT,
+    SpanContext,
+    Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+__all__ = [
+    "AccessLog",
+    "CURRENT",
+    "DiscoveryProfile",
+    "SpanContext",
+    "Tracer",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+]

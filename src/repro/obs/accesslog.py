@@ -1,0 +1,90 @@
+"""Structured access log for ``mt4g serve`` (``--log-format json|text``).
+
+One line per completed request plus one line per connection-level
+failure (framing errors, write failures) — the events the connection
+counters in ``/metrics`` previously only tallied.  JSON lines are
+machine-parseable (one object per line); text is the classic
+human-scannable form.  Lines go to stderr by default so stdout stays
+clean, and emission never raises: a logging failure must not take a
+connection down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, TextIO
+
+__all__ = ["AccessLog"]
+
+FORMATS = ("json", "text")
+
+
+class AccessLog:
+    def __init__(
+        self, fmt: str = "json", stream: TextIO | None = None, clock=time.time
+    ) -> None:
+        if fmt not in FORMATS:
+            raise ValueError(f"log format must be one of {FORMATS}, got {fmt!r}")
+        self.fmt = fmt
+        self.stream = stream
+        self._clock = clock
+
+    def _emit(self, fields: dict[str, Any], text: str) -> None:
+        if self.fmt == "json":
+            line = json.dumps(fields, separators=(",", ":"))
+        else:
+            line = text
+        try:
+            if self.stream is not None:
+                print(line, file=self.stream, flush=True)
+            else:
+                import sys
+
+                print(line, file=sys.stderr, flush=True)
+        except (OSError, ValueError):
+            pass
+
+    def _stamp(self) -> str:
+        now = self._clock()
+        return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now)) + (
+            ".%03dZ" % int(now % 1 * 1000)
+        )
+
+    def request(
+        self,
+        *,
+        method: str,
+        path: str,
+        route: str,
+        status: int,
+        duration_ms: float,
+        trace_id: str = "",
+        reused: bool = False,
+    ) -> None:
+        ts = self._stamp()
+        fields = {
+            "ts": ts,
+            "event": "request",
+            "method": method,
+            "route": route,
+            "path": path,
+            "status": status,
+            "duration_ms": round(duration_ms, 3),
+            "reused": reused,
+        }
+        if trace_id:
+            fields["trace_id"] = trace_id
+        trace = f" trace={trace_id}" if trace_id else ""
+        self._emit(
+            fields,
+            f"{ts} {method} {path} {status} {duration_ms:.3f}ms"
+            f"{trace}{' reused' if reused else ''}",
+        )
+
+    def event(self, kind: str, reason: str, **extra: Any) -> None:
+        """Connection-level event (``bad_request``, ``write_error``...)."""
+        ts = self._stamp()
+        fields = {"ts": ts, "event": kind, "reason": reason, **extra}
+        detail = "".join(f" {k}={v}" for k, v in extra.items())
+        self._emit(fields, f"{ts} {kind}: {reason}{detail}")

@@ -1,0 +1,167 @@
+"""Discovery phase profiler: per-element, per-phase wall attribution.
+
+``/metrics`` can say a discovery took 2.3 s; it cannot say where the
+time went.  This module attributes discovery wall-clock to phases —
+size sweeps, binary descent, latency/line/amount measurement,
+validation, escalation re-measurements — per memory element, together
+with the p-chase run and warm-reuse counts that explain the cost
+(``PChaseRunner.stats`` exposes only totals).
+
+Activation is process-global and opt-in (``mt4g --profile``, or the
+serve pool when tracing is on); when :data:`ACTIVE` is ``None`` the
+hooks in ``MT4G`` and ``PChaseRunner.latencies`` cost one attribute
+read and a ``None`` check — the ``faults.inject()`` contract.
+
+The rendered profile is run provenance, not topology content: it is
+attached to ``report.meta`` only *after* the cache entry is serialised
+(the ``meta["cache"]`` ordering) and therefore never lands in stored or
+served report bytes — the same rule as ``host_degraded``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["ACTIVE", "DiscoveryProfile", "activate", "deactivate", "profiled"]
+
+#: The active profile, or None (off).  Hot paths read this attribute
+#: directly; mutate it only through activate()/deactivate().
+ACTIVE: "DiscoveryProfile | None" = None
+
+#: Warm-reuse classes mirrored from ``PChaseRunner.stats``.
+_WARM_KINDS = ("full_warms", "suffix_warms", "shrink_warms")
+
+
+class DiscoveryProfile:
+    """Phase ledger for one discovery run.
+
+    Phases nest (an escalation re-measurement runs inside validation);
+    wall time is attributed to the *innermost* open phase, matching how
+    a flame graph reads.  Single discovery runs are single-threaded, so
+    no lock — each pool worker activates its own instance.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._phases: dict[tuple[str, str], dict] = {}
+        self._current: dict | None = None
+        self.pchase_runs = 0
+        self.pchase_seconds = 0.0
+
+    # -- phase attribution --------------------------------------------- #
+
+    def _entry(self, element: str, phase: str) -> dict:
+        key = (element, phase)
+        entry = self._phases.get(key)
+        if entry is None:
+            entry = self._phases[key] = {
+                "element": element,
+                "phase": phase,
+                "wall_seconds": 0.0,
+                "calls": 0,
+                "pchase_runs": 0,
+                "pchase_seconds": 0.0,
+                "warms": dict.fromkeys(_WARM_KINDS, 0),
+            }
+        return entry
+
+    @contextmanager
+    def phase(self, element: str, phase: str) -> Iterator[None]:
+        entry = self._entry(element, phase)
+        previous = self._current
+        self._current = entry
+        start = self._clock()
+        try:
+            yield
+        finally:
+            entry["wall_seconds"] += self._clock() - start
+            entry["calls"] += 1
+            self._current = previous
+
+    def record_run(self, seconds: float, warm_kind: str | None) -> None:
+        """One ``PChaseRunner.latencies`` call, attributed to the open
+        phase (``warm_kind`` is a ``_WARM_KINDS`` member or None)."""
+        self.pchase_runs += 1
+        self.pchase_seconds += seconds
+        entry = self._current
+        if entry is not None:
+            entry["pchase_runs"] += 1
+            entry["pchase_seconds"] += seconds
+            if warm_kind is not None:
+                entry["warms"][warm_kind] += 1
+
+    # -- output -------------------------------------------------------- #
+
+    def as_dict(self) -> dict[str, Any]:
+        phases = [
+            {
+                **entry,
+                "wall_seconds": round(entry["wall_seconds"], 6),
+                "pchase_seconds": round(entry["pchase_seconds"], 6),
+                "warms": dict(entry["warms"]),
+            }
+            for entry in self._phases.values()
+        ]
+        return {
+            "schema": "mt4g-repro-profile/1",
+            "wall_seconds": round(self._clock() - self._started, 6),
+            "pchase_runs": self.pchase_runs,
+            "pchase_seconds": round(self.pchase_seconds, 6),
+            "phases": phases,
+        }
+
+    def render(self) -> str:
+        """Human table (``mt4g --profile`` prints this to stderr)."""
+        data = self.as_dict()
+        lines = [
+            f"discovery profile: {data['wall_seconds']:.3f}s wall, "
+            f"{data['pchase_runs']} p-chase runs "
+            f"({data['pchase_seconds']:.3f}s)",
+            f"{'element':<18} {'phase':<22} {'wall_s':>8} {'runs':>6} "
+            f"{'full':>5} {'sufx':>5} {'shrk':>5}",
+        ]
+        ordered = sorted(
+            data["phases"], key=lambda p: p["wall_seconds"], reverse=True
+        )
+        for entry in ordered:
+            warms = entry["warms"]
+            lines.append(
+                f"{entry['element']:<18} {entry['phase']:<22} "
+                f"{entry['wall_seconds']:>8.3f} {entry['pchase_runs']:>6} "
+                f"{warms['full_warms']:>5} {warms['suffix_warms']:>5} "
+                f"{warms['shrink_warms']:>5}"
+            )
+        return "\n".join(lines)
+
+
+def activate(profile: DiscoveryProfile) -> DiscoveryProfile:
+    global ACTIVE
+    ACTIVE = profile
+    return profile
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def profiled() -> Iterator[DiscoveryProfile]:
+    """Activate a fresh profile for a block, restoring the previous."""
+    global ACTIVE
+    previous = ACTIVE
+    profile = DiscoveryProfile()
+    ACTIVE = profile
+    try:
+        yield profile
+    finally:
+        ACTIVE = previous
+
+
+def print_profile(profile: DiscoveryProfile, stream=None) -> None:
+    """Render to stderr (stdout stays reserved for report bytes)."""
+    print(profile.render(), file=stream if stream is not None else sys.stderr)

@@ -36,11 +36,13 @@ benchmark does — would observe the fixed point; use
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import NamedTuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import profile as _profile
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.isa import LoadKind, MemorySpace, space_for_kind
 from repro.gpusim.kernel import probe_hits, run_pchase_ex, warm
@@ -195,6 +197,8 @@ class PChaseRunner:
         )
         incremental_from = self._incremental_from(key, nbytes) if reusable else None
         flushes_before = self.device.flush_count
+        prof = _profile.ACTIVE  # None = profiling off: the only cost
+        run_start = perf_counter() if prof is not None else 0.0
         lat, preserved = run_pchase_ex(
             self.device,
             kind,
@@ -210,15 +214,19 @@ class PChaseRunner:
             incremental_from=incremental_from,
             preserve_warm_state=reusable,
         )
+        warm_kind = None
         if fresh:
             self.stats["fresh_runs"] += 1
             if self.device.flush_count != flushes_before:
                 self.stats["full_warms"] += 1
+                warm_kind = "full_warms"
             elif incremental_from is not None:
-                kind_key = (
+                warm_kind = (
                     "suffix_warms" if incremental_from <= nbytes else "shrink_warms"
                 )
-                self.stats[kind_key] += 1
+                self.stats[warm_kind] += 1
+        if prof is not None:
+            prof.record_run(perf_counter() - run_start, warm_kind)
         if preserved:
             self._warm_token = _WarmToken(key, nbytes, self.device.op_serial)
         else:

@@ -64,6 +64,7 @@ from repro.core.report import TopologyReport
 from repro.errors import ReproError
 from repro.gpuspec.presets import get_preset
 from repro.graph import FLEET_GROUPINGS, build_fleet_graph, build_graph, to_dot, to_graph_json
+from repro.obs.trace import CURRENT
 from repro.serve.diff import diff_reports
 from repro.validate.fleet import FleetEntry, FleetResult
 
@@ -236,6 +237,8 @@ def route_label(request: HTTPRequest) -> str:
         return f"{request.method} /jobs/{{id}}"
     if len(parts) == 2 and parts[0] == "store":
         return f"{request.method} /store/{{key}}"
+    if len(parts) == 2 and parts[0] == "traces":
+        return f"{request.method} /traces/{{id}}"
     if len(parts) == 1:
         return f"{request.method} /{parts[0]}"
     return f"{request.method} <unmatched>"
@@ -322,6 +325,29 @@ def _report_key(
         raise HTTPError(404, str(exc)) from None
 
 
+def _off_loop(fn, *args):
+    """``run_in_executor`` that carries the active span context along.
+
+    ``loop.run_in_executor`` does not copy contextvars into the worker
+    thread, so without this the store/tier spans recorded under an
+    off-loop read would silently detach from their request trace.  With
+    tracing off this is exactly the plain call (one ``None`` check).
+    """
+    loop = asyncio.get_running_loop()
+    ctx = CURRENT.get()
+    if ctx is None:
+        return loop.run_in_executor(None, fn, *args)
+
+    def call():
+        token = CURRENT.set(ctx)
+        try:
+            return fn(*args)
+        finally:
+            CURRENT.reset(token)
+
+    return loop.run_in_executor(None, call)
+
+
 async def _load_report(
     service: "TopologyService",
     preset: str,
@@ -347,11 +373,10 @@ async def _load_report(
     if key is None:
         _known_preset(preset)
         key = service.jobs.report_key(preset, seed, validate)
-    loop = asyncio.get_running_loop()
     # store.get unpickles a whole report from disk (and, on a tiered
     # store, may fall through memory → disk → peer fetch) — off the loop
     # thread so a slow disk or peer never stalls every other connection.
-    payload = await loop.run_in_executor(None, service.store.get, key)
+    payload = await _off_loop(service.store.get, key)
     if payload is None:
         if service.read_only and not service.can_proxy(key):
             # A replica with no peer to lean on: the structured 404 the
@@ -370,14 +395,14 @@ async def _load_report(
             if allow_stale:
                 stale = service.last_good(key)
                 if stale is not None:
-                    service.metrics.stale_served += 1
+                    service.metrics.count_stale()
                     return stale, True
             raise HTTPError(
                 503,
                 f"discovery failed for {preset}: {job.error}",
                 retry_after=job.retry_after or service.jobs.failure_ttl,
             )
-        payload = await loop.run_in_executor(None, service.store.get, key)
+        payload = await _off_loop(service.store.get, key)
         if payload is None:
             raise HTTPError(
                 500,
@@ -428,7 +453,10 @@ async def handle_healthz(service: "TopologyService") -> HTTPResponse:
 def handle_metrics(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
     fmt = negotiate_format(request, supported=("json", "prometheus"))
     snapshot = service.metrics.snapshot(
-        store=service.store, jobs=service.jobs, hot_cache=service.hot_cache
+        store=service.store,
+        jobs=service.jobs,
+        hot_cache=service.hot_cache,
+        tracer=service.tracer,
     )
     if fmt == "prometheus":
         from repro.serve.metrics import to_prometheus
@@ -438,6 +466,90 @@ def handle_metrics(service: "TopologyService", request: HTTPRequest) -> HTTPResp
             content_type=PROMETHEUS_CONTENT_TYPE,
         )
     return json_response(snapshot)
+
+
+_TRACE_ID = re.compile(r"^[0-9a-f]{32}$")
+
+
+def _require_tracer(service: "TopologyService"):
+    if service.tracer is None:
+        raise HTTPError(
+            404, "tracing is disabled (start the service with --trace)"
+        )
+    return service.tracer
+
+
+def handle_traces(service: "TopologyService", request: HTTPRequest) -> HTTPResponse:
+    tracer = _require_tracer(service)
+    negotiate_format(request, supported=("json",))
+    summaries = tracer.summaries()
+    return json_response(
+        {
+            "schema": "mt4g-repro-traces/1",
+            "count": len(summaries),
+            "stats": tracer.stats(),
+            "traces": summaries,
+        }
+    )
+
+
+def _peer_trace_spans(node: str, trace_id: str) -> list[dict]:
+    """Best-effort fetch of one peer's spans for a trace (blocking)."""
+    import urllib.error
+    import urllib.request
+
+    url = f"{node}/traces/{trace_id}?local=1"
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url, headers={"Accept": "application/json"}),
+            timeout=2.0,
+        ) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return []
+    spans = payload.get("spans")
+    return spans if isinstance(spans, list) else []
+
+
+async def handle_trace(
+    service: "TopologyService", request: HTTPRequest, trace_id: str
+) -> HTTPResponse:
+    """One trace's spans — fleet-assembled unless ``?local=1``.
+
+    A proxied cold request leaves spans on every instance it crossed;
+    the entry instance answers for the whole trace by merging its ring
+    peers' ``?local=1`` views (best-effort: a dead peer just contributes
+    nothing), deduplicated by span id.
+    """
+    tracer = _require_tracer(service)
+    negotiate_format(request, supported=("json",))
+    trace_id = trace_id.lower()
+    if not _TRACE_ID.match(trace_id):
+        raise HTTPError(400, f"not a trace id: {trace_id!r}")
+    spans = tracer.spans(trace_id)
+    local_only = _bool_param(request, "local")
+    if not local_only and service.ring is not None:
+        peers = [n for n in service.ring.nodes if n != service.ring.self_node]
+        fetched = await asyncio.gather(
+            *(_off_loop(_peer_trace_spans, node, trace_id) for node in peers)
+        )
+        seen = {span.get("span_id") for span in spans}
+        for extra in fetched:
+            for span in extra:
+                if span.get("span_id") not in seen:
+                    seen.add(span.get("span_id"))
+                    spans.append(span)
+    if not spans:
+        raise HTTPError(404, f"no trace {trace_id} in the ring buffer")
+    spans.sort(key=lambda s: s.get("start_ms", 0))
+    return json_response(
+        {
+            "schema": "mt4g-repro-traces/1",
+            "trace_id": trace_id,
+            "span_count": len(spans),
+            "spans": spans,
+        }
+    )
 
 
 async def handle_store(
@@ -460,10 +572,7 @@ async def handle_store(
     """
     if not _STORE_KEY.match(key):
         raise HTTPError(400, f"not a content-addressed store key: {key!r}")
-    loop = asyncio.get_running_loop()
-    blob = await loop.run_in_executor(
-        None, lambda: service.store.get_blob(key, peer=False)
-    )
+    blob = await _off_loop(lambda: service.store.get_blob(key, peer=False))
     if blob is None and _bool_param(request, "discover"):
         if service.read_only:
             raise HTTPError(
@@ -493,9 +602,7 @@ async def handle_store(
                 f"discovery failed for {preset}: {job.error}",
                 retry_after=job.retry_after or service.jobs.failure_ttl,
             )
-        blob = await loop.run_in_executor(
-            None, lambda: service.store.get_blob(key, peer=False)
-        )
+        blob = await _off_loop(lambda: service.store.get_blob(key, peer=False))
     if blob is None:
         raise HTTPError(
             404,
@@ -743,6 +850,10 @@ async def dispatch(service: "TopologyService", request: HTTPRequest) -> HTTPResp
             return await handle_healthz(service)
         if parts == ["metrics"]:
             return handle_metrics(service, request)
+        if parts == ["traces"]:
+            return handle_traces(service, request)
+        if len(parts) == 2 and parts[0] == "traces":
+            return await handle_trace(service, request, parts[1])
         if parts == ["devices"]:
             return await handle_devices(service, request)
         if len(parts) == 3 and parts[0] == "devices" and parts[2] == "report":

@@ -34,7 +34,10 @@ thread), so it needs no locks; counters feed ``GET /metrics``.
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any
+
+from repro.obs import trace as _trace
 
 __all__ = ["DEFAULT_HOT_CACHE_BYTES", "HotReportCache"]
 
@@ -76,12 +79,20 @@ class HotReportCache:
 
     def get(self, key: str, kind: str) -> "tuple[bytes, str] | None":
         """The rendered ``(body, content_type)`` for ``(key, kind)``."""
+        ctx = _trace.CURRENT.get()  # None = tracing off: no other cost
+        start = perf_counter() if ctx is not None else 0.0
         entry = self._entries.get((key, kind))
         if entry is None:
             self.misses += 1
+            if ctx is not None:
+                _trace.record(
+                    ctx, "hotcache.lookup", start, outcome="miss", kind=kind
+                )
             return None
         self._entries.move_to_end((key, kind))
         self.hits += 1
+        if ctx is not None:
+            _trace.record(ctx, "hotcache.lookup", start, outcome="hit", kind=kind)
         return entry
 
     def put(self, key: str, kind: str, body: bytes, content_type: str) -> bool:

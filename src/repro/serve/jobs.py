@@ -77,6 +77,7 @@ from repro.cache.tiers import (
 from repro.core.tool import AMD_ELEMENTS, NVIDIA_ELEMENTS
 from repro.errors import is_transient
 from repro.faults.retry import DEFAULT_SERVE_RETRY, RetryPolicy
+from repro.obs import trace as _trace
 from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import get_preset
 from repro.gpuspec.spec import Vendor
@@ -113,8 +114,14 @@ def fetch_report_for_job(
     cache_dir: str,
     retry: RetryPolicy | None = None,
     timeout: float = DEFAULT_PEER_TIMEOUT,
+    traceparent: str | None = None,
 ) -> WorkerOutcome:
     """Proxy worker body: pull (or trigger) the entry at the key's owner.
+
+    ``traceparent`` (when tracing is on) parents this worker's spans to
+    the submitting job span and rides the HTTP hop as a header, so the
+    owner's handler continues the same trace; the recorded spans come
+    back in ``WorkerOutcome.spans`` for the queue to ingest.
 
     The proxy counterpart of :func:`repro.validate.fleet.discover_one`,
     with the identical :class:`WorkerOutcome` contract so ``_finish``
@@ -131,12 +138,52 @@ def fetch_report_for_job(
     ``permanent`` for the proxy path (that owner can never produce the
     entry), while a 404 without the marker stays ``transient``.
     """
+    if traceparent is None:
+        return _fetch_report_for_job(
+            owner, key, preset, seed, cache_config, engine, validate,
+            cache_dir, retry, timeout,
+        )
+    with _trace.worker_trace(traceparent) as ctx:
+        start = time.perf_counter()
+        outcome = _fetch_report_for_job(
+            owner, key, preset, seed, cache_config, engine, validate,
+            cache_dir, retry, timeout,
+        )
+        if ctx is not None:
+            _trace.complete(
+                ctx,
+                "worker.proxy_fetch",
+                start,
+                preset=preset,
+                owner=owner,
+                attempts=outcome.attempts,
+                ok=outcome.ok,
+                error_kind=outcome.error_kind,
+            )
+            outcome.spans = ctx.tracer.drain()
+        return outcome
+
+
+def _fetch_report_for_job(
+    owner: str,
+    key: str,
+    preset: str,
+    seed: int,
+    cache_config: str,
+    engine: str,
+    validate: bool,
+    cache_dir: str,
+    retry: RetryPolicy | None = None,
+    timeout: float = DEFAULT_PEER_TIMEOUT,
+) -> WorkerOutcome:
     policy = retry if retry is not None else DEFAULT_PEER_RETRY
+    ctx = _trace.CURRENT.get()
     start = time.perf_counter()
     error, kind = "", "transient"
     attempt = 0
     while attempt < policy.attempts:
         attempt += 1
+        attempt_start = time.perf_counter() if ctx is not None else 0.0
         try:
             # Chaos point shared with the read-path peer tier: one site
             # covers every HTTP hop toward a peer.
@@ -153,10 +200,25 @@ def fetch_report_for_job(
         except Exception as exc:
             error = f"peer fetch from {owner} failed: {str(exc) or type(exc).__name__}"
             kind = "transient" if is_transient(exc) else "permanent"
-            if kind == "permanent" or attempt >= policy.attempts:
+            retrying = kind != "permanent" and attempt < policy.attempts
+            backoff = policy.delay(key, attempt - 1) if retrying else 0.0
+            if ctx is not None:
+                _trace.record(
+                    ctx,
+                    "proxy.attempt",
+                    attempt_start,
+                    attempt=attempt,
+                    outcome="transport-error",
+                    backoff_s=round(backoff, 6),
+                )
+            if not retrying:
                 break
-            time.sleep(policy.delay(key, attempt - 1))
+            time.sleep(backoff)
             continue
+        if ctx is not None:
+            _trace.record(
+                ctx, "proxy.attempt", attempt_start, attempt=attempt, status=status
+            )
         if status == 200:
             store = build_worker_cache(cache_dir)
             if not store.put_blob(key, body):
@@ -237,6 +299,12 @@ class DiscoveryJob:
     #: set when a failed proxy was re-queued as a local discovery (the
     #: writable-instance fallback) — routing must not proxy it again.
     force_local: bool = False
+    #: span context for the job's own span (tracing only): trace id,
+    #: a pre-allocated span id workers parent to, and the submitting
+    #: request's span id — None when tracing was off at submit.
+    trace_ctx: Any = field(default=None, repr=False)
+    #: monotonic stamp of submit(), for the admission-wait span attr.
+    submitted_at: float = field(default_factory=time.perf_counter, repr=False)
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def as_dict(self) -> dict[str, Any]:
@@ -374,6 +442,10 @@ class JobQueue:
         self.pool_respawns = 0
         #: warmup bodies that completed in a pool worker.
         self.workers_warmed = 0
+        #: the owning service's span ring (None = tracing off).  Jobs
+        #: record admission/coalescing/deadline spans here and ingest
+        #: the spans their workers bring back.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # identity                                                            #
@@ -438,14 +510,35 @@ class JobQueue:
         runs here or fails here, it never hops again.
         """
         key = self.report_key(preset, seed, validate)
+        ctx = _trace.CURRENT.get()
         inflight = self._by_key.get(key)
         if inflight is not None and inflight.status in ("queued", "running"):
             inflight.requests += 1
             inflight.force_local = inflight.force_local or force_local
             self.coalesced += 1
+            if ctx is not None:
+                # The coalesced arrival's trace shows *that* it rode an
+                # in-flight twin (and which one) — the discovery spans
+                # themselves live in the first submitter's trace.
+                _trace.record(
+                    ctx,
+                    "job.coalesced",
+                    time.perf_counter(),
+                    job_id=inflight.id,
+                    key=key[:12],
+                    requests=inflight.requests,
+                )
             return inflight
         blocked_for = self._blocked_for(key)
         if blocked_for is not None:
+            if ctx is not None:
+                _trace.record(
+                    ctx,
+                    "job.fast_fail",
+                    time.perf_counter(),
+                    key=key[:12],
+                    retry_after=round(blocked_for, 3),
+                )
             return self._fast_fail(preset, seed, validate, key, blocked_for)
         job = DiscoveryJob(
             id=f"job-{next(self._ids)}",
@@ -456,6 +549,12 @@ class JobQueue:
             cost=self._estimate_cost(preset),
             force_local=force_local,
         )
+        if ctx is not None:
+            # Pre-allocate the job span's id: workers parent to it via
+            # the traceparent argument, and _finish records it.
+            job.trace_ctx = _trace.SpanContext(
+                ctx.tracer, ctx.trace_id, _trace.new_span_id(), ctx.span_id
+            )
         self._jobs[job.id] = job
         self._by_key[key] = job
         self._pending.append(job)
@@ -591,13 +690,19 @@ class JobQueue:
         self._running += 1
         start = time.perf_counter()
         loop = asyncio.get_running_loop()
+        # The worker pool is persistent and pre-warmed (PR 9), so trace
+        # context rides as a *call argument* — mutating os.environ here
+        # could never reach an already-spawned worker process.  Workers
+        # also run the discovery profiler whenever they are traced: the
+        # per-phase profile comes back on the outcome and lands as a job
+        # span attribute, never in served bytes.
+        tp = job.trace_ctx.traceparent if job.trace_ctx is not None else None
         if job.proxied:
             # Not a discovery: ``discoveries_started`` stays untouched,
             # which is exactly what lets the acceptance check pin "one
             # discovery, on the owner" from each instance's /metrics.
             self.peer_fetches += 1
-            future = loop.run_in_executor(
-                self._ensure_executor(),
+            call = [
                 fetch_report_for_job,
                 target,
                 job.key,
@@ -609,11 +714,15 @@ class JobQueue:
                 str(self.store.root),
                 self.peer_retry,
                 self.peer_timeout,
-            )
+            ]
+            # Appended only when traced so stand-in worker functions with
+            # the historical arity (tests, custom executors) keep working.
+            if tp is not None:
+                call.append(tp)
+            future = loop.run_in_executor(self._ensure_executor(), *call)
         else:
             self.discoveries_started += 1
-            future = loop.run_in_executor(
-                self._ensure_executor(),
+            call = [
                 discover_one,
                 job.preset,
                 job.seed,
@@ -622,7 +731,10 @@ class JobQueue:
                 job.validate,
                 str(self.store.root),
                 self.retry,
-            )
+            ]
+            if tp is not None:
+                call.extend((tp, True))
+            future = loop.run_in_executor(self._ensure_executor(), *call)
         if self.deadline_seconds is not None:
             self._deadline_handles[job.id] = loop.call_later(
                 self.deadline_seconds, self._expire, job
@@ -647,6 +759,18 @@ class JobQueue:
         self.deadlines_expired += 1
         self.discoveries_failed += 1
         self._record_failure(job)
+        if job.trace_ctx is not None:
+            _trace.complete(
+                job.trace_ctx,
+                "job.run",
+                time.perf_counter() - self.deadline_seconds,
+                preset=job.preset,
+                key=job.key[:12],
+                proxied=job.proxied,
+                outcome="deadline",
+                deadline_s=self.deadline_seconds,
+            )
+            job.trace_ctx = None  # the late _finish must not re-record
         job.done.set()
         self._retire(job)
 
@@ -674,6 +798,7 @@ class JobQueue:
             # BaseException: a shutdown's cancel_futures raises
             # CancelledError here, and an escaped exception would leave
             # job.done unset with every waiter hung forever.
+            outcome = None
             report, wall, error = None, time.perf_counter() - start, (
                 str(exc) or type(exc).__name__
             )
@@ -681,6 +806,15 @@ class JobQueue:
             if isinstance(exc, BrokenExecutor):
                 self._note_broken_pool()
         job.wall_seconds = wall
+        if job.trace_ctx is not None and self.tracer is not None and outcome is not None:
+            # Spans recorded inside the worker process (or the proxy
+            # fetch thread) travel home on the outcome and join the
+            # request's trace here.  Ingest happens even when the job is
+            # about to be requeued locally: the failed peer attempt is
+            # part of the story.
+            spans = getattr(outcome, "spans", None)
+            if spans:
+                self.tracer.ingest(spans)
         if report is None or error:
             if job.proxied and not self.proxy_only:
                 # Writable-instance fallback: the owner could not serve
@@ -718,6 +852,25 @@ class JobQueue:
                 asyncio.get_running_loop().run_in_executor(
                     None, self.store.prune, self.prune_bytes
                 )
+        if job.trace_ctx is not None:
+            attrs: dict = {
+                "preset": job.preset,
+                "key": job.key[:12],
+                "proxied": job.proxied,
+                "outcome": job.status,
+                "attempts": job.attempts,
+                "requests": job.requests,
+                "queue_wait_ms": round(max(0.0, start - job.submitted_at) * 1e3, 3),
+            }
+            if job.error_kind:
+                attrs["error_kind"] = job.error_kind
+            profile = getattr(outcome, "profile", None) if outcome is not None else None
+            if profile is not None:
+                # The per-phase discovery profile rides on the job span
+                # (ISSUE: "attached to job spans") — it never enters the
+                # served report bytes.
+                attrs["profile"] = profile
+            _trace.complete(job.trace_ctx, "job.run", start, **attrs)
         job.done.set()
         self._retire(job)
         if job.status == "done" and self.on_entry_landed is not None:

@@ -11,19 +11,48 @@ the metrics module never owns a second copy that could drift).
 
 from __future__ import annotations
 
+import threading
 import time
+from bisect import bisect_left
 from typing import Any
 
 from repro import faults
 
-__all__ = ["ServiceMetrics", "to_prometheus"]
+__all__ = ["DURATION_BUCKETS", "ServiceMetrics", "to_prometheus"]
+
+#: Histogram bucket upper bounds (seconds) for per-route request
+#: latency.  Spans dict-lookup hot-cache hits (~sub-ms) through cold
+#: discoveries (seconds); "+Inf" is implicit as the final bucket.
+DURATION_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
 
 
 class ServiceMetrics:
-    """In-process request counters; cheap enough to touch per request."""
+    """In-process request counters; cheap enough to touch per request.
+
+    All mutation is guarded by one lock: counters are bumped from the
+    event loop *and* from executor threads (``run_in_executor`` store
+    paths, the bench drivers), and ``+=`` on ints/dicts is not atomic
+    across the interpreter's eval boundaries — unlocked, concurrent
+    bumps can undercount.
+    """
 
     def __init__(self, clock=time.monotonic) -> None:
         self._clock = clock
+        self._lock = threading.Lock()
         self.started_at = clock()
         self.requests_total = 0
         #: HTTP status -> count.
@@ -51,35 +80,66 @@ class ServiceMetrics:
 
     def observe(self, route: str, status: int, seconds: float) -> None:
         """Record one handled request against its route template."""
-        self.requests_total += 1
-        self.by_status[status] = self.by_status.get(status, 0) + 1
-        bucket = self.routes.setdefault(
-            route, {"count": 0, "seconds_total": 0.0, "seconds_max": 0.0}
-        )
-        bucket["count"] += 1
-        bucket["seconds_total"] += float(seconds)
-        bucket["seconds_max"] = max(bucket["seconds_max"], float(seconds))
+        seconds = float(seconds)
+        slot = bisect_left(DURATION_BUCKETS, seconds)
+        with self._lock:
+            self.requests_total += 1
+            self.by_status[status] = self.by_status.get(status, 0) + 1
+            bucket = self.routes.get(route)
+            if bucket is None:
+                bucket = self.routes[route] = {
+                    "count": 0,
+                    "seconds_total": 0.0,
+                    "seconds_max": 0.0,
+                    "buckets": [0] * (len(DURATION_BUCKETS) + 1),
+                }
+            bucket["count"] += 1
+            bucket["seconds_total"] += seconds
+            bucket["seconds_max"] = max(bucket["seconds_max"], seconds)
+            bucket["buckets"][slot] += 1
 
-    def snapshot(self, store=None, jobs=None, hot_cache=None) -> dict[str, Any]:
+    # Locked single-counter bumps for the transport path (previously
+    # direct ``metrics.connections[...] += 1`` style mutations).
+
+    def count_connection(self, event: str) -> None:
+        with self._lock:
+            self.connections[event] = self.connections.get(event, 0) + 1
+
+    def count_bad_request(self) -> None:
+        with self._lock:
+            self.bad_requests += 1
+
+    def count_stale(self) -> None:
+        with self._lock:
+            self.stale_served += 1
+
+    def snapshot(
+        self, store=None, jobs=None, hot_cache=None, tracer=None
+    ) -> dict[str, Any]:
         """The ``GET /metrics`` payload (JSON-ready)."""
-        out: dict[str, Any] = {
-            "schema": "mt4g-repro-metrics/1",
-            "uptime_seconds": round(self._clock() - self.started_at, 3),
-            "http": {
-                "requests_total": self.requests_total,
-                "bad_requests": self.bad_requests,
-                "connections": dict(self.connections),
-                "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
-                "routes": {
-                    route: {
-                        "count": int(b["count"]),
-                        "seconds_total": round(b["seconds_total"], 6),
-                        "seconds_max": round(b["seconds_max"], 6),
-                    }
-                    for route, b in sorted(self.routes.items())
+        with self._lock:
+            routes = {
+                route: {
+                    "count": int(b["count"]),
+                    "seconds_total": round(b["seconds_total"], 6),
+                    "seconds_max": round(b["seconds_max"], 6),
+                    "histogram": _cumulative(b["buckets"]),
+                }
+                for route, b in sorted(self.routes.items())
+            }
+            out: dict[str, Any] = {
+                "schema": "mt4g-repro-metrics/1",
+                "uptime_seconds": round(self._clock() - self.started_at, 3),
+                "http": {
+                    "requests_total": self.requests_total,
+                    "bad_requests": self.bad_requests,
+                    "connections": dict(self.connections),
+                    "by_status": {
+                        str(k): v for k, v in sorted(self.by_status.items())
+                    },
+                    "routes": routes,
                 },
-            },
-        }
+            }
         if store is not None:
             out["store"] = {
                 "hits": store.hits,
@@ -115,6 +175,8 @@ class ServiceMetrics:
             }
         if hot_cache is not None:
             out["hot_cache"] = hot_cache.stats()
+        if tracer is not None:
+            out["trace"] = tracer.stats()
         out["resilience"] = {
             "stale_served": self.stale_served,
             #: faults the active plan fired in *this* process — {} in
@@ -122,6 +184,22 @@ class ServiceMetrics:
             "faults_injected": faults.injected_counts(),
         }
         return out
+
+
+def _bucket_label(bound: float) -> str:
+    """Prometheus ``le`` label text for a bucket bound (ints bare)."""
+    return str(int(bound)) if bound == int(bound) else str(bound)
+
+
+def _cumulative(buckets: list[int]) -> dict[str, int]:
+    """Non-cumulative internal counts -> ``{le: cumulative}`` mapping."""
+    out: dict[str, int] = {}
+    running = 0
+    for bound, count in zip(DURATION_BUCKETS, buckets):
+        running += count
+        out[_bucket_label(bound)] = running
+    out["+Inf"] = running + buckets[-1]
+    return out
 
 
 # ---------------------------------------------------------------------- #
@@ -201,6 +279,15 @@ def to_prometheus(snapshot: dict[str, Any]) -> str:
         "gauge",
         [(label(route=r), b.get("seconds_max", 0.0)) for r, b in routes.items()],
     )
+    histogrammed = {r: b for r, b in routes.items() if b.get("histogram")}
+    if histogrammed:
+        name = "mt4g_http_request_duration_seconds"
+        lines.append(f"# TYPE {name} histogram")
+        for route, b in histogrammed.items():
+            for le, count in b["histogram"].items():
+                lines.append(f"{name}_bucket{label(route=route, le=le)} {count}")
+            lines.append(f"{name}_sum{label(route=route)} {b.get('seconds_total', 0.0)}")
+            lines.append(f"{name}_count{label(route=route)} {b.get('count', 0)}")
 
     store = snapshot.get("store")
     if store is not None:
@@ -263,6 +350,19 @@ def to_prometheus(snapshot: dict[str, Any]) -> str:
                 f"mt4g_hot_cache_{counter}_total",
                 "counter",
                 [("", hot.get(counter, 0))],
+            )
+
+    trace = snapshot.get("trace")
+    if trace is not None:
+        family("mt4g_traces_held", "gauge", [("", trace.get("traces_held", 0))])
+        for counter in (
+            "spans_recorded",
+            "spans_dropped",
+            "traces_evicted",
+            "slow_traces",
+        ):
+            family(
+                f"mt4g_trace_{counter}_total", "counter", [("", trace.get(counter, 0))]
             )
 
     resilience = snapshot.get("resilience", {})

@@ -62,6 +62,8 @@ from repro.cache.tiers import (
 )
 from repro.core.report import TopologyReport
 from repro.faults.retry import RetryPolicy
+from repro.obs.accesslog import AccessLog
+from repro.obs.trace import CURRENT, Tracer, format_traceparent
 from repro.serve.catalog import DeviceCatalog
 from repro.serve.handlers import (
     HTTPError,
@@ -122,6 +124,11 @@ class TopologyService:
         hot_cache_bytes: int = 0,
         catalog_ttl: float = 0.0,
         pool_mode: str = "lazy",
+        trace: bool = False,
+        trace_max: int = 512,
+        trace_slow_ms: float | None = None,
+        log_format: str | None = None,
+        log_stream=None,
     ) -> None:
         self.store = store
         self.read_only = read_only
@@ -147,6 +154,20 @@ class TopologyService:
             on_entry_landed=self._entry_landed,
         )
         self.metrics = ServiceMetrics()
+        #: per-service span ring (None = tracing off, the default; the
+        #: request path then pays a single attribute check).  Per-service
+        #: rather than module-global: replicated tests run two instances
+        #: in one process, each with its own ring.
+        self.tracer: Tracer | None = (
+            Tracer(max_traces=trace_max, slow_ms=trace_slow_ms, log_stream=log_stream)
+            if trace
+            else None
+        )
+        self.jobs.tracer = self.tracer
+        #: structured per-request access log (None = off, the default).
+        self.access_log: AccessLog | None = (
+            AccessLog(log_format, stream=log_stream) if log_format else None
+        )
         #: pre-rendered response bytes per (report key, format) — the
         #: warm read path; None when disabled (``hot_cache_bytes=0``).
         self.hot_cache: HotReportCache | None = (
@@ -235,15 +256,37 @@ class TopologyService:
     # ------------------------------------------------------------------ #
 
     async def handle_request(self, request: HTTPRequest) -> HTTPResponse:
-        """Dispatch one request; never raises — errors become responses."""
+        """Dispatch one request; never raises — errors become responses.
+
+        With tracing on, the whole dispatch runs under a root span
+        context (continued from an incoming ``traceparent`` when one is
+        sent) and every response carries ``X-MT4G-Request-Id`` and the
+        outbound ``traceparent``.
+        """
         start = perf_counter()
+        tracer = self.tracer
+        token = None
+        if tracer is not None:
+            ctx = tracer.begin(request.headers.get("traceparent"))
+            token = CURRENT.set(ctx)
         try:
             response = await dispatch(self, request)
         except HTTPError as exc:
             response = error_response(exc.status, exc.detail, exc.retry_after, exc.extra)
         except Exception as exc:  # a handler bug must not kill the server
             response = error_response(500, str(exc) or type(exc).__name__)
-        self.metrics.observe(route_label(request), response.status, perf_counter() - start)
+        finally:
+            if token is not None:
+                CURRENT.reset(token)
+        route = route_label(request)
+        elapsed = perf_counter() - start
+        self.metrics.observe(route, response.status, elapsed)
+        if tracer is not None:
+            tracer.finish_request(ctx, route, start, response.status, elapsed)
+            response.headers["X-MT4G-Request-Id"] = ctx.trace_id
+            response.headers["traceparent"] = format_traceparent(
+                ctx.trace_id, ctx.span_id
+            )
         return response
 
     # ------------------------------------------------------------------ #
@@ -289,8 +332,9 @@ class TopologyService:
         or sends something unparseable (framing errors always close —
         the stream position is unknowable afterwards).
         """
-        connections = self.metrics.connections
-        connections["accepted"] += 1
+        metrics = self.metrics
+        log = self.access_log
+        metrics.count_connection("accepted")
         served = 0
         try:
             while True:
@@ -306,25 +350,35 @@ class TopologyService:
                 except _PayloadTooLarge as exc:
                     # The body was never drained: the connection cannot
                     # be reused, and the client is told so explicitly.
-                    self.metrics.bad_requests += 1
+                    metrics.count_bad_request()
+                    if log is not None:
+                        log.event("bad_request", str(exc), status=413)
                     await self._write(writer, error_response(413, str(exc)), close=True)
                     return
                 except TimeoutError:
                     if served:
                         # An idle keep-alive socket timing out is the
                         # normal end of a connection's life, not an error.
-                        connections["idle_reaped"] += 1
+                        metrics.count_connection("idle_reaped")
                         return
-                    self.metrics.bad_requests += 1
+                    metrics.count_bad_request()
+                    if log is not None:
+                        log.event("bad_request", "read timed out", status=400)
                     await self._write(
                         writer, error_response(400, "malformed HTTP request"), close=True
                     )
                     return
-                except Exception:
+                except Exception as exc:
                     # Unparseable request line / headers / truncated
                     # body: one 400 with Connection: close — after a
                     # framing error the stream is garbage by definition.
-                    self.metrics.bad_requests += 1
+                    metrics.count_bad_request()
+                    if log is not None:
+                        log.event(
+                            "bad_request",
+                            str(exc) or type(exc).__name__,
+                            status=400,
+                        )
                     await self._write(
                         writer, error_response(400, "malformed HTTP request"), close=True
                     )
@@ -332,9 +386,20 @@ class TopologyService:
                 if request is None:  # clean EOF between requests
                     return
                 if served:
-                    connections["reused"] += 1
+                    metrics.count_connection("reused")
                 served += 1
+                request_start = perf_counter()
                 response = await self.handle_request(request)
+                if log is not None:
+                    log.request(
+                        method=request.method,
+                        path=request.path,
+                        route=route_label(request),
+                        status=response.status,
+                        duration_ms=(perf_counter() - request_start) * 1e3,
+                        trace_id=response.headers.get("X-MT4G-Request-Id", ""),
+                        reused=served > 1,
+                    )
                 close = (
                     self.keep_alive_timeout <= 0
                     or served >= self.max_requests_per_connection
@@ -344,7 +409,7 @@ class TopologyService:
                 if not await self._write(writer, response, close=close) or close:
                     return
         finally:
-            connections["closed"] += 1
+            metrics.count_connection("closed")
             writer.close()
             try:
                 await writer.wait_closed()
@@ -358,14 +423,21 @@ class TopologyService:
 
         Write failures are *counted* (``connections.write_errors``) —
         a client hanging up mid-response is survivable, but a rate of
-        them is a signal an operator needs to see in ``/metrics``.
+        them is a signal an operator needs to see in ``/metrics`` —
+        and, when the access log is on, logged with their reason.
         """
         try:
             writer.write(response.encode(close=close))
             await writer.drain()
             return True
-        except (ConnectionError, OSError):
-            self.metrics.connections["write_errors"] += 1
+        except (ConnectionError, OSError) as exc:
+            self.metrics.count_connection("write_errors")
+            if self.access_log is not None:
+                self.access_log.event(
+                    "write_error",
+                    str(exc) or type(exc).__name__,
+                    status=response.status,
+                )
             return False
 
 
@@ -455,6 +527,9 @@ async def run_service(
     hot_cache_bytes: int = DEFAULT_HOT_CACHE_BYTES,
     catalog_ttl: float = 2.0,
     pool_mode: str = "warm",
+    trace: bool = False,
+    trace_slow_ms: float | None = None,
+    log_format: str | None = None,
 ) -> None:
     """Run the service until cancelled (the ``mt4g serve`` entry point).
 
@@ -485,6 +560,9 @@ async def run_service(
         hot_cache_bytes=hot_cache_bytes,
         catalog_ttl=catalog_ttl,
         pool_mode=pool_mode,
+        trace=trace,
+        trace_slow_ms=trace_slow_ms,
+        log_format=log_format,
     )
     bound_host, bound_port = await service.start(host, port)
     if peers:
@@ -500,10 +578,12 @@ async def run_service(
             if service.keep_alive_timeout > 0
             else "keep-alive off"
         )
+        trace_note = ", tracing on" if service.tracer is not None else ""
         print(
             f"# mt4g serve listening on http://{bound_host}:{bound_port} "
             f"(store {service.store.root}"
-            f"{', read-only' if read_only else ''}{ring_note}, {keep_note})",
+            f"{', read-only' if read_only else ''}{ring_note}, {keep_note}"
+            f"{trace_note})",
             file=sys.stderr,
             flush=True,
         )

@@ -49,6 +49,8 @@ from repro.errors import ReproError, is_transient
 from repro.faults.retry import DEFAULT_FLEET_RETRY, RetryPolicy
 from repro.gpusim.device import SimulatedGPU
 from repro.gpuspec.presets import available_presets, get_preset
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
 from repro.pchase.config import PChaseConfig
 from repro.units import format_bandwidth, format_size
 from repro.validate.fleet_checks import FleetValidation, run_fleet_checks
@@ -308,6 +310,13 @@ class WorkerOutcome:
     error_kind: str = ""
     #: attempts consumed (1 = first try succeeded).
     attempts: int = 1
+    #: completed trace spans recorded in-worker (PR 10), already plain
+    #: dicts so they pickle across the pool boundary; ``None`` when the
+    #: submitting side did not pass a traceparent.
+    spans: Any = None
+    #: per-phase discovery profile (``DiscoveryProfile.as_dict()``) when
+    #: the worker ran with profiling on; never folded into the report.
+    profile: Any = None
 
     @property
     def ok(self) -> bool:
@@ -322,8 +331,59 @@ def _discover_one(
     validate: bool,
     cache_dir: str | None = None,
     retry: RetryPolicy | None = None,
+    traceparent: str | None = None,
+    profile: bool = False,
 ) -> WorkerOutcome:
     """Worker body: one full discovery (+ validation) for one preset.
+
+    ``traceparent`` (PR 10) joins this worker to the submitting
+    request's trace: spans recorded here come back on
+    ``WorkerOutcome.spans`` — worker processes share no tracer ring with
+    the service.  ``profile`` additionally activates the discovery phase
+    profiler and returns its breakdown on ``WorkerOutcome.profile``.
+    Both default off and then cost nothing — the fleet CLI path never
+    even enters the instrumented wrapper.
+    """
+    if traceparent is None and not profile:
+        return _discover_one_inner(
+            preset, seed, cache_config, engine, validate, cache_dir, retry
+        )
+    start = time.perf_counter()
+    with _trace.worker_trace(traceparent) as ctx:
+        if profile:
+            with _profile.profiled() as prof:
+                outcome = _discover_one_inner(
+                    preset, seed, cache_config, engine, validate, cache_dir, retry
+                )
+            outcome.profile = prof.as_dict()
+        else:
+            outcome = _discover_one_inner(
+                preset, seed, cache_config, engine, validate, cache_dir, retry
+            )
+        if ctx is not None:  # profile without a traceparent: no spans
+            _trace.complete(
+                ctx,
+                "worker.discover",
+                start,
+                preset=preset,
+                ok=outcome.ok,
+                attempts=outcome.attempts,
+                error_kind=outcome.error_kind,
+            )
+            outcome.spans = ctx.tracer.drain()
+    return outcome
+
+
+def _discover_one_inner(
+    preset: str,
+    seed: int,
+    cache_config: str,
+    engine: str,
+    validate: bool,
+    cache_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+) -> WorkerOutcome:
+    """The uninstrumented worker body (see :func:`_discover_one`).
 
     *Transient* failures (see :func:`repro.errors.is_transient`) are
     retried in-worker under ``retry`` — bounded attempts, exponential
@@ -349,8 +409,10 @@ def _discover_one(
     )
     error, kind = "", ""
     attempt = 0
+    ctx = _trace.CURRENT.get()  # None unless _discover_one set a trace
     while attempt < policy.attempts:
         attempt += 1
+        attempt_start = time.perf_counter()
         try:
             # The chaos plane's hook: label = "<preset>@<attempt index>"
             # so a recorded plan can fail attempt 0 and spare attempt 1
@@ -365,6 +427,11 @@ def _discover_one(
             )
             tool = MT4G(device, config=PChaseConfig(engine=engine), cache=store)
             report = tool.discover(validate=validate)
+            if ctx is not None:
+                _trace.record(
+                    ctx, "worker.attempt", attempt_start, attempt=attempt,
+                    outcome="ok",
+                )
             return WorkerOutcome(
                 preset, report, time.perf_counter() - start, attempts=attempt
             )
@@ -373,11 +440,19 @@ def _discover_one(
             # must not yield an error entry that renders as blank text.
             error = _describe(exc)
             kind = "transient" if is_transient(exc) else "permanent"
-            if kind == "permanent" or attempt >= policy.attempts:
-                break
-            pause = policy.delay(preset, attempt - 1)
-            if deadline is not None and time.perf_counter() + pause >= deadline:
+            retrying = kind != "permanent" and attempt < policy.attempts
+            pause = policy.delay(preset, attempt - 1) if retrying else 0.0
+            if retrying and deadline is not None and (
+                time.perf_counter() + pause >= deadline
+            ):
                 kind = "deadline"
+                retrying = False
+            if ctx is not None:
+                _trace.record(
+                    ctx, "worker.attempt", attempt_start, attempt=attempt,
+                    outcome=kind, backoff_s=round(pause, 6) if retrying else 0.0,
+                )
+            if not retrying:
                 break
             time.sleep(pause)
     return WorkerOutcome(
